@@ -1,0 +1,70 @@
+// Command datagen generates the synthetic telemetry campaigns of the
+// paper's methodology (§5.2) and saves the resulting labeled dataset to
+// disk for use by cmd/prodigy:
+//
+//	datagen -system eclipse -scale 0.5 -out eclipse.dsgz
+//	datagen -system volta -duration 300 -out volta.dsgz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"prodigy/internal/experiments"
+	"prodigy/internal/features"
+	"prodigy/internal/pipeline"
+)
+
+func main() {
+	system := flag.String("system", "eclipse", "system to simulate: eclipse or volta")
+	scale := flag.Float64("scale", 0.5, "campaign scale factor (1.0 ≈ a few hundred samples)")
+	duration := flag.Int64("duration", 240, "job duration in seconds")
+	seed := flag.Int64("seed", 1, "campaign seed")
+	anomalousJobs := flag.Int("anomalous-jobs", 0, "exact number of anomalous jobs (0 = use the system's default fraction)")
+	catalog := flag.String("catalog", "default", "feature catalog: minimal, default or full")
+	out := flag.String("out", "dataset.dsgz", "output dataset path")
+	flag.Parse()
+
+	var cfg experiments.CampaignConfig
+	switch *system {
+	case "eclipse":
+		cfg = experiments.EclipseCampaign(*scale, *seed)
+	case "volta":
+		cfg = experiments.VoltaCampaign(*scale, *seed)
+	default:
+		fatalf("unknown system %q", *system)
+	}
+	cfg.Duration = *duration
+	if *anomalousJobs > 0 {
+		cfg.AnomalousJobs = *anomalousJobs
+	}
+	switch *catalog {
+	case "minimal":
+		cfg.Catalog = features.Minimal()
+	case "default":
+		cfg.Catalog = features.Default()
+	case "full":
+		cfg.Catalog = features.Full()
+	default:
+		fatalf("unknown catalog %q", *catalog)
+	}
+
+	fmt.Printf("generating %s campaign (scale %.2f, %d s jobs, seed %d)...\n", *system, *scale, *duration, *seed)
+	camp, err := experiments.Generate(cfg)
+	if err != nil {
+		fatalf("generate: %v", err)
+	}
+	ds := camp.Dataset
+	fmt.Printf("collected %d samples (%d healthy, %d anomalous), %d features each\n",
+		ds.Len(), len(ds.HealthyIndices()), len(ds.AnomalousIndices()), ds.X.Cols)
+	if err := pipeline.SaveDataset(ds, *out); err != nil {
+		fatalf("save: %v", err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "datagen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,127 @@
+// Command prodigyd runs the full deployment pipeline of §4 end to end on a
+// simulated system: it boots a cluster, runs a stream of jobs (some with
+// injected anomalies) collected through LDMS into the DSOS store, trains
+// Prodigy on an initial healthy window, and serves the analysis dashboard
+// API over HTTP.
+//
+//	prodigyd -addr :8080 -system volta -jobs 24
+//
+// Then, as a user would through Grafana:
+//
+//	curl localhost:8080/api/jobs
+//	curl localhost:8080/api/jobs/20/anomalies
+//	curl "localhost:8080/api/jobs/20/explain?component=2"
+//	curl "localhost:8080/api/jobs/20/diagnose?component=2"
+//	curl localhost:8080/api/drift
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+
+	"prodigy/internal/cluster"
+	"prodigy/internal/core"
+	"prodigy/internal/diagnose"
+	"prodigy/internal/drift"
+	"prodigy/internal/dsos"
+	"prodigy/internal/experiments"
+	"prodigy/internal/features"
+	"prodigy/internal/hpas"
+	"prodigy/internal/ldms"
+	"prodigy/internal/pipeline"
+	"prodigy/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	systemName := flag.String("system", "volta", "system to simulate: eclipse or volta")
+	jobs := flag.Int("jobs", 24, "number of jobs to simulate")
+	duration := flag.Int64("duration", 240, "job duration in seconds")
+	anomFrac := flag.Float64("anomalous", 0.25, "fraction of jobs run with an injected anomaly")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	var sys *cluster.System
+	var appNames []string
+	if *systemName == "eclipse" {
+		sys = cluster.Eclipse()
+		appNames = []string{"lammps", "hacc", "sw4", "examinimd", "swfft", "sw4lite"}
+	} else {
+		sys = cluster.Volta()
+		appNames = []string{"nas-bt", "nas-cg", "nas-ft", "nas-lu", "nas-mg", "nas-sp", "minimd", "comd", "minighost", "miniamr", "kripke"}
+	}
+
+	store := dsos.NewStore()
+	builder := pipeline.NewDatasetBuilder(store)
+	builder.Gen.TrimSeconds = 30
+	builder.Pipe.Catalog = features.Minimal()
+
+	rng := rand.New(rand.NewSource(*seed))
+	injectors := hpas.AllTable2()
+	log.Printf("simulating %d jobs on %s (%d nodes)...", *jobs, sys.Name, sys.NumNodes())
+	for i := 0; i < *jobs; i++ {
+		app := appNames[i%len(appNames)]
+		job, err := sys.Submit(app, 4, *duration, *seed+int64(i))
+		if err != nil {
+			log.Fatalf("submit: %v", err)
+		}
+		truth := map[int][2]string{}
+		if rng.Float64() < *anomFrac {
+			inj := injectors[i%len(injectors)]
+			for _, n := range job.Nodes {
+				if rng.Float64() < 0.8 {
+					job.Injectors[n] = inj
+					truth[n] = [2]string{inj.Name(), inj.Config()}
+				}
+			}
+			log.Printf("job %d: %s with %s %s on %d nodes", job.ID, app, injectors[i%len(injectors)].Name(),
+				injectors[i%len(injectors)].Config(), len(truth))
+		} else {
+			log.Printf("job %d: %s healthy", job.ID, app)
+		}
+		sys.CollectJob(job, ldms.CollectConfig{DropProb: 0.005, Seed: *seed + job.ID}, store)
+		builder.AddJob(job.ID, app, truth)
+		if err := sys.Complete(job.ID); err != nil {
+			log.Fatalf("complete: %v", err)
+		}
+	}
+
+	log.Printf("extracting features and training Prodigy...")
+	ds, err := builder.Build()
+	if err != nil {
+		log.Fatalf("build dataset: %v", err)
+	}
+	campaignLike := experiments.CampaignConfig{System: *systemName, Catalog: features.Minimal(), TrimSeconds: 30}
+	cfg := experiments.ProdigyConfig(experiments.Quick, campaignLike, *seed)
+	experiments.TopKFor(&cfg, ds.X.Cols)
+	p := core.New(cfg)
+	if err := p.Fit(ds, nil); err != nil {
+		log.Fatalf("train: %v", err)
+	}
+	conf := p.Evaluate(ds)
+	log.Printf("trained: threshold %.5f, campaign macro F1 %.3f", p.Threshold(), conf.MacroF1())
+
+	srv := server.New(store, p)
+	// Optional production extras: anomaly-type diagnosis (needs ≥2 labeled
+	// types in the campaign) and the model-staleness monitor.
+	if clf, err := diagnose.New(ds, 3); err == nil {
+		srv.Diagnoser = clf
+		log.Printf("diagnoser ready: types %v", clf.Types())
+	} else {
+		log.Printf("diagnoser disabled: %v", err)
+	}
+	healthy := ds.Subset(ds.HealthyIndices())
+	if healthy.Len() >= 2 {
+		if mon, err := drift.NewMonitor(p.Scores(healthy.X), 500, drift.DefaultConfig()); err == nil {
+			srv.Drift = mon
+			log.Printf("drift monitor armed over %d reference scores", healthy.Len())
+		}
+	}
+	log.Printf("serving the analysis dashboard on %s", *addr)
+	log.Printf("try: curl localhost%s/api/jobs", *addr)
+	fmt.Println()
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}

@@ -1,0 +1,194 @@
+package prodigy
+
+// End-to-end tests of the command-line tools: build the real binaries and
+// drive the documented workflows — datagen → prodigy train/eval/detect/
+// explain, experiments -run inventory, and the prodigyd HTTP service.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildTool compiles one cmd/<name> into dir and returns the binary path.
+func buildTool(t *testing.T, dir, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+// run executes a binary and returns its combined output, failing the test
+// on a non-zero exit.
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %s: %v\n%s", filepath.Base(bin), strings.Join(args, " "), err, out)
+	}
+	return string(out)
+}
+
+func TestEndToEndCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short")
+	}
+	dir := t.TempDir()
+	datagen := buildTool(t, dir, "datagen")
+	prodigy := buildTool(t, dir, "prodigy")
+
+	// 1. Generate a small Volta campaign.
+	dataset := filepath.Join(dir, "volta.dsgz")
+	out := run(t, datagen,
+		"-system", "volta", "-scale", "0.3", "-duration", "150",
+		"-catalog", "minimal", "-seed", "3", "-anomalous-jobs", "3", "-out", dataset)
+	if !strings.Contains(out, "wrote "+dataset) {
+		t.Fatalf("datagen output: %s", out)
+	}
+	if fi, err := os.Stat(dataset); err != nil || fi.Size() == 0 {
+		t.Fatalf("dataset not written: %v", err)
+	}
+
+	// 2. Train.
+	model := filepath.Join(dir, "model.json")
+	out = run(t, prodigy, "train",
+		"-data", dataset, "-model", model,
+		"-topk", "60", "-epochs", "200", "-lr", "0.003", "-batch", "32")
+	if !strings.Contains(out, "model written to") {
+		t.Fatalf("train output: %s", out)
+	}
+
+	// 3. Evaluate: the macro F1 line must parse and beat the random floor.
+	out = run(t, prodigy, "eval", "-data", dataset, "-model", model, "-topk", "60")
+	if !strings.Contains(out, "macro F1:") {
+		t.Fatalf("eval output: %s", out)
+	}
+	var swept float64
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "macro F1 with swept threshold:") {
+			fmt.Sscanf(line, "macro F1 with swept threshold: %f", &swept)
+		}
+	}
+	if swept < 0.6 {
+		t.Fatalf("swept macro F1 = %v\n%s", swept, out)
+	}
+
+	// 4. Detect: one row per sample.
+	out = run(t, prodigy, "detect", "-data", dataset, "-model", model, "-topk", "60")
+	if !strings.Contains(out, "ANOMALY") && !strings.Contains(out, "healthy") {
+		t.Fatalf("detect output: %s", out)
+	}
+
+	// 5. Explain the first anomalous sample detect reported.
+	idx := -1
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "ANOMALY") {
+			fmt.Sscanf(line, "%d", &idx)
+			break
+		}
+	}
+	if idx >= 0 {
+		out = run(t, prodigy, "explain", "-data", dataset, "-model", model, "-topk", "60",
+			"-sample", fmt.Sprint(idx))
+		if !strings.Contains(out, "counterfactual: substitute") {
+			t.Fatalf("explain output: %s", out)
+		}
+
+		// 6. Diagnose the same sample's anomaly type.
+		out = run(t, prodigy, "diagnose", "-data", dataset, "-model", model, "-topk", "60",
+			"-sample", fmt.Sprint(idx))
+		if !strings.Contains(out, "diagnosis:") {
+			t.Fatalf("diagnose output: %s", out)
+		}
+	}
+}
+
+func TestEndToEndExperimentsInventory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short")
+	}
+	dir := t.TempDir()
+	experiments := buildTool(t, dir, "experiments")
+	out := run(t, experiments, "-run", "inventory")
+	for _, want := range []string{"Table 1", "Table 2", "LAMMPS", "memleak"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("inventory output missing %q:\n%s", want, out)
+		}
+	}
+	// Unknown -run values fail loudly.
+	cmd := exec.Command(experiments, "-run", "nonsense")
+	if err := cmd.Run(); err == nil {
+		t.Fatal("unknown -run should exit non-zero")
+	}
+}
+
+func TestEndToEndProdigyd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short")
+	}
+	dir := t.TempDir()
+	prodigyd := buildTool(t, dir, "prodigyd")
+
+	const addr = "127.0.0.1:18941"
+	cmd := exec.Command(prodigyd, "-addr", addr, "-system", "volta", "-jobs", "8", "-duration", "120", "-seed", "2")
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+	}()
+
+	// Wait for the service to come up (simulation + training first).
+	var health map[string]interface{}
+	deadline := time.Now().Add(3 * time.Minute)
+	for {
+		resp, err := http.Get("http://" + addr + "/api/health")
+		if err == nil {
+			err = json.NewDecoder(resp.Body).Decode(&health)
+			resp.Body.Close()
+			if err == nil {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("prodigyd did not come up in time")
+		}
+		time.Sleep(500 * time.Millisecond)
+	}
+	if health["trained"] != true {
+		t.Fatalf("health = %v", health)
+	}
+	resp, err := http.Get("http://" + addr + "/api/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var jobs map[string][]int64
+	if err := json.NewDecoder(resp.Body).Decode(&jobs); err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs["jobs"]) != 8 {
+		t.Fatalf("jobs = %v", jobs)
+	}
+	// Anomaly dashboard for the first job responds.
+	resp2, err := http.Get(fmt.Sprintf("http://%s/api/jobs/%d/anomalies", addr, jobs["jobs"][0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != 200 {
+		t.Fatalf("anomalies status %d", resp2.StatusCode)
+	}
+}

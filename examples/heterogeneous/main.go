@@ -1,0 +1,98 @@
+// Heterogeneous: the §7 future-work scenario — a mixed CPU/GPU system
+// where GPU nodes report a DCGM-style sampler CPU nodes lack. One generic
+// model per node class detects a CPU hog on a CPU job and a GPU hog on a
+// GPU job, routed automatically by metric schema.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"prodigy/internal/cluster"
+	"prodigy/internal/core"
+	"prodigy/internal/dsos"
+	"prodigy/internal/experiments"
+	"prodigy/internal/features"
+	"prodigy/internal/hpas"
+	"prodigy/internal/ldms"
+	"prodigy/internal/pipeline"
+)
+
+func main() {
+	sys := cluster.NewHeterogeneousSystem("mixed", 8, cluster.EclipseNode(), 8, cluster.GPUNode())
+	store := dsos.NewStore()
+	builder := pipeline.NewDatasetBuilder(store)
+	builder.Gen.TrimSeconds = 20
+	builder.Pipe.Catalog = features.Minimal()
+
+	var cpuAnomJob, gpuAnomJob int64
+	submit := func(app string, inj hpas.Injector) int64 {
+		job, err := sys.Submit(app, 4, 150, int64(len(store.Jobs()))+1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		truth := map[int][2]string{}
+		if inj != nil {
+			for _, n := range job.Nodes[:2] {
+				job.Injectors[n] = inj
+				truth[n] = [2]string{inj.Name(), inj.Config()}
+			}
+		}
+		sys.CollectJob(job, ldms.CollectConfig{DropProb: 0.005, Seed: job.ID}, store)
+		builder.AddJob(job.ID, app, truth)
+		if err := sys.Complete(job.ID); err != nil {
+			log.Fatal(err)
+		}
+		return job.ID
+	}
+	for i := 0; i < 3; i++ {
+		submit("lammps", nil)
+		submit("lammps-gpu", nil)
+		submit("hacc-gpu", nil)
+	}
+	cpuAnomJob = submit("lammps", hpas.CPUOccupy{Utilization: 1})
+	gpuAnomJob = submit("lammps-gpu", hpas.GPUContend{Utilization: 0.9, FBFrac: 0.3})
+
+	// One dataset — and one model — per node class.
+	parts, err := builder.BuildPartitioned()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("partitions: cpu=%d samples × %d features, gpu=%d samples × %d features\n",
+		parts["cpu"].Len(), parts["cpu"].X.Cols, parts["gpu"].Len(), parts["gpu"].X.Cols)
+
+	campaignLike := experiments.CampaignConfig{System: "eclipse", Catalog: features.Minimal(), TrimSeconds: 20}
+	cfgs := map[string]core.Config{}
+	for class, ds := range parts {
+		cfg := experiments.ProdigyConfig(experiments.Quick, campaignLike, 7)
+		experiments.TopKFor(&cfg, ds.X.Cols)
+		cfgs[class] = cfg
+	}
+	h := core.NewHetero(cfgs)
+	if err := h.Fit(parts); err != nil {
+		log.Fatal(err)
+	}
+	h.Model("cpu").TuneThreshold(parts["cpu"])
+	h.Model("gpu").TuneThreshold(parts["gpu"])
+
+	for _, tc := range []struct {
+		name string
+		job  int64
+	}{
+		{"cpu job with cpuoccupy", cpuAnomJob},
+		{"gpu job with gpucontend", gpuAnomJob},
+	} {
+		report, err := h.AnalyzeJob(store, tc.job)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%s (job %d):\n", tc.name, tc.job)
+		for _, r := range report {
+			state := "ok"
+			if r.Anomalous {
+				state = "ANOMALY"
+			}
+			fmt.Printf("  node %-3d %-8s score=%.5f\n", r.Component, state, r.Score)
+		}
+	}
+}

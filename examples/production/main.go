@@ -1,0 +1,121 @@
+// Production: the full deployment flow of §4 — schedule jobs on a
+// simulated Volta system, collect telemetry through per-node LDMS daemons
+// into the DSOS store, train Prodigy, stand up the dashboard HTTP server,
+// and query it exactly like the Grafana frontend would.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+
+	"prodigy/internal/cluster"
+	"prodigy/internal/core"
+	"prodigy/internal/dsos"
+	"prodigy/internal/experiments"
+	"prodigy/internal/features"
+	"prodigy/internal/hpas"
+	"prodigy/internal/ldms"
+	"prodigy/internal/pipeline"
+	"prodigy/internal/server"
+)
+
+func main() {
+	// --- Monitoring substrate: system + store (Figure 2) ---
+	sys := cluster.Volta()
+	store := dsos.NewStore()
+	builder := pipeline.NewDatasetBuilder(store)
+	builder.Gen.TrimSeconds = 25
+	builder.Pipe.Catalog = features.Minimal()
+
+	// --- Run a job stream; one job gets a cache-thrash anomaly ---
+	var anomalousJob int64
+	jobSpecs := []struct {
+		app string
+		inj hpas.Injector
+	}{
+		{"nas-cg", nil}, {"nas-ft", nil}, {"minimd", nil}, {"nas-cg", nil},
+		{"nas-ft", nil}, {"minimd", nil}, {"nas-cg", nil}, {"nas-ft", nil},
+		{"minimd", hpas.CacheCopy{Level: "L2", Mult: 2}},
+	}
+	for i, spec := range jobSpecs {
+		job, err := sys.Submit(spec.app, 4, 160, int64(100+i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		truth := map[int][2]string{}
+		if spec.inj != nil {
+			anomalousJob = job.ID
+			for _, n := range job.Nodes[:2] {
+				job.Injectors[n] = spec.inj
+				truth[n] = [2]string{spec.inj.Name(), spec.inj.Config()}
+			}
+		}
+		// LDMS: one sampler daemon per node at 1 Hz, aggregated into DSOS.
+		sys.CollectJob(job, ldms.CollectConfig{DropProb: 0.01, Seed: int64(i)}, store)
+		builder.AddJob(job.ID, spec.app, truth)
+		if err := sys.Complete(job.ID); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("DSOS store: %d jobs, %d rows\n", len(store.Jobs()), store.NumRows())
+
+	// --- Offline training (Figure 3) ---
+	ds, err := builder.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	campaignLike := experiments.CampaignConfig{System: "volta", Catalog: features.Minimal(), TrimSeconds: 25}
+	cfg := experiments.ProdigyConfig(experiments.Quick, campaignLike, 7)
+	experiments.TopKFor(&cfg, ds.X.Cols)
+	p := core.New(cfg)
+	if err := p.Fit(ds, nil); err != nil {
+		log.Fatal(err)
+	}
+	p.TuneThreshold(ds)
+	fmt.Printf("model trained (threshold %.5f)\n", p.Threshold())
+
+	// --- Serve and query the dashboard (Figure 4) ---
+	srv := httptest.NewServer(server.New(store, p))
+	defer srv.Close()
+
+	get := func(path string) map[string]interface{} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]interface{}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			log.Fatal(err)
+		}
+		return out
+	}
+
+	health := get("/api/health")
+	fmt.Printf("dashboard health: trained=%v jobs=%v\n", health["trained"], health["jobs"])
+
+	// A user enters the suspicious job's ID and opens the anomaly
+	// detection dashboard.
+	anomalies := get(fmt.Sprintf("/api/jobs/%d/anomalies", anomalousJob))
+	fmt.Printf("job %d per-node predictions:\n", anomalousJob)
+	var flaggedNode int = -1
+	for _, n := range anomalies["nodes"].([]interface{}) {
+		node := n.(map[string]interface{})
+		fmt.Printf("  node %v: anomalous=%v score=%.5f\n",
+			node["component_id"], node["anomalous"], node["score"].(float64))
+		if node["anomalous"] == true && flaggedNode == -1 {
+			flaggedNode = int(node["component_id"].(float64))
+		}
+	}
+	if flaggedNode == -1 {
+		fmt.Println("no node flagged (unexpected for this campaign)")
+		return
+	}
+
+	// Ask for the counterfactual explanation of the flagged node.
+	expl := get(fmt.Sprintf("/api/jobs/%d/explain?component=%d", anomalousJob, flaggedNode))
+	fmt.Printf("CoMTE explanation for node %d: %v\n", flaggedNode, expl["metrics"])
+}

@@ -1,0 +1,32 @@
+// Smallsample: the Figure 6 scenario — how little healthy production data
+// does Prodigy need? Train with 4, 8, 16, 32 and 48 healthy samples and
+// watch the F1 climb; the paper reaches ~0.9 F1 with only 16 healthy
+// samples.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"prodigy/internal/experiments"
+	"prodigy/internal/features"
+)
+
+func main() {
+	campaign := experiments.Figure6Campaign(180, 11)
+	campaign.Catalog = features.Minimal()
+	campaign.JobsPerApp = 6
+	campaign.AnomalousJobs = 10 // 24 jobs -> 56 healthy samples
+
+	res, err := experiments.RunFigure6(campaign, experiments.Quick, []int{4, 8, 16, 32, 48}, 5, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Prodigy F1 vs. healthy training samples (5 repeats each):")
+	for _, pt := range res.Points {
+		bar := strings.Repeat("#", int(pt.MeanF1*40))
+		fmt.Printf("  %3d samples | %-40s | %.3f ± %.3f\n", pt.NumHealthy, bar, pt.MeanF1, pt.StdF1)
+	}
+	fmt.Println("\n(the paper's Figure 6: 0.58 F1 at 4 samples, ~0.9 at 16, 0.96 at ~60)")
+}

@@ -1,0 +1,169 @@
+// Package kmeans implements K-means clustering with k-means++ seeding. The
+// paper discusses K-means as a traditional unsupervised baseline but rejects
+// it for high-dimensional, non-spherical data (§5.3); we provide it for the
+// ablation benchmarks so that claim can be checked empirically: the anomaly
+// score of a sample is its distance to the nearest centroid.
+package kmeans
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"prodigy/internal/mat"
+)
+
+// Config holds K-means hyperparameters.
+type Config struct {
+	K             int     `json:"k"`
+	MaxIter       int     `json:"max_iter"`
+	Contamination float64 `json:"contamination"`
+	Seed          int64   `json:"seed"`
+}
+
+// DefaultConfig returns a small default: 8 clusters, 100 iterations,
+// contamination 10%.
+func DefaultConfig() Config { return Config{K: 8, MaxIter: 100, Contamination: 0.1, Seed: 1} }
+
+// KMeans is a fitted clustering model.
+type KMeans struct {
+	Cfg       Config
+	Centroids *mat.Matrix
+	threshold float64
+}
+
+// New returns an unfitted model.
+func New(cfg Config) (*KMeans, error) {
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("kmeans: k = %d", cfg.K)
+	}
+	if cfg.MaxIter < 1 {
+		return nil, fmt.Errorf("kmeans: max iter = %d", cfg.MaxIter)
+	}
+	return &KMeans{Cfg: cfg}, nil
+}
+
+// Fit runs Lloyd's algorithm with k-means++ initialization and calibrates
+// the anomaly threshold from the contamination ratio.
+func (km *KMeans) Fit(x *mat.Matrix) error {
+	if x.Rows == 0 {
+		return errors.New("kmeans: empty training set")
+	}
+	k := km.Cfg.K
+	if k > x.Rows {
+		k = x.Rows
+	}
+	rng := rand.New(rand.NewSource(km.Cfg.Seed))
+	km.Centroids = kppInit(x, k, rng)
+
+	assign := make([]int, x.Rows)
+	for iter := 0; iter < km.Cfg.MaxIter; iter++ {
+		changed := false
+		for i := 0; i < x.Rows; i++ {
+			best, bestD := 0, math.Inf(1)
+			for c := 0; c < k; c++ {
+				d := mat.EuclideanDistance(x.Row(i), km.Centroids.Row(c))
+				if d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// Recompute centroids; empty clusters keep their position.
+		sums := mat.New(k, x.Cols)
+		counts := make([]int, k)
+		for i := 0; i < x.Rows; i++ {
+			c := assign[i]
+			counts[c]++
+			mat.Axpy(1, x.Row(i), sums.Row(c))
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] > 0 {
+				row := sums.Row(c)
+				for j := range row {
+					row[j] /= float64(counts[c])
+				}
+				copy(km.Centroids.Row(c), row)
+			}
+		}
+	}
+	scores := km.Scores(x)
+	km.threshold = mat.Percentile(scores, 100*(1-km.Cfg.Contamination))
+	return nil
+}
+
+// kppInit picks k initial centroids with k-means++ (distance-squared
+// weighted sampling).
+func kppInit(x *mat.Matrix, k int, rng *rand.Rand) *mat.Matrix {
+	centroids := mat.New(k, x.Cols)
+	copy(centroids.Row(0), x.Row(rng.Intn(x.Rows)))
+	d2 := make([]float64, x.Rows)
+	for c := 1; c < k; c++ {
+		total := 0.0
+		for i := 0; i < x.Rows; i++ {
+			best := math.Inf(1)
+			for cc := 0; cc < c; cc++ {
+				d := mat.EuclideanDistance(x.Row(i), centroids.Row(cc))
+				if d < best {
+					best = d
+				}
+			}
+			d2[i] = best * best
+			total += d2[i]
+		}
+		if total == 0 {
+			copy(centroids.Row(c), x.Row(rng.Intn(x.Rows)))
+			continue
+		}
+		r := rng.Float64() * total
+		cum := 0.0
+		pick := x.Rows - 1
+		for i, d := range d2 {
+			cum += d
+			if cum >= r {
+				pick = i
+				break
+			}
+		}
+		copy(centroids.Row(c), x.Row(pick))
+	}
+	return centroids
+}
+
+// Scores returns each row's distance to its nearest centroid.
+func (km *KMeans) Scores(x *mat.Matrix) []float64 {
+	if km.Centroids == nil {
+		panic("kmeans: Scores before Fit")
+	}
+	out := make([]float64, x.Rows)
+	for i := 0; i < x.Rows; i++ {
+		best := math.Inf(1)
+		for c := 0; c < km.Centroids.Rows; c++ {
+			if d := mat.EuclideanDistance(x.Row(i), km.Centroids.Row(c)); d < best {
+				best = d
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
+
+// Predict returns binary labels (1 = anomalous) using the calibrated
+// threshold.
+func (km *KMeans) Predict(x *mat.Matrix) []int {
+	scores := km.Scores(x)
+	out := make([]int, len(scores))
+	for i, s := range scores {
+		if s > km.threshold {
+			out[i] = 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,49 @@
+// Package naive implements the two heuristic baselines of the paper (§5.3):
+// Random Prediction, which flips a fair coin per sample, and Majority Label
+// Prediction, which predicts the majority label of the test dataset for
+// every sample — the sanity floor an ML model must beat.
+package naive
+
+import "math/rand"
+
+// Random predicts each label uniformly at random.
+type Random struct {
+	Seed int64
+}
+
+// Predict returns n random binary labels.
+func (r Random) Predict(n int) []int {
+	rng := rand.New(rand.NewSource(r.Seed))
+	out := make([]int, n)
+	for i := range out {
+		out[i] = rng.Intn(2)
+	}
+	return out
+}
+
+// Majority predicts the majority label of the provided labels for every
+// sample (per the paper, the majority is computed on the test dataset).
+type Majority struct{}
+
+// MajorityLabel returns the most frequent binary label in labels; ties and
+// empty input return 0 (healthy).
+func MajorityLabel(labels []int) int {
+	ones := 0
+	for _, y := range labels {
+		ones += y
+	}
+	if 2*ones > len(labels) {
+		return 1
+	}
+	return 0
+}
+
+// Predict returns len(testLabels) copies of the test majority label.
+func (Majority) Predict(testLabels []int) []int {
+	m := MajorityLabel(testLabels)
+	out := make([]int, len(testLabels))
+	for i := range out {
+		out[i] = m
+	}
+	return out
+}

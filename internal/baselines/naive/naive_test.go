@@ -1,0 +1,91 @@
+package naive
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRandomIsSeededAndBalanced(t *testing.T) {
+	r := Random{Seed: 1}
+	a := r.Predict(1000)
+	b := r.Predict(1000)
+	ones := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must reproduce")
+		}
+		ones += a[i]
+	}
+	if ones < 400 || ones > 600 {
+		t.Fatalf("unbalanced coin: %d/1000 ones", ones)
+	}
+	other := Random{Seed: 2}.Predict(1000)
+	same := 0
+	for i := range a {
+		if a[i] == other[i] {
+			same++
+		}
+	}
+	if same == 1000 {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestMajorityLabel(t *testing.T) {
+	cases := []struct {
+		labels []int
+		want   int
+	}{
+		{[]int{1, 1, 0}, 1},
+		{[]int{0, 0, 1}, 0},
+		{[]int{1, 0}, 0}, // tie -> healthy
+		{nil, 0},         // empty -> healthy
+		{[]int{1, 1, 1}, 1},
+	}
+	for _, c := range cases {
+		if got := MajorityLabel(c.labels); got != c.want {
+			t.Fatalf("MajorityLabel(%v) = %d, want %d", c.labels, got, c.want)
+		}
+	}
+}
+
+func TestMajorityPredict(t *testing.T) {
+	labels := []int{1, 1, 1, 0}
+	preds := Majority{}.Predict(labels)
+	if len(preds) != 4 {
+		t.Fatalf("len = %d", len(preds))
+	}
+	for _, p := range preds {
+		if p != 1 {
+			t.Fatalf("preds = %v", preds)
+		}
+	}
+}
+
+// Property: majority prediction accuracy equals the majority fraction.
+func TestQuickMajorityAccuracy(t *testing.T) {
+	f := func(seedBits uint16, n uint8) bool {
+		total := int(n%50) + 2
+		labels := make([]int, total)
+		ones := 0
+		for i := range labels {
+			labels[i] = int(seedBits>>(i%16)) & 1
+			ones += labels[i]
+		}
+		preds := Majority{}.Predict(labels)
+		correct := 0
+		for i := range preds {
+			if preds[i] == labels[i] {
+				correct++
+			}
+		}
+		want := total - ones
+		if 2*ones > total {
+			want = ones
+		}
+		return correct == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,275 @@
+// Package usad implements the USAD baseline (Audibert et al., KDD 2020) the
+// paper compares against (§5.3): two autoencoders trained adversarially.
+// AE1 learns to reconstruct the input while fooling AE2; AE2 learns to
+// reconstruct real data well but to amplify the error of data that has
+// already passed through AE1. The anomaly score combines both
+// reconstruction errors with weights α and β.
+//
+// Following the paper's adaptation (§5.4.4), inputs are feature vectors
+// extracted from raw telemetry, not sliding windows.
+package usad
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"prodigy/internal/mat"
+	"prodigy/internal/nn"
+)
+
+// Config holds USAD's architecture and training hyperparameters. Defaults
+// follow the paper's grid-search optimum (Table 3): batch 256, 100 epochs,
+// hidden size 200, α = β = 0.5.
+type Config struct {
+	InputDim   int `json:"input_dim"`
+	HiddenSize int `json:"hidden_size"`
+	LatentDim  int `json:"latent_dim"`
+	BatchSize  int `json:"batch_size"`
+	Epochs     int `json:"epochs"`
+	// WarmupEpochs trains both autoencoders with plain reconstruction
+	// before the adversarial schedule starts, stabilizing the minimax game.
+	WarmupEpochs int     `json:"warmup_epochs"`
+	LR           float64 `json:"lr"`
+	Alpha        float64 `json:"alpha"`
+	Beta         float64 `json:"beta"`
+	Seed         int64   `json:"seed"`
+}
+
+// DefaultConfig returns the paper-tuned configuration for the given input
+// dimensionality.
+func DefaultConfig(inputDim int) Config {
+	return Config{
+		InputDim:     inputDim,
+		HiddenSize:   200,
+		LatentDim:    16,
+		BatchSize:    256,
+		Epochs:       100,
+		WarmupEpochs: 30,
+		LR:           1e-3,
+		Alpha:        0.5,
+		Beta:         0.5,
+		Seed:         1,
+	}
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	switch {
+	case c.InputDim <= 0:
+		return fmt.Errorf("usad: input dim %d", c.InputDim)
+	case c.HiddenSize <= 0:
+		return fmt.Errorf("usad: hidden size %d", c.HiddenSize)
+	case c.LatentDim <= 0:
+		return fmt.Errorf("usad: latent dim %d", c.LatentDim)
+	case c.Epochs <= 0:
+		return fmt.Errorf("usad: epochs %d", c.Epochs)
+	case c.LR <= 0:
+		return fmt.Errorf("usad: learning rate %v", c.LR)
+	case c.Alpha < 0 || c.Beta < 0:
+		return fmt.Errorf("usad: negative score weights α=%v β=%v", c.Alpha, c.Beta)
+	}
+	return nil
+}
+
+// USAD is the two-autoencoder adversarial model.
+type USAD struct {
+	Cfg Config
+	ae1 *nn.Network
+	ae2 *nn.Network
+}
+
+// New constructs an untrained USAD model.
+func New(cfg Config) (*USAD, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	// As in the original USAD, the decoders end in a sigmoid so that
+	// reconstructions are bounded in [0, 1]; this keeps the adversarial
+	// minimax game from diverging. Inputs are expected min-max scaled,
+	// which is how the Prodigy pipeline feeds every model.
+	widths := []int{cfg.InputDim, cfg.HiddenSize, cfg.LatentDim, cfg.HiddenSize, cfg.InputDim}
+	ae1, err := nn.NewMLP(widths, "relu", "sigmoid", rng)
+	if err != nil {
+		return nil, err
+	}
+	ae2, err := nn.NewMLP(widths, "relu", "sigmoid", rng)
+	if err != nil {
+		return nil, err
+	}
+	return &USAD{Cfg: cfg, ae1: ae1, ae2: ae2}, nil
+}
+
+// Fit trains both autoencoders on x (healthy samples). The adversarial
+// weights shift over epochs as in the original paper: at epoch n (1-based)
+// the direct-reconstruction term is weighted 1/n and the adversarial term
+// 1 − 1/n.
+func (u *USAD) Fit(x *mat.Matrix, progress func(epoch int, l1, l2 float64)) error {
+	if x.Cols != u.Cfg.InputDim {
+		return fmt.Errorf("usad: input has %d features, config expects %d", x.Cols, u.Cfg.InputDim)
+	}
+	if x.Rows == 0 {
+		return errors.New("usad: empty training set")
+	}
+	rng := rand.New(rand.NewSource(u.Cfg.Seed + 1))
+	opt1 := nn.NewAdam(u.Cfg.LR)
+	opt2 := nn.NewAdam(u.Cfg.LR)
+	bs := u.Cfg.BatchSize
+	if bs <= 0 || bs > x.Rows {
+		bs = x.Rows
+	}
+	idx := make([]int, x.Rows)
+	for i := range idx {
+		idx[i] = i
+	}
+	warmup := u.Cfg.WarmupEpochs
+	if warmup < 0 {
+		warmup = 0
+	}
+	for epoch := 1; epoch <= warmup+u.Cfg.Epochs; epoch++ {
+		// Warmup: pure reconstruction (a=1, b=0); then the USAD schedule
+		// with n counting adversarial epochs. Unlike the original, the
+		// adversarial weight is capped at 1/2: with two fully separate
+		// autoencoders (our adaptation), letting b → 1 degenerates AE2's
+		// objective into maximizing its own reconstruction error once AE1
+		// reconstructs well, which collapses both models. At b = a = 1/2
+		// the direct and adversarial pressures balance.
+		a, b := 1.0, 0.0
+		if epoch > warmup {
+			b = 1 - 1/float64(epoch-warmup)
+			if b > 0.5 {
+				b = 0.5
+			}
+			a = 1 - b
+		}
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		var sum1, sum2 float64
+		batches := 0
+		for start := 0; start < len(idx); start += bs {
+			end := start + bs
+			if end > len(idx) {
+				end = len(idx)
+			}
+			xb := x.SelectRows(idx[start:end])
+			l1, l2 := u.trainStep(xb, a, b, opt1, opt2)
+			sum1 += l1
+			sum2 += l2
+			batches++
+		}
+		if math.IsNaN(sum1) || math.IsNaN(sum2) {
+			return fmt.Errorf("usad: training diverged at epoch %d", epoch)
+		}
+		if progress != nil && (epoch%10 == 0 || epoch == warmup+u.Cfg.Epochs) {
+			progress(epoch, sum1/float64(batches), sum2/float64(batches))
+		}
+	}
+	return nil
+}
+
+// trainStep performs the two-phase USAD update on one minibatch and returns
+// the two loss values.
+func (u *USAD) trainStep(xb *mat.Matrix, a, b float64, opt1, opt2 nn.Optimizer) (l1, l2 float64) {
+	mse := nn.MSELoss{}
+
+	// --- Phase 1: update AE1 with L1 = a·MSE(x, AE1(x)) + b·MSE(x, AE2(AE1(x))).
+	zeroAll := func(n *nn.Network) {
+		for _, p := range n.Params() {
+			p.ZeroGrad()
+		}
+	}
+	zeroAll(u.ae1)
+	zeroAll(u.ae2)
+
+	// Term 1: direct reconstruction.
+	w1 := u.ae1.Forward(xb)
+	lossDirect, grad := mse.Compute(w1, xb)
+	grad.Scale(a)
+	u.ae1.Backward(grad)
+
+	// Term 2: adversarial — gradient flows through frozen AE2 into AE1.
+	w1 = u.ae1.Forward(xb) // refresh caches for the second backward
+	w2 := u.ae2.Forward(w1)
+	lossAdv, grad2 := mse.Compute(w2, xb)
+	grad2.Scale(b)
+	gw1 := u.ae2.Backward(grad2)
+	u.ae1.Backward(gw1)
+	zeroAll(u.ae2) // AE2 is frozen in phase 1
+	nn.ClipGradients(u.ae1.Params(), 5)
+	opt1.Step(u.ae1.Params())
+	l1 = a*lossDirect + b*lossAdv
+
+	// --- Phase 2: update AE2 with L2 = a·MSE(x, AE2(x)) − b·MSE(x, AE2(AE1(x))).
+	zeroAll(u.ae1)
+	zeroAll(u.ae2)
+
+	// Term 1: direct reconstruction.
+	v2 := u.ae2.Forward(xb)
+	lossDirect2, gradD := mse.Compute(v2, xb)
+	gradD.Scale(a)
+	u.ae2.Backward(gradD)
+
+	// Term 2: adversarial — AE2 maximizes the error on AE1's output (AE1
+	// frozen, gradient stops at AE2's input).
+	w1 = u.ae1.Forward(xb)
+	w2 = u.ae2.Forward(w1)
+	lossAdv2, gradA := mse.Compute(w2, xb)
+	gradA.Scale(-b)
+	u.ae2.Backward(gradA)
+	zeroAll(u.ae1)
+	nn.ClipGradients(u.ae2.Params(), 5)
+	opt2.Step(u.ae2.Params())
+	l2 = a*lossDirect2 - b*lossAdv2
+	return l1, l2
+}
+
+// Scores returns the per-sample anomaly score
+// α·MSE(x, AE1(x)) + β·MSE(x, AE2(AE1(x))).
+func (u *USAD) Scores(x *mat.Matrix) []float64 {
+	w1 := u.ae1.Forward(x)
+	direct := nn.RowMSE(w1, x)
+	w2 := u.ae2.Forward(w1)
+	adv := nn.RowMSE(w2, x)
+	out := make([]float64, x.Rows)
+	for i := range out {
+		out[i] = u.Cfg.Alpha*direct[i] + u.Cfg.Beta*adv[i]
+	}
+	return out
+}
+
+// persisted is the JSON envelope for a trained USAD model.
+type persisted struct {
+	Cfg Config          `json:"config"`
+	AE1 json.RawMessage `json:"ae1"`
+	AE2 json.RawMessage `json:"ae2"`
+}
+
+// MarshalJSON serializes the configuration and both autoencoders.
+func (u *USAD) MarshalJSON() ([]byte, error) {
+	ae1, err := json.Marshal(u.ae1)
+	if err != nil {
+		return nil, err
+	}
+	ae2, err := json.Marshal(u.ae2)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(persisted{Cfg: u.Cfg, AE1: ae1, AE2: ae2})
+}
+
+// UnmarshalJSON restores a USAD serialized by MarshalJSON.
+func (u *USAD) UnmarshalJSON(data []byte) error {
+	var p persisted
+	if err := json.Unmarshal(data, &p); err != nil {
+		return err
+	}
+	u.Cfg = p.Cfg
+	u.ae1 = &nn.Network{}
+	if err := json.Unmarshal(p.AE1, u.ae1); err != nil {
+		return err
+	}
+	u.ae2 = &nn.Network{}
+	return json.Unmarshal(p.AE2, u.ae2)
+}

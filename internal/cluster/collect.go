@@ -1,0 +1,61 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+
+	"prodigy/internal/apps"
+	"prodigy/internal/ldms"
+)
+
+// CollectJob runs LDMS collection for one job on this system: a sampler
+// daemon per allocated node, aggregated into sink. Telemetry is fully
+// deterministic given the job's seed (up to row arrival order, which
+// storage re-indexes).
+func (s *System) CollectJob(job *Job, cfg ldms.CollectConfig, sink ldms.Sink) {
+	daemons := make([]*ldms.Daemon, 0, len(job.Nodes))
+	for _, nodeID := range job.Nodes {
+		daemons = append(daemons, &ldms.Daemon{
+			JobID:     job.ID,
+			Component: nodeID,
+			Source:    s.newNodeSource(job, nodeID),
+			Cfg:       cfg,
+		})
+	}
+	ldms.Aggregate(daemons, job.Duration, sink)
+}
+
+// newNodeSource builds the per-node simulation pipeline for a job: the
+// application run (with its frozen run-level variability), the node's
+// anomaly injector, and the node counter model.
+func (s *System) newNodeSource(job *Job, nodeID int) ldms.NodeSource {
+	sig, err := apps.Get(job.App)
+	if err != nil {
+		// Submit validated the application name; reaching this means the
+		// job was constructed by hand with a bad name.
+		panic(fmt.Sprintf("cluster: job %d references unknown app %q", job.ID, job.App))
+	}
+	seed := NodeRunSeed(job.Seed, job.ID, nodeID)
+	return &nodeSource{
+		job:  job,
+		node: NewNode(nodeID, s.SpecFor(nodeID)),
+		run:  sig.NewRun(job.Duration, seed),
+		rng:  rand.New(rand.NewSource(seed + 1)),
+	}
+}
+
+type nodeSource struct {
+	job  *Job
+	node *Node
+	run  *apps.Run
+	rng  *rand.Rand
+}
+
+// Sample implements ldms.NodeSource: advance the application one second,
+// apply the injector, expand through the node model.
+func (ns *nodeSource) Sample(t int64) map[ldms.SamplerName]map[string]float64 {
+	d := ns.run.DriversAt(t)
+	ns.job.InjectorFor(ns.node.ID).Apply(&d, t, ns.job.Duration, ns.rng)
+	d.Clamp()
+	return ns.node.Step(d, ns.rng)
+}

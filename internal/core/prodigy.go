@@ -1,0 +1,325 @@
+// Package core is the public face of the Prodigy framework: a VAE-based
+// unsupervised anomaly detection pipeline for HPC telemetry (the paper's
+// primary contribution). It ties together feature extraction, Chi-square
+// selection, scaling, VAE training with a reconstruction-error threshold,
+// job/node-level detection against a telemetry store, and CoMTE
+// counterfactual explanations.
+//
+// Typical flow:
+//
+//	p := core.New(core.DefaultConfig())
+//	err := p.Fit(trainSet, selectionSet)       // train on healthy samples
+//	preds, scores := p.Detect(testSet.X)       // per-sample detection
+//	report, _ := p.AnalyzeJob(store, jobID)    // per-node dashboard rows
+//	expl, _ := p.Explain(testSet, sampleIdx)   // counterfactual explanation
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"prodigy/internal/comte"
+	"prodigy/internal/dsos"
+	"prodigy/internal/eval"
+	"prodigy/internal/featsel"
+	"prodigy/internal/features"
+	"prodigy/internal/mat"
+	"prodigy/internal/pipeline"
+	"prodigy/internal/vae"
+)
+
+// Config bundles the tunables of the framework. Zero values are filled
+// from the paper's defaults by New.
+type Config struct {
+	// VAE holds the model hyperparameters; InputDim is set automatically
+	// from the selected feature count.
+	VAE vae.Config
+	// Trainer holds feature selection / scaling / threshold settings.
+	Trainer pipeline.TrainerConfig
+	// Explain holds CoMTE settings.
+	Explain comte.Config
+	// Catalog is the feature-extraction catalog; nil uses features.Default().
+	// It must match the catalog used to build the training dataset.
+	Catalog *features.Catalog
+	// TrimSeconds for job preprocessing in AnalyzeJob; 0 uses the paper's 60.
+	TrimSeconds int
+}
+
+// catalog returns the effective feature catalog.
+func (c *Config) catalog() *features.Catalog {
+	if c.Catalog != nil {
+		return c.Catalog
+	}
+	return features.Default()
+}
+
+// DefaultConfig returns the paper-tuned configuration (Table 3 optima and
+// §5.4 settings).
+func DefaultConfig() Config {
+	return Config{
+		VAE:     vae.DefaultConfig(0), // input dim filled at train time
+		Trainer: pipeline.DefaultTrainerConfig(),
+		Explain: comte.DefaultConfig(),
+	}
+}
+
+// Prodigy is a configured (and possibly trained) detection pipeline.
+type Prodigy struct {
+	Cfg      Config
+	detector *pipeline.AnomalyDetector
+	// healthyTrain retains the healthy training pool (full feature space)
+	// for CoMTE distractors.
+	healthyTrain *mat.Matrix
+	featureNames []string
+}
+
+// New returns an untrained Prodigy with the given configuration.
+func New(cfg Config) *Prodigy { return &Prodigy{Cfg: cfg} }
+
+// Fit trains the pipeline: Chi-square selection on selectionSet (needs both
+// classes; nil reuses train, which then must contain a few labeled
+// anomalies), then VAE training on the healthy samples of train.
+func (p *Prodigy) Fit(train, selectionSet *pipeline.Dataset) error {
+	return p.FitWithSelection(train, selectionSet, nil)
+}
+
+// FitWithSelection is Fit with an optional precomputed feature selection
+// (reused across cross-validation folds).
+func (p *Prodigy) FitWithSelection(train, selectionSet *pipeline.Dataset, sel *featsel.Selection) error {
+	if train == nil || train.Len() == 0 {
+		return errors.New("core: empty training dataset")
+	}
+	if selectionSet == nil {
+		selectionSet = train
+	}
+	trainer := &pipeline.ModelTrainer{
+		Cfg: p.Cfg.Trainer,
+		NewModel: func(inputDim int) (pipeline.Model, error) {
+			cfg := p.Cfg.VAE
+			cfg.InputDim = inputDim
+			return pipeline.NewVAEModel(cfg)
+		},
+	}
+	artifact, err := trainer.Train(train, selectionSet, sel)
+	if err != nil {
+		return err
+	}
+	artifact.CatalogTier = int(p.Cfg.catalog().MaxTier)
+	artifact.TrimSeconds = p.Cfg.TrimSeconds
+	det, err := artifact.Detector()
+	if err != nil {
+		return err
+	}
+	p.detector = det
+	healthy := train.Subset(train.HealthyIndices())
+	p.healthyTrain = healthy.X
+	p.featureNames = train.FeatureNames
+	return nil
+}
+
+// Trained reports whether Fit has completed.
+func (p *Prodigy) Trained() bool { return p.detector != nil }
+
+// Detect returns binary predictions (1 = anomalous) and scores for samples
+// in the full extracted feature space.
+func (p *Prodigy) Detect(xFull *mat.Matrix) ([]int, []float64) {
+	p.mustBeTrained()
+	return p.detector.Predict(xFull)
+}
+
+// Scores returns raw anomaly scores (reconstruction MAE).
+func (p *Prodigy) Scores(xFull *mat.Matrix) []float64 {
+	p.mustBeTrained()
+	return p.detector.Scores(xFull)
+}
+
+// Threshold returns the current decision threshold.
+func (p *Prodigy) Threshold() float64 {
+	p.mustBeTrained()
+	return p.detector.Threshold()
+}
+
+// TuneThreshold sweeps thresholds over the given scored set and adopts the
+// best macro-F1 threshold (the §5.4.4 sweep: 0 to 1 in 0.001 increments).
+func (p *Prodigy) TuneThreshold(ds *pipeline.Dataset) float64 {
+	p.mustBeTrained()
+	scores := p.detector.Scores(ds.X)
+	best, _ := eval.BestThreshold(scores, ds.Labels(), 0, 1, 0.001)
+	p.detector.SetThreshold(best)
+	return best
+}
+
+// Evaluate runs detection over a labeled dataset and returns the confusion
+// matrix.
+func (p *Prodigy) Evaluate(ds *pipeline.Dataset) *eval.Confusion {
+	preds, _ := p.Detect(ds.X)
+	return eval.Evaluate(preds, ds.Labels())
+}
+
+// NodePrediction is one row of the job-level dashboard (§4.3): a binary
+// prediction per compute node of the job.
+type NodePrediction struct {
+	Component int     `json:"component_id"`
+	Anomalous bool    `json:"anomalous"`
+	Score     float64 `json:"score"`
+	Threshold float64 `json:"threshold"`
+}
+
+// AnalyzeJob runs the full prediction pipeline of Figure 4 for one job ID:
+// query the store, preprocess, extract features, detect per node.
+func (p *Prodigy) AnalyzeJob(store *dsos.Store, jobID int64) ([]NodePrediction, error) {
+	p.mustBeTrained()
+	gen := pipeline.NewDataGenerator(store)
+	if p.Cfg.TrimSeconds > 0 {
+		gen.TrimSeconds = p.Cfg.TrimSeconds
+	}
+	tables, err := gen.JobTables(jobID)
+	if err != nil {
+		return nil, err
+	}
+	pipe := &pipeline.DataPipeline{Catalog: p.Cfg.catalog()}
+	var out []NodePrediction
+	for _, comp := range store.Components(jobID) {
+		tb, ok := tables[comp]
+		if !ok {
+			continue
+		}
+		_, vec := pipe.ExtractTable(tb)
+		if len(vec) != len(p.featureNames) {
+			return nil, fmt.Errorf("core: job %d component %d yields %d features, model expects %d",
+				jobID, comp, len(vec), len(p.featureNames))
+		}
+		preds, scores := p.detector.Predict(mat.NewFromData(1, len(vec), vec))
+		out = append(out, NodePrediction{
+			Component: comp,
+			Anomalous: preds[0] == 1,
+			Score:     scores[0],
+			Threshold: p.detector.Threshold(),
+		})
+	}
+	return out, nil
+}
+
+// Explain produces a CoMTE counterfactual explanation for sample idx of ds
+// (which must be predicted anomalous) using OptimizedSearch.
+func (p *Prodigy) Explain(ds *pipeline.Dataset, idx int) (*comte.Explanation, error) {
+	p.mustBeTrained()
+	if idx < 0 || idx >= ds.Len() {
+		return nil, fmt.Errorf("core: sample index %d out of range", idx)
+	}
+	explainer, err := comte.New(p.detector, p.healthyTrain, p.featureNames, p.Cfg.Explain)
+	if err != nil {
+		return nil, err
+	}
+	x := ds.X.RowCopy(idx)
+	expl, searchErr := explainer.OptimizedSearch(x)
+	if expl != nil {
+		// Present the most influential metrics first, as the deployed
+		// dashboard does (§6.2's "top two metrics CoMTE returned").
+		expl.Metrics = explainer.RankByImpact(x, expl)
+	}
+	return expl, searchErr
+}
+
+// JobNodeVector runs the preprocessing + extraction path for one compute
+// node of a job and returns its full feature vector — the input every
+// downstream analysis (detection, explanation, diagnosis) consumes.
+func (p *Prodigy) JobNodeVector(store *dsos.Store, jobID int64, component int) ([]float64, error) {
+	p.mustBeTrained()
+	gen := pipeline.NewDataGenerator(store)
+	if p.Cfg.TrimSeconds > 0 {
+		gen.TrimSeconds = p.Cfg.TrimSeconds
+	}
+	tables, err := gen.JobTables(jobID)
+	if err != nil {
+		return nil, err
+	}
+	tb, ok := tables[component]
+	if !ok {
+		return nil, fmt.Errorf("core: job %d has no data for component %d", jobID, component)
+	}
+	pipe := &pipeline.DataPipeline{Catalog: p.Cfg.catalog()}
+	_, vec := pipe.ExtractTable(tb)
+	if len(vec) != len(p.featureNames) {
+		return nil, fmt.Errorf("core: job %d component %d yields %d features, model expects %d",
+			jobID, component, len(vec), len(p.featureNames))
+	}
+	return vec, nil
+}
+
+// ExplainJobNode runs the full Figure 4 explanation path for one compute
+// node of a job: query + preprocess + extract, verify the node is predicted
+// anomalous, then search for a CoMTE counterfactual.
+func (p *Prodigy) ExplainJobNode(store *dsos.Store, jobID int64, component int) (*comte.Explanation, error) {
+	p.mustBeTrained()
+	if p.healthyTrain == nil {
+		return nil, errors.New("core: explanation pool not set (call SetExplainPool after Load)")
+	}
+	vec, err := p.JobNodeVector(store, jobID, component)
+	if err != nil {
+		return nil, err
+	}
+	explainer, err := comte.New(p.detector, p.healthyTrain, p.featureNames, p.Cfg.Explain)
+	if err != nil {
+		return nil, err
+	}
+	expl, searchErr := explainer.OptimizedSearch(vec)
+	if expl != nil {
+		expl.Metrics = explainer.RankByImpact(vec, expl)
+	}
+	return expl, searchErr
+}
+
+// Save persists the trained artifact to path.
+func (p *Prodigy) Save(path string) error {
+	p.mustBeTrained()
+	return p.detector.Artifact().Save(path)
+}
+
+// Load restores a trained pipeline saved by Save. The artifact carries the
+// extraction settings (catalog tier, trim), which override cfg so the
+// loaded model reproduces its training-time pipeline exactly. The CoMTE
+// distractor pool is not persisted; Explain requires SetExplainPool after
+// Load.
+func Load(path string, cfg Config) (*Prodigy, error) {
+	artifact, err := pipeline.LoadArtifact(path)
+	if err != nil {
+		return nil, err
+	}
+	det, err := artifact.Detector()
+	if err != nil {
+		return nil, err
+	}
+	cfg.Catalog = features.New(features.Tier(artifact.CatalogTier))
+	cfg.TrimSeconds = artifact.TrimSeconds
+	return &Prodigy{
+		Cfg:          cfg,
+		detector:     det,
+		featureNames: artifact.FullFeatureNames,
+	}, nil
+}
+
+// SetExplainPool provides the healthy training pool needed by Explain on a
+// loaded model.
+func (p *Prodigy) SetExplainPool(healthy *mat.Matrix) { p.healthyTrain = healthy }
+
+// DetectVector classifies a single full-feature-space vector — the
+// streaming entry point used by the online-detection extension.
+func (p *Prodigy) DetectVector(vec []float64) (anomalous bool, score float64) {
+	p.mustBeTrained()
+	preds, scores := p.detector.Predict(matrixFromVec(vec))
+	return preds[0] == 1, scores[0]
+}
+
+// FeatureNames returns the full extracted-feature names the model was
+// trained against.
+func (p *Prodigy) FeatureNames() []string { return p.featureNames }
+
+// matrixFromVec wraps one feature vector as a 1×n matrix.
+func matrixFromVec(vec []float64) *mat.Matrix { return mat.NewFromData(1, len(vec), vec) }
+
+func (p *Prodigy) mustBeTrained() {
+	if p.detector == nil {
+		panic("core: Prodigy used before Fit/Load")
+	}
+}

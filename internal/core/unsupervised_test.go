@@ -1,0 +1,64 @@
+package core_test
+
+import (
+	"testing"
+
+	"prodigy/internal/core"
+)
+
+// TestFitUnsupervisedOnContaminatedData trains with NO labels on a pool
+// that silently contains anomalies (the §7 future-work scenario) and
+// checks detection still works on the campaign.
+func TestFitUnsupervisedOnContaminatedData(t *testing.T) {
+	ds, _, _ := campaign(t, 21) // ~12.5% of samples are anomalous
+	p := core.New(quickConfig())
+	if err := p.FitUnsupervised(ds, core.UnsupervisedConfig{Contamination: 0.15, Rounds: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Trained() {
+		t.Fatal("not trained")
+	}
+	// Evaluate against the hidden ground truth; the trained detector must
+	// beat the majority floor decisively despite never seeing a label.
+	p.TuneThreshold(ds)
+	f1 := p.Evaluate(ds).MacroF1()
+	if f1 < 0.8 {
+		t.Fatalf("unsupervised macro F1 = %v", f1)
+	}
+}
+
+// TestFitUnsupervisedTrimmingHelps compares contamination-aware training
+// against naively trusting the contaminated pool: the trimmed model's
+// threshold should not be inflated by the anomalies it absorbed.
+func TestFitUnsupervisedTrimmingHelps(t *testing.T) {
+	ds, _, _ := campaign(t, 22)
+
+	naive := core.New(quickConfig())
+	if err := naive.FitUnsupervised(ds, core.UnsupervisedConfig{Contamination: 0, Rounds: 1}); err != nil {
+		t.Fatal(err)
+	}
+	trimmed := core.New(quickConfig())
+	if err := trimmed.FitUnsupervised(ds, core.UnsupervisedConfig{Contamination: 0.15, Rounds: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// With anomalies inside the "healthy" pool, the naive 99th-percentile
+	// threshold is dragged up by their reconstruction errors.
+	if trimmed.Threshold() >= naive.Threshold() {
+		t.Fatalf("trimming should tighten the threshold: %v vs naive %v",
+			trimmed.Threshold(), naive.Threshold())
+	}
+}
+
+func TestFitUnsupervisedValidation(t *testing.T) {
+	p := core.New(quickConfig())
+	if err := p.FitUnsupervised(nil, core.DefaultUnsupervisedConfig()); err == nil {
+		t.Fatal("nil dataset should error")
+	}
+	ds, _, _ := campaign(t, 23)
+	if err := p.FitUnsupervised(ds, core.UnsupervisedConfig{Contamination: 0.6}); err == nil {
+		t.Fatal("contamination >= 0.5 should error")
+	}
+	if err := p.FitUnsupervised(ds, core.UnsupervisedConfig{Contamination: -0.1}); err == nil {
+		t.Fatal("negative contamination should error")
+	}
+}

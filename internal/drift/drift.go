@@ -1,0 +1,205 @@
+// Package drift watches a deployed model for staleness: production systems
+// evolve (new applications, kernel upgrades, workload shifts), and a VAE
+// trained on last month's healthy behaviour silently degrades. The
+// operational answer is to compare the distribution of recent
+// reconstruction errors against the training-time distribution and flag
+// when they diverge — the retrain trigger the paper's deployment story
+// (§4) leaves to the operators.
+//
+// Two standard distribution distances are implemented from scratch: the
+// two-sample Kolmogorov–Smirnov statistic (with its asymptotic p-value)
+// and the Population Stability Index over deciles.
+package drift
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Report summarizes one drift check.
+type Report struct {
+	// KS is the two-sample Kolmogorov–Smirnov statistic in [0, 1].
+	KS float64
+	// PValue is the asymptotic p-value of the KS statistic; small values
+	// mean the recent scores are unlikely to come from the reference
+	// distribution.
+	PValue float64
+	// PSI is the Population Stability Index over reference deciles. The
+	// industry folklore thresholds: <0.1 stable, 0.1–0.25 moderate shift,
+	// >0.25 significant shift.
+	PSI float64
+	// Drifted applies the configured thresholds.
+	Drifted bool
+}
+
+// String renders the report compactly.
+func (r *Report) String() string {
+	state := "stable"
+	if r.Drifted {
+		state = "DRIFTED"
+	}
+	return fmt.Sprintf("%s (KS=%.3f p=%.4f PSI=%.3f)", state, r.KS, r.PValue, r.PSI)
+}
+
+// Config sets the decision thresholds.
+type Config struct {
+	// MaxPValue flags drift when the KS p-value falls below it.
+	MaxPValue float64
+	// MaxPSI flags drift when the PSI exceeds it.
+	MaxPSI float64
+	// MinSamples gates the check: fewer recent samples than this returns
+	// an inconclusive (non-drifted) report.
+	MinSamples int
+}
+
+// DefaultConfig uses p < 0.01 or PSI > 0.25.
+func DefaultConfig() Config { return Config{MaxPValue: 0.01, MaxPSI: 0.25, MinSamples: 30} }
+
+// Monitor holds the training-time reference distribution and a rolling
+// window of recent scores.
+type Monitor struct {
+	Cfg Config
+
+	reference []float64 // sorted
+	window    []float64
+	maxWindow int
+}
+
+// NewMonitor builds a monitor from the training-time healthy scores.
+func NewMonitor(referenceScores []float64, windowSize int, cfg Config) (*Monitor, error) {
+	if len(referenceScores) < 2 {
+		return nil, fmt.Errorf("drift: reference needs at least 2 scores, got %d", len(referenceScores))
+	}
+	if windowSize < cfg.MinSamples {
+		return nil, fmt.Errorf("drift: window %d smaller than MinSamples %d", windowSize, cfg.MinSamples)
+	}
+	ref := make([]float64, len(referenceScores))
+	copy(ref, referenceScores)
+	sort.Float64s(ref)
+	return &Monitor{Cfg: cfg, reference: ref, maxWindow: windowSize}, nil
+}
+
+// Observe appends recent healthy-presumed scores to the rolling window.
+func (m *Monitor) Observe(scores ...float64) {
+	m.window = append(m.window, scores...)
+	if over := len(m.window) - m.maxWindow; over > 0 {
+		m.window = m.window[over:]
+	}
+}
+
+// WindowSize returns the current number of buffered recent scores.
+func (m *Monitor) WindowSize() int { return len(m.window) }
+
+// Check compares the current window against the reference.
+func (m *Monitor) Check() *Report {
+	if len(m.window) < m.Cfg.MinSamples {
+		return &Report{Drifted: false, PValue: 1}
+	}
+	ks, p := KolmogorovSmirnov(m.reference, m.window)
+	psi := PSI(m.reference, m.window, 10)
+	return &Report{
+		KS:      ks,
+		PValue:  p,
+		PSI:     psi,
+		Drifted: p < m.Cfg.MaxPValue || psi > m.Cfg.MaxPSI,
+	}
+}
+
+// KolmogorovSmirnov returns the two-sample KS statistic and its asymptotic
+// p-value. a may be pre-sorted or not; both inputs are left unmodified.
+func KolmogorovSmirnov(a, b []float64) (stat, pValue float64) {
+	if len(a) == 0 || len(b) == 0 {
+		return 0, 1
+	}
+	as := append([]float64(nil), a...)
+	bs := append([]float64(nil), b...)
+	sort.Float64s(as)
+	sort.Float64s(bs)
+	var i, j int
+	var d float64
+	for i < len(as) && j < len(bs) {
+		// Advance past ties on both sides before measuring the ECDF gap,
+		// otherwise identical samples produce a spurious 1/n difference.
+		v := math.Min(as[i], bs[j])
+		for i < len(as) && as[i] == v {
+			i++
+		}
+		for j < len(bs) && bs[j] == v {
+			j++
+		}
+		fa := float64(i) / float64(len(as))
+		fb := float64(j) / float64(len(bs))
+		if diff := math.Abs(fa - fb); diff > d {
+			d = diff
+		}
+	}
+	n := float64(len(as))
+	m := float64(len(bs))
+	ne := n * m / (n + m)
+	lambda := (math.Sqrt(ne) + 0.12 + 0.11/math.Sqrt(ne)) * d
+	return d, ksPValue(lambda)
+}
+
+// ksPValue evaluates the Kolmogorov distribution tail Q(λ) = 2 Σ (−1)^{k−1} e^{−2k²λ²}.
+func ksPValue(lambda float64) float64 {
+	if lambda <= 0 {
+		return 1
+	}
+	sum := 0.0
+	for k := 1; k <= 100; k++ {
+		term := 2 * math.Pow(-1, float64(k-1)) * math.Exp(-2*float64(k*k)*lambda*lambda)
+		sum += term
+		if math.Abs(term) < 1e-10 {
+			break
+		}
+	}
+	if sum < 0 {
+		return 0
+	}
+	if sum > 1 {
+		return 1
+	}
+	return sum
+}
+
+// PSI returns the Population Stability Index of recent against reference,
+// using quantile bins derived from the reference distribution. Empty bins
+// are smoothed with a small epsilon.
+func PSI(reference, recent []float64, bins int) float64 {
+	if len(reference) == 0 || len(recent) == 0 || bins < 2 {
+		return 0
+	}
+	ref := append([]float64(nil), reference...)
+	sort.Float64s(ref)
+	// Bin edges at reference quantiles.
+	edges := make([]float64, bins-1)
+	for i := 1; i < bins; i++ {
+		pos := float64(i) / float64(bins) * float64(len(ref)-1)
+		lo := int(pos)
+		frac := pos - float64(lo)
+		hi := lo
+		if lo+1 < len(ref) {
+			hi = lo + 1
+		}
+		edges[i-1] = ref[lo]*(1-frac) + ref[hi]*frac
+	}
+	count := func(xs []float64) []float64 {
+		c := make([]float64, bins)
+		for _, v := range xs {
+			b := sort.SearchFloat64s(edges, v)
+			c[b]++
+		}
+		for i := range c {
+			c[i] = (c[i] + 1e-6) / (float64(len(xs)) + 1e-6*float64(bins))
+		}
+		return c
+	}
+	p := count(reference)
+	q := count(recent)
+	psi := 0.0
+	for i := 0; i < bins; i++ {
+		psi += (q[i] - p[i]) * math.Log(q[i]/p[i])
+	}
+	return psi
+}

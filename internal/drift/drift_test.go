@@ -1,0 +1,156 @@
+package drift
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func normal(n int, mean, std float64, rng *rand.Rand) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = mean + std*rng.NormFloat64()
+	}
+	return out
+}
+
+func TestKSSameDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := normal(500, 0, 1, rng)
+	b := normal(500, 0, 1, rng)
+	stat, p := KolmogorovSmirnov(a, b)
+	if stat > 0.1 {
+		t.Fatalf("same-distribution KS = %v", stat)
+	}
+	if p < 0.05 {
+		t.Fatalf("same-distribution p = %v, should not reject", p)
+	}
+}
+
+func TestKSShiftedDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := normal(500, 0, 1, rng)
+	b := normal(500, 1.5, 1, rng)
+	stat, p := KolmogorovSmirnov(a, b)
+	if stat < 0.4 {
+		t.Fatalf("shifted KS = %v", stat)
+	}
+	if p > 1e-6 {
+		t.Fatalf("shifted p = %v, should strongly reject", p)
+	}
+}
+
+func TestKSDegenerate(t *testing.T) {
+	if s, p := KolmogorovSmirnov(nil, []float64{1}); s != 0 || p != 1 {
+		t.Fatal("empty input should be (0, 1)")
+	}
+	// Inputs must not be mutated (sorted copies).
+	a := []float64{3, 1, 2}
+	b := []float64{5, 4}
+	KolmogorovSmirnov(a, b)
+	if a[0] != 3 || b[0] != 5 {
+		t.Fatal("inputs mutated")
+	}
+}
+
+func TestPSIStableAndShifted(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ref := normal(2000, 0, 1, rng)
+	same := normal(2000, 0, 1, rng)
+	shifted := normal(2000, 1, 1, rng)
+	if psi := PSI(ref, same, 10); psi > 0.05 {
+		t.Fatalf("stable PSI = %v", psi)
+	}
+	if psi := PSI(ref, shifted, 10); psi < 0.25 {
+		t.Fatalf("shifted PSI = %v", psi)
+	}
+	if PSI(nil, ref, 10) != 0 || PSI(ref, nil, 10) != 0 {
+		t.Fatal("degenerate PSI should be 0")
+	}
+}
+
+func TestMonitorLifecycle(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ref := normal(300, 0.02, 0.005, rng) // training reconstruction errors
+	m, err := NewMonitor(ref, 100, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inconclusive until MinSamples arrive.
+	if rep := m.Check(); rep.Drifted {
+		t.Fatal("empty window must be inconclusive")
+	}
+	// Healthy production scores: stable.
+	m.Observe(normal(100, 0.02, 0.005, rng)...)
+	rep := m.Check()
+	if rep.Drifted {
+		t.Fatalf("stable scores flagged: %s", rep)
+	}
+	// Distribution shifts (e.g. a new application mix): drift flagged.
+	m.Observe(normal(100, 0.05, 0.01, rng)...)
+	rep = m.Check()
+	if !rep.Drifted {
+		t.Fatalf("shifted scores not flagged: %s", rep)
+	}
+	if rep.String() == "" {
+		t.Fatal("report string")
+	}
+}
+
+func TestMonitorWindowBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m, err := NewMonitor(normal(100, 0, 1, rng), 50, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Observe(normal(500, 0, 1, rng)...)
+	if m.WindowSize() != 50 {
+		t.Fatalf("window = %d, want 50", m.WindowSize())
+	}
+}
+
+func TestMonitorValidation(t *testing.T) {
+	if _, err := NewMonitor([]float64{1}, 100, DefaultConfig()); err == nil {
+		t.Fatal("tiny reference should error")
+	}
+	if _, err := NewMonitor([]float64{1, 2, 3}, 5, DefaultConfig()); err == nil {
+		t.Fatal("window below MinSamples should error")
+	}
+}
+
+// Property: KS statistic is within [0,1], symmetric, and zero for a sample
+// against itself.
+func TestQuickKSInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := normal(20+rng.Intn(100), rng.NormFloat64(), 0.5+rng.Float64(), rng)
+		b := normal(20+rng.Intn(100), rng.NormFloat64(), 0.5+rng.Float64(), rng)
+		sab, _ := KolmogorovSmirnov(a, b)
+		sba, _ := KolmogorovSmirnov(b, a)
+		if sab < 0 || sab > 1 || math.Abs(sab-sba) > 1e-12 {
+			return false
+		}
+		saa, _ := KolmogorovSmirnov(a, a)
+		return saa < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: PSI is non-negative and near zero for identical samples.
+func TestQuickPSIInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := normal(50+rng.Intn(200), rng.NormFloat64(), 0.5+rng.Float64(), rng)
+		if PSI(a, a, 10) > 1e-6 {
+			return false
+		}
+		b := normal(50+rng.Intn(200), rng.NormFloat64(), 0.5+rng.Float64(), rng)
+		return PSI(a, b, 10) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

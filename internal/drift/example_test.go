@@ -1,0 +1,25 @@
+package drift_test
+
+import (
+	"fmt"
+
+	"prodigy/internal/drift"
+)
+
+func ExampleMonitor() {
+	// Training-time healthy reconstruction errors.
+	reference := []float64{0.010, 0.012, 0.011, 0.013, 0.012, 0.011, 0.010, 0.012}
+	cfg := drift.Config{MaxPValue: 0.01, MaxPSI: 0.25, MinSamples: 4}
+	m, _ := drift.NewMonitor(reference, 100, cfg)
+
+	// Production scores from the same distribution: stable.
+	m.Observe(0.011, 0.012, 0.010, 0.013)
+	fmt.Println("stable window drifted:", m.Check().Drifted)
+
+	// The healthy distribution shifts (new workload mix): flagged.
+	m.Observe(0.05, 0.06, 0.055, 0.052, 0.058, 0.061, 0.054, 0.057)
+	fmt.Println("shifted window drifted:", m.Check().Drifted)
+	// Output:
+	// stable window drifted: false
+	// shifted window drifted: true
+}

@@ -1,0 +1,224 @@
+// Package dsos simulates the Distributed Scalable Object Storage database
+// of the paper's monitoring cluster (§4.1): a store built for continuous
+// large-scale ingestion of telemetry rows and for the query pattern the
+// analytics pipeline needs — "give me all sampler data for this job ID,
+// per compute node, ordered by time".
+//
+// The store is an in-memory concurrent columnar index keyed by
+// (job_id, component_id, sampler): ingestion appends under a shard lock,
+// and queries assemble time-ordered tables, tolerating out-of-order
+// arrival from the aggregator's fan-in.
+package dsos
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"prodigy/internal/ldms"
+	"prodigy/internal/timeseries"
+)
+
+// seriesKey identifies one stored series group.
+type seriesKey struct {
+	job       int64
+	component int
+	sampler   ldms.SamplerName
+}
+
+// column-oriented buffer for one (job, component, sampler).
+type buffer struct {
+	timestamps []int64
+	columns    map[string][]float64
+	sorted     bool
+}
+
+// Store is a concurrent telemetry store.
+type Store struct {
+	mu   sync.RWMutex
+	data map[seriesKey]*buffer
+	jobs map[int64]map[int]bool // job -> set of components
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{
+		data: make(map[seriesKey]*buffer),
+		jobs: make(map[int64]map[int]bool),
+	}
+}
+
+// Ingest implements ldms.Sink. Rows may arrive in any order; queries sort
+// on demand.
+func (s *Store) Ingest(r ldms.Row) {
+	key := seriesKey{job: r.JobID, component: r.Component, sampler: r.Sampler}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.data[key]
+	if !ok {
+		b = &buffer{columns: make(map[string][]float64), sorted: true}
+		s.data[key] = b
+	}
+	if n := len(b.timestamps); n > 0 && r.Timestamp < b.timestamps[n-1] {
+		b.sorted = false
+	}
+	b.timestamps = append(b.timestamps, r.Timestamp)
+	for m, v := range r.Values {
+		col := b.columns[m]
+		// Backfill a column first seen mid-stream with missing markers so
+		// all columns stay aligned with the timestamp axis.
+		for len(col) < len(b.timestamps)-1 {
+			col = append(col, timeseries.Missing)
+		}
+		b.columns[m] = append(col, v)
+	}
+	// Pad columns absent from this row.
+	for m, col := range b.columns {
+		if len(col) < len(b.timestamps) {
+			b.columns[m] = append(col, timeseries.Missing)
+		}
+	}
+	comps, ok := s.jobs[r.JobID]
+	if !ok {
+		comps = make(map[int]bool)
+		s.jobs[r.JobID] = comps
+	}
+	comps[r.Component] = true
+}
+
+// Jobs returns all stored job IDs, sorted.
+func (s *Store) Jobs() []int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]int64, 0, len(s.jobs))
+	for id := range s.jobs {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Components returns the compute nodes that reported data for a job,
+// sorted.
+func (s *Store) Components(job int64) []int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	comps := s.jobs[job]
+	out := make([]int, 0, len(comps))
+	for c := range comps {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// NumRows returns the total number of ingested rows (for monitoring).
+func (s *Store) NumRows() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	total := 0
+	for _, b := range s.data {
+		total += len(b.timestamps)
+	}
+	return total
+}
+
+// QuerySampler returns the time-ordered table of one sampler's metrics for
+// one (job, component), with metric names qualified as "metric::sampler".
+// Missing seconds appear as gaps in the timestamp axis (dropped readings).
+func (s *Store) QuerySampler(job int64, component int, sampler ldms.SamplerName) (*timeseries.Table, error) {
+	key := seriesKey{job: job, component: component, sampler: sampler}
+	s.mu.Lock()
+	b, ok := s.data[key]
+	if ok && !b.sorted {
+		b.sortLocked()
+	}
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("dsos: no %s data for job %d component %d", sampler, job, component)
+	}
+
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ts := make([]int64, len(b.timestamps))
+	copy(ts, b.timestamps)
+	out := timeseries.NewTable(ts)
+	metrics := make([]string, 0, len(b.columns))
+	for m := range b.columns {
+		metrics = append(metrics, m)
+	}
+	sort.Strings(metrics)
+	for _, m := range metrics {
+		src := b.columns[m]
+		col := make([]float64, len(ts))
+		copy(col, src)
+		for i := len(src); i < len(ts); i++ {
+			col[i] = timeseries.Missing
+		}
+		out.AddColumn(fmt.Sprintf("%s::%s", m, sampler), col)
+	}
+	return out, nil
+}
+
+// sortLocked re-orders a buffer by timestamp; caller holds mu.
+func (b *buffer) sortLocked() {
+	idx := make([]int, len(b.timestamps))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(i, j int) bool { return b.timestamps[idx[i]] < b.timestamps[idx[j]] })
+	newTS := make([]int64, len(idx))
+	for i, p := range idx {
+		newTS[i] = b.timestamps[p]
+	}
+	b.timestamps = newTS
+	for m, col := range b.columns {
+		newCol := make([]float64, len(idx))
+		for i, p := range idx {
+			if p < len(col) {
+				newCol[i] = col[p]
+			} else {
+				newCol[i] = timeseries.Missing
+			}
+		}
+		b.columns[m] = newCol
+	}
+	b.sorted = true
+}
+
+// QueryJob returns, for each component of the job, the aligned table of all
+// three samplers' metrics (the DataGenerator input, §4.2.1). Components
+// with no data for some sampler get only the samplers they have.
+func (s *Store) QueryJob(job int64) (map[int]*timeseries.Table, error) {
+	comps := s.Components(job)
+	if len(comps) == 0 {
+		return nil, fmt.Errorf("dsos: unknown job %d", job)
+	}
+	out := make(map[int]*timeseries.Table, len(comps))
+	for _, c := range comps {
+		var tables []*timeseries.Table
+		for _, sampler := range ldms.AllSamplers {
+			t, err := s.QuerySampler(job, c, sampler)
+			if err == nil {
+				tables = append(tables, t)
+			}
+		}
+		if len(tables) == 0 {
+			continue
+		}
+		out[c] = timeseries.Align(tables...)
+	}
+	return out, nil
+}
+
+// DeleteJob removes all data of a job, reclaiming memory after analysis.
+func (s *Store) DeleteJob(job int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for key := range s.data {
+		if key.job == job {
+			delete(s.data, key)
+		}
+	}
+	delete(s.jobs, job)
+}

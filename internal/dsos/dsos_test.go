@@ -1,0 +1,192 @@
+package dsos
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"prodigy/internal/cluster"
+	"prodigy/internal/ldms"
+	"prodigy/internal/timeseries"
+)
+
+func row(job int64, comp int, ts int64, sampler ldms.SamplerName, vals map[string]float64) ldms.Row {
+	return ldms.Row{JobID: job, Component: comp, Timestamp: ts, Sampler: sampler, Values: vals}
+}
+
+func TestIngestAndQuerySampler(t *testing.T) {
+	s := NewStore()
+	s.Ingest(row(1, 5, 0, ldms.Meminfo, map[string]float64{"MemFree": 100}))
+	s.Ingest(row(1, 5, 1, ldms.Meminfo, map[string]float64{"MemFree": 90}))
+	s.Ingest(row(1, 5, 2, ldms.Meminfo, map[string]float64{"MemFree": 80}))
+	tb, err := s.QuerySampler(1, 5, ldms.Meminfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Len() != 3 {
+		t.Fatalf("len = %d", tb.Len())
+	}
+	col := tb.Column("MemFree::meminfo")
+	if col == nil || col[0] != 100 || col[2] != 80 {
+		t.Fatalf("column = %v", col)
+	}
+}
+
+func TestOutOfOrderIngestion(t *testing.T) {
+	s := NewStore()
+	s.Ingest(row(1, 1, 5, ldms.Vmstat, map[string]float64{"pgfault": 50}))
+	s.Ingest(row(1, 1, 2, ldms.Vmstat, map[string]float64{"pgfault": 20}))
+	s.Ingest(row(1, 1, 9, ldms.Vmstat, map[string]float64{"pgfault": 90}))
+	tb, err := s.QuerySampler(1, 1, ldms.Vmstat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{2, 5, 9}
+	for i, ts := range want {
+		if tb.Timestamps[i] != ts {
+			t.Fatalf("timestamps = %v", tb.Timestamps)
+		}
+	}
+	col := tb.Column("pgfault::vmstat")
+	if col[0] != 20 || col[1] != 50 || col[2] != 90 {
+		t.Fatalf("values not reordered: %v", col)
+	}
+}
+
+func TestLateColumnsBackfilled(t *testing.T) {
+	s := NewStore()
+	s.Ingest(row(1, 1, 0, ldms.Meminfo, map[string]float64{"MemFree": 1}))
+	// Second row introduces a metric unseen in the first.
+	s.Ingest(row(1, 1, 1, ldms.Meminfo, map[string]float64{"MemFree": 2, "Cached": 7}))
+	tb, err := s.QuerySampler(1, 1, ldms.Meminfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached := tb.Column("Cached::meminfo")
+	if !timeseries.IsMissing(cached[0]) || cached[1] != 7 {
+		t.Fatalf("backfill wrong: %v", cached)
+	}
+}
+
+func TestJobsAndComponents(t *testing.T) {
+	s := NewStore()
+	s.Ingest(row(3, 7, 0, ldms.Meminfo, map[string]float64{"MemFree": 1}))
+	s.Ingest(row(3, 9, 0, ldms.Meminfo, map[string]float64{"MemFree": 1}))
+	s.Ingest(row(1, 2, 0, ldms.Meminfo, map[string]float64{"MemFree": 1}))
+	jobs := s.Jobs()
+	if len(jobs) != 2 || jobs[0] != 1 || jobs[1] != 3 {
+		t.Fatalf("jobs = %v", jobs)
+	}
+	comps := s.Components(3)
+	if len(comps) != 2 || comps[0] != 7 || comps[1] != 9 {
+		t.Fatalf("components = %v", comps)
+	}
+	if len(s.Components(99)) != 0 {
+		t.Fatal("unknown job should have no components")
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	s := NewStore()
+	if _, err := s.QuerySampler(1, 1, ldms.Meminfo); err == nil {
+		t.Fatal("expected error for missing data")
+	}
+	if _, err := s.QueryJob(1); err == nil {
+		t.Fatal("expected error for unknown job")
+	}
+}
+
+func TestQueryJobAlignsSamplers(t *testing.T) {
+	s := NewStore()
+	// meminfo has seconds 0..2; vmstat misses second 1.
+	for ts := int64(0); ts < 3; ts++ {
+		s.Ingest(row(1, 4, ts, ldms.Meminfo, map[string]float64{"MemFree": float64(ts)}))
+	}
+	s.Ingest(row(1, 4, 0, ldms.Vmstat, map[string]float64{"pgfault": 10}))
+	s.Ingest(row(1, 4, 2, ldms.Vmstat, map[string]float64{"pgfault": 30}))
+	tables, err := s.QueryJob(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[4]
+	if tb == nil {
+		t.Fatal("component 4 missing")
+	}
+	// Aligned to common timestamps {0, 2}.
+	if tb.Len() != 2 || tb.Timestamps[0] != 0 || tb.Timestamps[1] != 2 {
+		t.Fatalf("aligned timestamps = %v", tb.Timestamps)
+	}
+	if tb.Column("MemFree::meminfo") == nil || tb.Column("pgfault::vmstat") == nil {
+		t.Fatal("columns from both samplers expected")
+	}
+}
+
+func TestDeleteJob(t *testing.T) {
+	s := NewStore()
+	s.Ingest(row(1, 1, 0, ldms.Meminfo, map[string]float64{"MemFree": 1}))
+	s.Ingest(row(2, 1, 0, ldms.Meminfo, map[string]float64{"MemFree": 1}))
+	s.DeleteJob(1)
+	if len(s.Jobs()) != 1 || s.Jobs()[0] != 2 {
+		t.Fatalf("jobs after delete = %v", s.Jobs())
+	}
+	if s.NumRows() != 1 {
+		t.Fatalf("rows after delete = %d", s.NumRows())
+	}
+}
+
+func TestConcurrentIngest(t *testing.T) {
+	s := NewStore()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 200; i++ {
+				s.Ingest(row(int64(g%3), g, int64(i), ldms.Meminfo,
+					map[string]float64{"MemFree": rng.Float64()}))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.NumRows() != 1600 {
+		t.Fatalf("rows = %d", s.NumRows())
+	}
+}
+
+// TestEndToEndCollection is the integration test across cluster → ldms →
+// dsos: simulate a job, collect its telemetry, query it back, and verify
+// the data has the structure the analytics pipeline expects.
+func TestEndToEndCollection(t *testing.T) {
+	sys := cluster.NewSystem("test", 4, cluster.VoltaNode(), 4)
+	job, err := sys.Submit("nas-ft", 4, 60, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := NewStore()
+	sys.CollectJob(job, ldms.CollectConfig{DropProb: 0.02, Seed: 5}, store)
+
+	tables, err := store.QueryJob(job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 4 {
+		t.Fatalf("%d components", len(tables))
+	}
+	for comp, tb := range tables {
+		if tb.Len() < 40 {
+			t.Fatalf("component %d has only %d aligned seconds", comp, tb.Len())
+		}
+		if tb.NumMetrics() < 100 {
+			t.Fatalf("component %d has %d metrics", comp, tb.NumMetrics())
+		}
+		// Accumulated counters must be monotone in the query result too.
+		pgfault := tb.Column("pgfault::vmstat")
+		for i := 1; i < len(pgfault); i++ {
+			if !timeseries.IsMissing(pgfault[i]) && !timeseries.IsMissing(pgfault[i-1]) &&
+				pgfault[i] < pgfault[i-1] {
+				t.Fatal("pgfault counter must be monotone")
+			}
+		}
+	}
+}

@@ -1,0 +1,24 @@
+package eval_test
+
+import (
+	"fmt"
+
+	"prodigy/internal/eval"
+)
+
+func ExampleConfusion_MacroF1() {
+	preds := []int{1, 1, 0, 0, 1, 0}
+	truth := []int{1, 0, 0, 0, 1, 1}
+	conf := eval.Evaluate(preds, truth)
+	fmt.Printf("accuracy %.2f macro F1 %.2f\n", conf.Accuracy(), conf.MacroF1())
+	// Output: accuracy 0.67 macro F1 0.67
+}
+
+func ExampleBestThreshold() {
+	// Reconstruction errors: healthy cluster low, anomalies high.
+	scores := []float64{0.01, 0.02, 0.03, 0.8, 0.9}
+	truth := []int{0, 0, 0, 1, 1}
+	th, f1 := eval.BestThreshold(scores, truth, 0, 1, 0.001)
+	fmt.Printf("f1 %.2f at threshold in (0.03, 0.8): %v\n", f1, th > 0.03 && th < 0.8)
+	// Output: f1 1.00 at threshold in (0.03, 0.8): true
+}

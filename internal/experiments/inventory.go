@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"prodigy/internal/apps"
+	"prodigy/internal/hpas"
+)
+
+// PrintTable1 writes the application inventory of Table 1, sourced from
+// the live registry so it cannot drift from the implementation.
+func PrintTable1(w io.Writer) error {
+	fmt.Fprintln(w, "Table 1 — applications run on Eclipse and Volta")
+	fmt.Fprintln(w, "  Eclipse:")
+	for _, name := range apps.EclipseApps() {
+		sig, err := apps.Get(name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "    %-12s %s\n", name, sig.Description)
+	}
+	fmt.Fprintln(w, "  Volta:")
+	for _, name := range apps.VoltaApps() {
+		sig, err := apps.Get(name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "    %-12s %s\n", name, sig.Description)
+	}
+	return nil
+}
+
+// PrintTable2 writes the anomaly inventory of Table 2 from the live HPAS
+// registry.
+func PrintTable2(w io.Writer) {
+	fmt.Fprintln(w, "Table 2 — performance anomalies and configurations")
+	for _, inj := range hpas.AllTable2() {
+		fmt.Fprintf(w, "    %-10s %s\n", inj.Name(), inj.Config())
+	}
+}

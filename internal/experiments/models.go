@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"prodigy/internal/baselines/usad"
+	"prodigy/internal/comte"
+	"prodigy/internal/core"
+	"prodigy/internal/features"
+	"prodigy/internal/pipeline"
+	"prodigy/internal/vae"
+)
+
+// Budget scales model capacity and training length: Quick keeps experiment
+// runtimes laptop-friendly; Paper uses the Table 3 optima.
+type Budget int
+
+const (
+	// Quick is the default for benchmarks and CI.
+	Quick Budget = iota
+	// Paper uses the full Table 3 hyperparameters.
+	Paper
+)
+
+// ProdigyConfig returns the core configuration for a budget. The catalog
+// and trim must match the campaign that produced the datasets.
+func ProdigyConfig(b Budget, campaign CampaignConfig, seed int64) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Catalog = campaignCatalog(campaign)
+	cfg.TrimSeconds = campaign.TrimSeconds
+	cfg.Explain = comte.Config{MaxMetrics: 5, NumDistractors: 3, Restarts: 3, Seed: seed}
+	switch b {
+	case Paper:
+		cfg.VAE = vae.DefaultConfig(0) // lr 1e-4, batch 256, 2400 epochs
+		cfg.VAE.Seed = seed
+		cfg.Trainer = pipeline.TrainerConfig{TopK: 2000, ThresholdPercentile: 99, ScalerKind: "minmax"}
+	default:
+		cfg.VAE = vae.Config{
+			HiddenDims: []int{32}, LatentDim: 6, Activation: "tanh",
+			LearningRate: 3e-3, BatchSize: 32, Epochs: 300, Beta: 1e-3,
+			ClipNorm: 5, Seed: seed,
+		}
+		cfg.Trainer = pipeline.TrainerConfig{TopK: 100, ThresholdPercentile: 99, ScalerKind: "minmax"}
+	}
+	return cfg
+}
+
+// USADConfig returns the USAD configuration for a budget (input dim filled
+// by the trainer).
+func USADConfig(b Budget, seed int64) func(in int) usad.Config {
+	return func(in int) usad.Config {
+		cfg := usad.DefaultConfig(in)
+		cfg.Seed = seed
+		if b == Quick {
+			cfg.HiddenSize = 32
+			cfg.LatentDim = 6
+			cfg.Epochs = 60
+			cfg.WarmupEpochs = 40
+			cfg.BatchSize = 32
+		}
+		return cfg
+	}
+}
+
+// campaignCatalog returns the effective catalog of a campaign config.
+func campaignCatalog(c CampaignConfig) *features.Catalog {
+	if c.Catalog != nil {
+		return c.Catalog
+	}
+	return features.Default()
+}
+
+// TopKFor clamps a trainer's TopK to the dataset's feature count.
+func TopKFor(cfg *core.Config, numFeatures int) {
+	if cfg.Trainer.TopK > numFeatures {
+		cfg.Trainer.TopK = numFeatures
+	}
+}

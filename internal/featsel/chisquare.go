@@ -1,0 +1,182 @@
+// Package featsel implements Prodigy's feature selection stage (paper §3.2,
+// §5.4.3): Chi-square scoring of extracted features against the binary
+// healthy/anomalous label, and top-K selection. It follows scikit-learn's
+// chi2 scorer: for non-negative feature values, the statistic is the
+// Chi-square test of observed per-class feature sums against the sums
+// expected from the class priors. Because our features can be negative, a
+// min-shift is applied per feature first.
+//
+// As in the paper, this is the only stage that consumes anomalous labels,
+// and it needs very few of them ("minimal supervision", §5.4.3).
+package featsel
+
+import (
+	"fmt"
+	"sort"
+
+	"prodigy/internal/mat"
+)
+
+// Score holds one feature's Chi-square statistic.
+type Score struct {
+	Index int     // column index in the feature matrix
+	Name  string  // feature name, if provided
+	Chi2  float64 // higher = more discriminative
+}
+
+// ChiSquare computes the Chi-square statistic of every column of x (samples
+// × features) against the binary labels y (0 = healthy, 1 = anomalous).
+// names may be nil; when given it must have len == x.Cols.
+func ChiSquare(x *mat.Matrix, y []int, names []string) ([]Score, error) {
+	if len(y) != x.Rows {
+		return nil, fmt.Errorf("featsel: %d labels for %d samples", len(y), x.Rows)
+	}
+	if names != nil && len(names) != x.Cols {
+		return nil, fmt.Errorf("featsel: %d names for %d features", len(names), x.Cols)
+	}
+	// Class priors.
+	n := make([]float64, 2)
+	for _, label := range y {
+		if label != 0 && label != 1 {
+			return nil, fmt.Errorf("featsel: label %d is not binary", label)
+		}
+		n[label]++
+	}
+	total := n[0] + n[1]
+	if n[0] == 0 || n[1] == 0 {
+		return nil, fmt.Errorf("featsel: chi-square needs both classes present (healthy=%d anomalous=%d)", int(n[0]), int(n[1]))
+	}
+
+	scores := make([]Score, x.Cols)
+	for j := 0; j < x.Cols; j++ {
+		col := x.Col(j)
+		// Shift to non-negative, as chi2 requires count-like values.
+		lo := mat.Min(col)
+		if lo < 0 {
+			for i := range col {
+				col[i] -= lo
+			}
+		}
+		var obs [2]float64
+		for i, v := range col {
+			obs[y[i]] += v
+		}
+		featureTotal := obs[0] + obs[1]
+		chi2 := 0.0
+		if featureTotal > 0 {
+			for c := 0; c < 2; c++ {
+				exp := featureTotal * n[c] / total
+				if exp > 0 {
+					d := obs[c] - exp
+					chi2 += d * d / exp
+				}
+			}
+		}
+		name := ""
+		if names != nil {
+			name = names[j]
+		}
+		scores[j] = Score{Index: j, Name: name, Chi2: chi2}
+	}
+	return scores, nil
+}
+
+// SelectTopK returns the column indices of the k highest-scoring features,
+// sorted by descending Chi-square (ties broken by ascending index for
+// determinism). k is clamped to the number of features.
+func SelectTopK(scores []Score, k int) []int {
+	if k > len(scores) {
+		k = len(scores)
+	}
+	if k < 0 {
+		k = 0
+	}
+	order := make([]Score, len(scores))
+	copy(order, scores)
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].Chi2 != order[j].Chi2 {
+			return order[i].Chi2 > order[j].Chi2
+		}
+		return order[i].Index < order[j].Index
+	})
+	idx := make([]int, k)
+	for i := 0; i < k; i++ {
+		idx[i] = order[i].Index
+	}
+	return idx
+}
+
+// SelectTopKByVariance is an unsupervised alternative ranking used by the
+// ablation benchmarks: it scores features by population variance instead of
+// label dependence.
+func SelectTopKByVariance(x *mat.Matrix, k int) []int {
+	scores := make([]Score, x.Cols)
+	for j := 0; j < x.Cols; j++ {
+		scores[j] = Score{Index: j, Chi2: mat.Variance(x.Col(j))}
+	}
+	return SelectTopK(scores, k)
+}
+
+// SelectTopKByKurtosis ranks features by excess kurtosis — a scale-
+// invariant, label-free score that favours tail-heavy features, i.e. those
+// where a few samples (the anomalies) sit far from the bulk. This is the
+// selection used by the fully unsupervised pipeline (paper §7 future
+// work), where no labels exist for Chi-square.
+func SelectTopKByKurtosis(x *mat.Matrix, k int) []int {
+	scores := make([]Score, x.Cols)
+	for j := 0; j < x.Cols; j++ {
+		scores[j] = Score{Index: j, Chi2: kurtosis(x.Col(j))}
+	}
+	return SelectTopK(scores, k)
+}
+
+// kurtosis returns the excess kurtosis of v (0 for fewer than 4 samples or
+// zero variance).
+func kurtosis(v []float64) float64 {
+	n := float64(len(v))
+	if n < 4 {
+		return 0
+	}
+	m := mat.Mean(v)
+	var s2, s4 float64
+	for _, x := range v {
+		d := x - m
+		d2 := d * d
+		s2 += d2
+		s4 += d2 * d2
+	}
+	v2 := s2 / n
+	if v2 == 0 {
+		return 0
+	}
+	return (s4/n)/(v2*v2) - 3
+}
+
+// Selection bundles the outcome of feature selection for persistence: the
+// chosen column indices into the full extracted-feature vector and their
+// names.
+type Selection struct {
+	Indices []int    `json:"indices"`
+	Names   []string `json:"names"`
+}
+
+// Select runs Chi-square scoring and top-K selection in one step, returning
+// a Selection carrying names when provided.
+func Select(x *mat.Matrix, y []int, names []string, k int) (*Selection, error) {
+	scores, err := ChiSquare(x, y, names)
+	if err != nil {
+		return nil, err
+	}
+	idx := SelectTopK(scores, k)
+	sel := &Selection{Indices: idx}
+	if names != nil {
+		sel.Names = make([]string, len(idx))
+		for i, j := range idx {
+			sel.Names[i] = names[j]
+		}
+	}
+	return sel, nil
+}
+
+// Apply returns the sub-matrix of x restricted to the selected columns.
+func (s *Selection) Apply(x *mat.Matrix) *mat.Matrix { return x.SelectCols(s.Indices) }

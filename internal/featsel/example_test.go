@@ -1,0 +1,19 @@
+package featsel_test
+
+import (
+	"fmt"
+
+	"prodigy/internal/featsel"
+	"prodigy/internal/mat"
+)
+
+func ExampleSelect() {
+	// Column 0 separates the classes; column 1 is constant noise.
+	x := mat.FromRows([][]float64{
+		{0.1, 5}, {0.2, 5}, {9.0, 5}, {9.1, 5},
+	})
+	labels := []int{0, 0, 1, 1}
+	sel, _ := featsel.Select(x, labels, []string{"signal", "noise"}, 1)
+	fmt.Println(sel.Names)
+	// Output: [signal]
+}

@@ -1,0 +1,23 @@
+package features
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchmarkExtract(b *testing.B, cat *Catalog, n int) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64() * 100
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cat.ExtractSeries(x)
+	}
+}
+
+func BenchmarkExtractMinimal300(b *testing.B)   { benchmarkExtract(b, Minimal(), 300) }
+func BenchmarkExtractEfficient300(b *testing.B) { benchmarkExtract(b, Default(), 300) }
+func BenchmarkExtractFull300(b *testing.B)      { benchmarkExtract(b, Full(), 300) }
+func BenchmarkExtractEfficient1k(b *testing.B)  { benchmarkExtract(b, Default(), 1000) }

@@ -1,0 +1,418 @@
+package features
+
+import (
+	"math"
+	"sort"
+
+	"prodigy/internal/mat"
+)
+
+// This file registers the "more extensive and advanced" extractors the paper
+// calls out (§3.1, §4.2.1): approximate entropy, C3 nonlinearity values
+// (Schreiber & Schmitz 1997), Benford correlation (Hill 1995), binned and
+// permutation entropy, autocorrelation, time-reversal asymmetry, CID
+// complexity, and Lempel-Ziv complexity.
+
+func init() {
+	register("autocorrelation", TierEfficient, func(x []float64) []Feature {
+		lags := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+		out := make([]Feature, len(lags))
+		for i, lag := range lags {
+			out[i] = Feature{Name: fmtParam("autocorrelation", "lag", lag), Value: autocorrelation(x, lag)}
+		}
+		return out
+	})
+	register("agg_autocorrelation_mean", TierEfficient, func(x []float64) []Feature {
+		const maxLag = 10
+		s, n := 0.0, 0
+		for lag := 1; lag <= maxLag; lag++ {
+			if lag < len(x) {
+				s += autocorrelation(x, lag)
+				n++
+			}
+		}
+		if n == 0 {
+			return one("agg_autocorrelation_mean", 0)
+		}
+		return one("agg_autocorrelation_mean", s/float64(n))
+	})
+	register("c3", TierEfficient, func(x []float64) []Feature {
+		lags := []int{1, 2, 3}
+		out := make([]Feature, len(lags))
+		for i, lag := range lags {
+			out[i] = Feature{Name: fmtParam("c3", "lag", lag), Value: c3(x, lag)}
+		}
+		return out
+	})
+	register("time_reversal_asymmetry_statistic", TierEfficient, func(x []float64) []Feature {
+		lags := []int{1, 2, 3}
+		out := make([]Feature, len(lags))
+		for i, lag := range lags {
+			out[i] = Feature{
+				Name:  fmtParam("time_reversal_asymmetry_statistic", "lag", lag),
+				Value: timeReversalAsymmetry(x, lag),
+			}
+		}
+		return out
+	})
+	register("cid_ce", TierEfficient, func(x []float64) []Feature {
+		// Complexity-invariant distance estimate, normalized variant.
+		if len(x) < 2 {
+			return one("cid_ce", 0)
+		}
+		sd := mat.Std(x)
+		s := 0.0
+		for i := 1; i < len(x); i++ {
+			d := x[i] - x[i-1]
+			if sd > 0 {
+				d /= sd
+			}
+			s += d * d
+		}
+		return one("cid_ce", math.Sqrt(s))
+	})
+	register("binned_entropy", TierEfficient, func(x []float64) []Feature {
+		return one(fmtParam("binned_entropy", "bins", 10), binnedEntropy(x, 10))
+	})
+	register("permutation_entropy", TierEfficient, func(x []float64) []Feature {
+		return one(fmtParam("permutation_entropy", "order", 3), permutationEntropy(x, 3))
+	})
+	register("benford_correlation", TierEfficient, func(x []float64) []Feature {
+		return one("benford_correlation", benfordCorrelation(x))
+	})
+	register("lempel_ziv_complexity", TierEfficient, func(x []float64) []Feature {
+		return one(fmtParam("lempel_ziv_complexity", "bins", 4), lempelZiv(x, 4))
+	})
+	register("number_peaks", TierEfficient, func(x []float64) []Feature {
+		supports := []int{1, 3, 5}
+		out := make([]Feature, len(supports))
+		for i, n := range supports {
+			out[i] = Feature{Name: fmtParam("number_peaks", "n", n), Value: numberPeaks(x, n)}
+		}
+		return out
+	})
+	register("approximate_entropy", TierFull, func(x []float64) []Feature {
+		return one(fmtParam("approximate_entropy", "m", 2), approximateEntropy(x, 2, 0.2))
+	})
+	register("sample_entropy", TierFull, func(x []float64) []Feature {
+		return one("sample_entropy", sampleEntropy(x, 2, 0.2))
+	})
+}
+
+// autocorrelation returns the lag-k autocorrelation of x, or 0 when
+// undefined (k ≥ len(x) or zero variance).
+func autocorrelation(x []float64, lag int) float64 {
+	n := len(x)
+	if lag >= n || lag < 1 {
+		return 0
+	}
+	m := mat.Mean(x)
+	v := mat.Variance(x)
+	if v == 0 {
+		return 0
+	}
+	s := 0.0
+	for i := 0; i < n-lag; i++ {
+		s += (x[i] - m) * (x[i+lag] - m)
+	}
+	return s / (float64(n-lag) * v)
+}
+
+// c3 implements the C3 nonlinearity statistic of Schreiber & Schmitz:
+// E[x(t+2k)·x(t+k)·x(t)].
+func c3(x []float64, lag int) float64 {
+	n := len(x)
+	if 2*lag >= n {
+		return 0
+	}
+	s := 0.0
+	for i := 0; i < n-2*lag; i++ {
+		s += x[i+2*lag] * x[i+lag] * x[i]
+	}
+	return s / float64(n-2*lag)
+}
+
+// timeReversalAsymmetry implements E[x(t+2k)²·x(t+k) − x(t+k)·x(t)²].
+func timeReversalAsymmetry(x []float64, lag int) float64 {
+	n := len(x)
+	if 2*lag >= n {
+		return 0
+	}
+	s := 0.0
+	for i := 0; i < n-2*lag; i++ {
+		s += x[i+2*lag]*x[i+2*lag]*x[i+lag] - x[i+lag]*x[i]*x[i]
+	}
+	return s / float64(n-2*lag)
+}
+
+// binnedEntropy returns the Shannon entropy (nats) of the histogram of x
+// with the given number of equal-width bins.
+func binnedEntropy(x []float64, bins int) float64 {
+	if len(x) == 0 || bins < 1 {
+		return 0
+	}
+	lo, hi := mat.Min(x), mat.Max(x)
+	if hi == lo {
+		return 0
+	}
+	counts := make([]int, bins)
+	w := (hi - lo) / float64(bins)
+	for _, v := range x {
+		b := int((v - lo) / w)
+		if b >= bins {
+			b = bins - 1
+		}
+		counts[b]++
+	}
+	h := 0.0
+	n := float64(len(x))
+	for _, c := range counts {
+		if c > 0 {
+			p := float64(c) / n
+			h -= p * math.Log(p)
+		}
+	}
+	return h
+}
+
+// permutationEntropy returns the normalized permutation entropy of order d:
+// the entropy of the distribution of ordinal patterns of d consecutive
+// values, divided by log(d!).
+func permutationEntropy(x []float64, d int) float64 {
+	n := len(x)
+	if n < d || d < 2 {
+		return 0
+	}
+	counts := make(map[int]int)
+	total := 0
+	for i := 0; i+d <= n; i++ {
+		counts[ordinalPattern(x[i:i+d])]++
+		total++
+	}
+	// Sum in sorted order so the float accumulation is deterministic
+	// regardless of map iteration order.
+	cs := make([]int, 0, len(counts))
+	for _, c := range counts {
+		cs = append(cs, c)
+	}
+	sort.Ints(cs)
+	h := 0.0
+	for _, c := range cs {
+		p := float64(c) / float64(total)
+		h -= p * math.Log(p)
+	}
+	// Normalize by log(d!).
+	fact := 1.0
+	for k := 2; k <= d; k++ {
+		fact *= float64(k)
+	}
+	norm := math.Log(fact)
+	if norm == 0 {
+		return 0
+	}
+	return h / norm
+}
+
+// ordinalPattern encodes the rank order of w as a Lehmer-style code.
+func ordinalPattern(w []float64) int {
+	code := 0
+	for i := range w {
+		rank := 0
+		for j := range w {
+			if w[j] < w[i] || (w[j] == w[i] && j < i) {
+				rank++
+			}
+		}
+		code = code*len(w) + rank
+	}
+	return code
+}
+
+// benfordLog holds P(first digit = d) under Benford's law for d = 1..9.
+var benfordLog = func() [9]float64 {
+	var p [9]float64
+	for d := 1; d <= 9; d++ {
+		p[d-1] = math.Log10(1 + 1/float64(d))
+	}
+	return p
+}()
+
+// benfordCorrelation returns the Pearson correlation between the observed
+// first-digit distribution of |x| and Benford's law (Hill 1995), as used by
+// TSFRESH and cited by the paper as an advanced DataPipeline feature.
+func benfordCorrelation(x []float64) float64 {
+	var obs [9]float64
+	total := 0.0
+	for _, v := range x {
+		d := firstDigit(math.Abs(v))
+		if d >= 1 {
+			obs[d-1]++
+			total++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	for i := range obs {
+		obs[i] /= total
+	}
+	return pearson(obs[:], benfordLog[:])
+}
+
+// firstDigit returns the leading decimal digit of v > 0, or 0 when v is not
+// a positive finite number.
+func firstDigit(v float64) int {
+	if v <= 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+		return 0
+	}
+	for v >= 10 {
+		v /= 10
+	}
+	for v < 1 {
+		v *= 10
+	}
+	return int(v)
+}
+
+// pearson returns the Pearson correlation coefficient of a and b.
+func pearson(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		return 0
+	}
+	ma, mb := mat.Mean(a), mat.Mean(b)
+	var sab, saa, sbb float64
+	for i := range a {
+		da, db := a[i]-ma, b[i]-mb
+		sab += da * db
+		saa += da * da
+		sbb += db * db
+	}
+	if saa == 0 || sbb == 0 {
+		return 0
+	}
+	return sab / math.Sqrt(saa*sbb)
+}
+
+// lempelZiv returns the Lempel-Ziv complexity of x discretized into the
+// given number of bins, normalized by n/log2(n).
+func lempelZiv(x []float64, bins int) float64 {
+	n := len(x)
+	if n < 2 {
+		return 0
+	}
+	lo, hi := mat.Min(x), mat.Max(x)
+	sym := make([]byte, n)
+	if hi > lo {
+		w := (hi - lo) / float64(bins)
+		for i, v := range x {
+			b := int((v - lo) / w)
+			if b >= bins {
+				b = bins - 1
+			}
+			sym[i] = byte(b)
+		}
+	}
+	// Count distinct phrases in the LZ76 parsing.
+	seen := make(map[string]bool)
+	phrases := 0
+	start := 0
+	for i := 0; i < n; i++ {
+		sub := string(sym[start : i+1])
+		if !seen[sub] {
+			seen[sub] = true
+			phrases++
+			start = i + 1
+		}
+	}
+	if start < n {
+		phrases++
+	}
+	return float64(phrases) * math.Log2(float64(n)) / float64(n)
+}
+
+// numberPeaks counts values that are greater than their n neighbours on both
+// sides (TSFRESH's number_peaks).
+func numberPeaks(x []float64, n int) float64 {
+	count := 0
+	for i := n; i < len(x)-n; i++ {
+		peak := true
+		for d := 1; d <= n && peak; d++ {
+			if x[i] <= x[i-d] || x[i] <= x[i+d] {
+				peak = false
+			}
+		}
+		if peak {
+			count++
+		}
+	}
+	return float64(count)
+}
+
+// approximateEntropy implements Pincus's ApEn(m, r·σ) statistic. O(n²).
+func approximateEntropy(x []float64, m int, rFrac float64) float64 {
+	n := len(x)
+	if n <= m+1 {
+		return 0
+	}
+	r := rFrac * mat.Std(x)
+	if r == 0 {
+		return 0
+	}
+	return phi(x, m, r) - phi(x, m+1, r)
+}
+
+func phi(x []float64, m int, r float64) float64 {
+	n := len(x)
+	count := n - m + 1
+	if count <= 0 {
+		return 0
+	}
+	sum := 0.0
+	for i := 0; i < count; i++ {
+		matches := 0
+		for j := 0; j < count; j++ {
+			if chebyshevWithin(x[i:i+m], x[j:j+m], r) {
+				matches++
+			}
+		}
+		sum += math.Log(float64(matches) / float64(count))
+	}
+	return sum / float64(count)
+}
+
+// sampleEntropy implements Richman & Moorman's SampEn(m, r·σ). O(n²).
+func sampleEntropy(x []float64, m int, rFrac float64) float64 {
+	n := len(x)
+	if n <= m+1 {
+		return 0
+	}
+	r := rFrac * mat.Std(x)
+	if r == 0 {
+		return 0
+	}
+	var a, b float64 // a: matches of length m+1, b: matches of length m
+	for i := 0; i < n-m; i++ {
+		for j := i + 1; j < n-m; j++ {
+			if chebyshevWithin(x[i:i+m], x[j:j+m], r) {
+				b++
+				if math.Abs(x[i+m]-x[j+m]) <= r {
+					a++
+				}
+			}
+		}
+	}
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return -math.Log(a / b)
+}
+
+// chebyshevWithin reports whether max_i |a[i]-b[i]| <= r.
+func chebyshevWithin(a, b []float64, r float64) bool {
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > r {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,416 @@
+package features
+
+import (
+	"math"
+	"sort"
+
+	"prodigy/internal/mat"
+)
+
+// This file registers the descriptive-statistics extractors: the "min, max,
+// mean, etc." family the paper cites as the simple end of the TSFRESH
+// catalog. All are O(n) or O(n log n).
+
+func init() {
+	register("mean", TierMinimal, func(x []float64) []Feature {
+		return one("mean", mat.Mean(x))
+	})
+	register("median", TierMinimal, func(x []float64) []Feature {
+		if len(x) == 0 {
+			return one("median", 0)
+		}
+		return one("median", mat.Median(x))
+	})
+	register("minimum", TierMinimal, func(x []float64) []Feature {
+		if len(x) == 0 {
+			return one("minimum", 0)
+		}
+		return one("minimum", mat.Min(x))
+	})
+	register("maximum", TierMinimal, func(x []float64) []Feature {
+		if len(x) == 0 {
+			return one("maximum", 0)
+		}
+		return one("maximum", mat.Max(x))
+	})
+	register("standard_deviation", TierMinimal, func(x []float64) []Feature {
+		return one("standard_deviation", mat.Std(x))
+	})
+	register("variance", TierMinimal, func(x []float64) []Feature {
+		return one("variance", mat.Variance(x))
+	})
+	register("sum_values", TierMinimal, func(x []float64) []Feature {
+		s := 0.0
+		for _, v := range x {
+			s += v
+		}
+		return one("sum_values", s)
+	})
+	register("abs_energy", TierMinimal, func(x []float64) []Feature {
+		s := 0.0
+		for _, v := range x {
+			s += v * v
+		}
+		return one("abs_energy", s)
+	})
+	register("root_mean_square", TierMinimal, func(x []float64) []Feature {
+		if len(x) == 0 {
+			return one("root_mean_square", 0)
+		}
+		s := 0.0
+		for _, v := range x {
+			s += v * v
+		}
+		return one("root_mean_square", math.Sqrt(s/float64(len(x))))
+	})
+	register("absolute_maximum", TierMinimal, func(x []float64) []Feature {
+		m := 0.0
+		for _, v := range x {
+			if a := math.Abs(v); a > m {
+				m = a
+			}
+		}
+		return one("absolute_maximum", m)
+	})
+	register("mean_abs_change", TierMinimal, func(x []float64) []Feature {
+		if len(x) < 2 {
+			return one("mean_abs_change", 0)
+		}
+		s := 0.0
+		for i := 1; i < len(x); i++ {
+			s += math.Abs(x[i] - x[i-1])
+		}
+		return one("mean_abs_change", s/float64(len(x)-1))
+	})
+	register("mean_change", TierMinimal, func(x []float64) []Feature {
+		if len(x) < 2 {
+			return one("mean_change", 0)
+		}
+		// Telescoping sum: (x[n-1] - x[0]) / (n-1).
+		return one("mean_change", (x[len(x)-1]-x[0])/float64(len(x)-1))
+	})
+	register("absolute_sum_of_changes", TierMinimal, func(x []float64) []Feature {
+		s := 0.0
+		for i := 1; i < len(x); i++ {
+			s += math.Abs(x[i] - x[i-1])
+		}
+		return one("absolute_sum_of_changes", s)
+	})
+	register("mean_second_derivative_central", TierMinimal, func(x []float64) []Feature {
+		if len(x) < 3 {
+			return one("mean_second_derivative_central", 0)
+		}
+		s := 0.0
+		for i := 1; i < len(x)-1; i++ {
+			s += (x[i+1] - 2*x[i] + x[i-1]) / 2
+		}
+		return one("mean_second_derivative_central", s/float64(len(x)-2))
+	})
+	register("skewness", TierMinimal, func(x []float64) []Feature {
+		return one("skewness", skewness(x))
+	})
+	register("kurtosis", TierMinimal, func(x []float64) []Feature {
+		return one("kurtosis", kurtosis(x))
+	})
+	register("variation_coefficient", TierMinimal, func(x []float64) []Feature {
+		m := mat.Mean(x)
+		if m == 0 {
+			return one("variation_coefficient", 0)
+		}
+		return one("variation_coefficient", mat.Std(x)/m)
+	})
+	register("quantiles", TierMinimal, func(x []float64) []Feature {
+		qs := []float64{0.1, 0.2, 0.3, 0.4, 0.6, 0.7, 0.8, 0.9}
+		out := make([]Feature, len(qs))
+		for i, q := range qs {
+			v := 0.0
+			if len(x) > 0 {
+				v = mat.Percentile(x, q*100)
+			}
+			out[i] = Feature{Name: fmtParam("quantile", "q", q), Value: v}
+		}
+		return out
+	})
+	register("interquartile_range", TierMinimal, func(x []float64) []Feature {
+		if len(x) == 0 {
+			return one("interquartile_range", 0)
+		}
+		return one("interquartile_range", mat.Percentile(x, 75)-mat.Percentile(x, 25))
+	})
+	register("range", TierMinimal, func(x []float64) []Feature {
+		if len(x) == 0 {
+			return one("range", 0)
+		}
+		return one("range", mat.Max(x)-mat.Min(x))
+	})
+	register("count_above_mean", TierMinimal, func(x []float64) []Feature {
+		m := mat.Mean(x)
+		n := 0
+		for _, v := range x {
+			if v > m {
+				n++
+			}
+		}
+		return one("count_above_mean", float64(n))
+	})
+	register("count_below_mean", TierMinimal, func(x []float64) []Feature {
+		m := mat.Mean(x)
+		n := 0
+		for _, v := range x {
+			if v < m {
+				n++
+			}
+		}
+		return one("count_below_mean", float64(n))
+	})
+	register("first_location_of_maximum", TierMinimal, func(x []float64) []Feature {
+		if len(x) == 0 {
+			return one("first_location_of_maximum", 0)
+		}
+		return one("first_location_of_maximum", float64(mat.ArgMax(x))/float64(len(x)))
+	})
+	register("last_location_of_maximum", TierMinimal, func(x []float64) []Feature {
+		if len(x) == 0 {
+			return one("last_location_of_maximum", 0)
+		}
+		best := 0
+		for i, v := range x {
+			if v >= x[best] {
+				best = i
+			}
+		}
+		return one("last_location_of_maximum", float64(best+1)/float64(len(x)))
+	})
+	register("first_location_of_minimum", TierMinimal, func(x []float64) []Feature {
+		if len(x) == 0 {
+			return one("first_location_of_minimum", 0)
+		}
+		return one("first_location_of_minimum", float64(mat.ArgMin(x))/float64(len(x)))
+	})
+	register("last_location_of_minimum", TierMinimal, func(x []float64) []Feature {
+		if len(x) == 0 {
+			return one("last_location_of_minimum", 0)
+		}
+		best := 0
+		for i, v := range x {
+			if v <= x[best] {
+				best = i
+			}
+		}
+		return one("last_location_of_minimum", float64(best+1)/float64(len(x)))
+	})
+	register("longest_strike_above_mean", TierMinimal, func(x []float64) []Feature {
+		return one("longest_strike_above_mean", longestStrike(x, true))
+	})
+	register("longest_strike_below_mean", TierMinimal, func(x []float64) []Feature {
+		return one("longest_strike_below_mean", longestStrike(x, false))
+	})
+	register("number_crossing_mean", TierMinimal, func(x []float64) []Feature {
+		m := mat.Mean(x)
+		n := 0
+		for i := 1; i < len(x); i++ {
+			if (x[i-1] > m) != (x[i] > m) {
+				n++
+			}
+		}
+		return one("number_crossing_mean", float64(n))
+	})
+	register("ratio_beyond_r_sigma", TierMinimal, func(x []float64) []Feature {
+		rs := []float64{1, 2, 3}
+		out := make([]Feature, len(rs))
+		m, sd := mat.Mean(x), mat.Std(x)
+		for i, r := range rs {
+			cnt := 0
+			for _, v := range x {
+				if math.Abs(v-m) > r*sd {
+					cnt++
+				}
+			}
+			ratio := 0.0
+			if len(x) > 0 && sd > 0 {
+				ratio = float64(cnt) / float64(len(x))
+			}
+			out[i] = Feature{Name: fmtParam("ratio_beyond_r_sigma", "r", r), Value: ratio}
+		}
+		return out
+	})
+	register("large_standard_deviation", TierMinimal, func(x []float64) []Feature {
+		if len(x) == 0 {
+			return one("large_standard_deviation", 0)
+		}
+		r := mat.Max(x) - mat.Min(x)
+		v := 0.0
+		if r > 0 && mat.Std(x) > 0.25*r {
+			v = 1
+		}
+		return one("large_standard_deviation", v)
+	})
+	register("symmetry_looking", TierMinimal, func(x []float64) []Feature {
+		if len(x) == 0 {
+			return one("symmetry_looking", 0)
+		}
+		r := mat.Max(x) - mat.Min(x)
+		v := 0.0
+		if math.Abs(mat.Mean(x)-mat.Median(x)) < 0.1*r || r == 0 {
+			v = 1
+		}
+		return one("symmetry_looking", v)
+	})
+	register("has_duplicate_max", TierMinimal, func(x []float64) []Feature {
+		if len(x) == 0 {
+			return one("has_duplicate_max", 0)
+		}
+		m := mat.Max(x)
+		n := 0
+		for _, v := range x {
+			if v == m {
+				n++
+			}
+		}
+		v := 0.0
+		if n > 1 {
+			v = 1
+		}
+		return one("has_duplicate_max", v)
+	})
+	register("has_duplicate_min", TierMinimal, func(x []float64) []Feature {
+		if len(x) == 0 {
+			return one("has_duplicate_min", 0)
+		}
+		m := mat.Min(x)
+		n := 0
+		for _, v := range x {
+			if v == m {
+				n++
+			}
+		}
+		v := 0.0
+		if n > 1 {
+			v = 1
+		}
+		return one("has_duplicate_min", v)
+	})
+	register("percentage_of_reoccurring_datapoints", TierMinimal, func(x []float64) []Feature {
+		if len(x) == 0 {
+			return one("percentage_of_reoccurring_datapoints", 0)
+		}
+		counts := make(map[float64]int, len(x))
+		for _, v := range x {
+			counts[v]++
+		}
+		re := 0
+		for _, c := range counts {
+			if c > 1 {
+				re += c
+			}
+		}
+		return one("percentage_of_reoccurring_datapoints", float64(re)/float64(len(x)))
+	})
+	register("mean_n_absolute_max", TierMinimal, func(x []float64) []Feature {
+		const n = 7
+		if len(x) == 0 {
+			return one(fmtParam("mean_n_absolute_max", "n", n), 0)
+		}
+		abs := make([]float64, len(x))
+		for i, v := range x {
+			abs[i] = math.Abs(v)
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(abs)))
+		k := n
+		if k > len(abs) {
+			k = len(abs)
+		}
+		return one(fmtParam("mean_n_absolute_max", "n", n), mat.Mean(abs[:k]))
+	})
+	register("first_value", TierMinimal, func(x []float64) []Feature {
+		if len(x) == 0 {
+			return one("first_value", 0)
+		}
+		return one("first_value", x[0])
+	})
+	register("last_value", TierMinimal, func(x []float64) []Feature {
+		if len(x) == 0 {
+			return one("last_value", 0)
+		}
+		return one("last_value", x[len(x)-1])
+	})
+	register("count_above_zero", TierMinimal, func(x []float64) []Feature {
+		n := 0
+		for _, v := range x {
+			if v > 0 {
+				n++
+			}
+		}
+		return one("count_above_zero", float64(n))
+	})
+	register("variance_larger_than_standard_deviation", TierMinimal, func(x []float64) []Feature {
+		v := 0.0
+		if mat.Variance(x) > mat.Std(x) {
+			v = 1
+		}
+		return one("variance_larger_than_standard_deviation", v)
+	})
+}
+
+// skewness returns the Fisher-Pearson moment coefficient of skewness.
+func skewness(x []float64) float64 {
+	n := float64(len(x))
+	if n < 3 {
+		return 0
+	}
+	m := mat.Mean(x)
+	s2, s3 := 0.0, 0.0
+	for _, v := range x {
+		d := v - m
+		s2 += d * d
+		s3 += d * d * d
+	}
+	sd := math.Sqrt(s2 / n)
+	if sd == 0 {
+		return 0
+	}
+	return (s3 / n) / (sd * sd * sd)
+}
+
+// kurtosis returns the excess kurtosis (normal distribution → 0).
+func kurtosis(x []float64) float64 {
+	n := float64(len(x))
+	if n < 4 {
+		return 0
+	}
+	m := mat.Mean(x)
+	s2, s4 := 0.0, 0.0
+	for _, v := range x {
+		d := v - m
+		d2 := d * d
+		s2 += d2
+		s4 += d2 * d2
+	}
+	v2 := s2 / n
+	if v2 == 0 {
+		return 0
+	}
+	return (s4/n)/(v2*v2) - 3
+}
+
+// longestStrike returns the length of the longest run of consecutive values
+// strictly above (above=true) or below the mean.
+func longestStrike(x []float64, above bool) float64 {
+	m := mat.Mean(x)
+	best, cur := 0, 0
+	for _, v := range x {
+		hit := v > m
+		if !above {
+			hit = v < m
+		}
+		if hit {
+			cur++
+			if cur > best {
+				best = cur
+			}
+		} else {
+			cur = 0
+		}
+	}
+	return float64(best)
+}

@@ -1,0 +1,133 @@
+package features
+
+import (
+	"math"
+
+	"prodigy/internal/mat"
+)
+
+// This file registers spectral extractors: discrete Fourier coefficients,
+// periodogram-derived statistics (spectral centroid, peak frequency, band
+// energies) and Fourier entropy — the "power spectral density" family the
+// paper cites from TSFRESH. Coefficients are computed by direct DFT at the
+// requested frequencies (O(n·k)), which for the small k used here beats an
+// FFT and keeps the code dependency-free.
+
+func init() {
+	register("fft_coefficient", TierEfficient, func(x []float64) []Feature {
+		ks := []int{1, 2, 3, 4, 5}
+		out := make([]Feature, 0, len(ks)*2)
+		for _, k := range ks {
+			re, im := dftCoefficient(x, k)
+			out = append(out,
+				Feature{Name: fmtParam("fft_coefficient_abs", "k", k), Value: math.Hypot(re, im)},
+				Feature{Name: fmtParam("fft_coefficient_angle", "k", k), Value: math.Atan2(im, re)},
+			)
+		}
+		return out
+	})
+	register("spectral_centroid", TierEfficient, func(x []float64) []Feature {
+		p := periodogram(x, 16)
+		num, den := 0.0, 0.0
+		for k, e := range p {
+			num += float64(k) * e
+			den += e
+		}
+		if den == 0 {
+			return one("spectral_centroid", 0)
+		}
+		return one("spectral_centroid", num/den)
+	})
+	register("spectral_peak_frequency", TierEfficient, func(x []float64) []Feature {
+		p := periodogram(x, 16)
+		if len(p) <= 1 {
+			return one("spectral_peak_frequency", 0)
+		}
+		// Skip DC (k=0): the peak of interest is oscillatory.
+		best := 1
+		for k := 2; k < len(p); k++ {
+			if p[k] > p[best] {
+				best = k
+			}
+		}
+		return one("spectral_peak_frequency", float64(best))
+	})
+	register("spectral_band_energy", TierEfficient, func(x []float64) []Feature {
+		// Fraction of non-DC spectral energy in low (k=1..5), mid (6..10)
+		// and high (11..15) bands of a 16-bin periodogram.
+		p := periodogram(x, 16)
+		bands := [3][2]int{{1, 5}, {6, 10}, {11, 15}}
+		names := []string{"low", "mid", "high"}
+		total := 0.0
+		for k := 1; k < len(p); k++ {
+			total += p[k]
+		}
+		out := make([]Feature, 3)
+		for i, b := range bands {
+			e := 0.0
+			for k := b[0]; k <= b[1] && k < len(p); k++ {
+				e += p[k]
+			}
+			v := 0.0
+			if total > 0 {
+				v = e / total
+			}
+			out[i] = Feature{Name: fmtParam("spectral_band_energy", "band", names[i]), Value: v}
+		}
+		return out
+	})
+	register("fourier_entropy", TierEfficient, func(x []float64) []Feature {
+		p := periodogram(x, 16)
+		total := 0.0
+		for k := 1; k < len(p); k++ {
+			total += p[k]
+		}
+		if total == 0 {
+			return one("fourier_entropy", 0)
+		}
+		h := 0.0
+		for k := 1; k < len(p); k++ {
+			if p[k] > 0 {
+				q := p[k] / total
+				h -= q * math.Log(q)
+			}
+		}
+		return one("fourier_entropy", h)
+	})
+}
+
+// dftCoefficient returns the real and imaginary parts of the k-th DFT
+// coefficient of x (mean-removed so DC leakage does not swamp low bins).
+func dftCoefficient(x []float64, k int) (re, im float64) {
+	n := len(x)
+	if n == 0 || k >= n {
+		return 0, 0
+	}
+	m := mat.Mean(x)
+	w := -2 * math.Pi * float64(k) / float64(n)
+	for t, v := range x {
+		a := w * float64(t)
+		c := v - m
+		re += c * math.Cos(a)
+		im += c * math.Sin(a)
+	}
+	return re, im
+}
+
+// periodogram returns the power |X_k|² of the first bins DFT coefficients of
+// the mean-removed signal (bin 0 is therefore ~0).
+func periodogram(x []float64, bins int) []float64 {
+	n := len(x)
+	if n == 0 {
+		return make([]float64, bins)
+	}
+	if bins > n {
+		bins = n
+	}
+	p := make([]float64, bins)
+	for k := 0; k < bins; k++ {
+		re, im := dftCoefficient(x, k)
+		p[k] = re*re + im*im
+	}
+	return p
+}

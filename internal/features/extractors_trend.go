@@ -1,0 +1,210 @@
+package features
+
+import (
+	"math"
+
+	"prodigy/internal/mat"
+)
+
+// This file registers trend- and chunk-based extractors: linear regression
+// over the index axis, aggregate linear trend over chunks, per-chunk energy
+// ratios, index-mass quantiles and autoregressive coefficients. These are
+// the features that separate drifting behaviour (e.g. a memory leak's
+// monotone MemFree decline) from stationary noise.
+
+func init() {
+	register("linear_trend", TierEfficient, func(x []float64) []Feature {
+		slope, intercept, r := linearTrend(x)
+		return []Feature{
+			{Name: "linear_trend__slope", Value: slope},
+			{Name: "linear_trend__intercept", Value: intercept},
+			{Name: "linear_trend__rvalue", Value: r},
+		}
+	})
+	register("agg_linear_trend", TierEfficient, func(x []float64) []Feature {
+		// Slope of per-chunk means and per-chunk maxima over 10 chunks:
+		// robust trend indicators for noisy series.
+		const chunks = 10
+		means := chunkAgg(x, chunks, mat.Mean)
+		maxs := chunkAgg(x, chunks, func(v []float64) float64 {
+			if len(v) == 0 {
+				return 0
+			}
+			return mat.Max(v)
+		})
+		sm, _, _ := linearTrend(means)
+		sx, _, _ := linearTrend(maxs)
+		return []Feature{
+			{Name: fmtParam("agg_linear_trend_slope", "agg", "mean"), Value: sm},
+			{Name: fmtParam("agg_linear_trend_slope", "agg", "max"), Value: sx},
+		}
+	})
+	register("energy_ratio_by_chunks", TierEfficient, func(x []float64) []Feature {
+		const chunks = 10
+		energies := chunkAgg(x, chunks, func(v []float64) float64 {
+			s := 0.0
+			for _, u := range v {
+				s += u * u
+			}
+			return s
+		})
+		total := 0.0
+		for _, e := range energies {
+			total += e
+		}
+		out := make([]Feature, chunks)
+		for i := 0; i < chunks; i++ {
+			v := 0.0
+			if total > 0 && i < len(energies) {
+				v = energies[i] / total
+			}
+			out[i] = Feature{Name: fmtParam("energy_ratio_by_chunks", "chunk", i), Value: v}
+		}
+		return out
+	})
+	register("index_mass_quantile", TierEfficient, func(x []float64) []Feature {
+		qs := []float64{0.25, 0.5, 0.75}
+		out := make([]Feature, len(qs))
+		for i, q := range qs {
+			out[i] = Feature{Name: fmtParam("index_mass_quantile", "q", q), Value: indexMassQuantile(x, q)}
+		}
+		return out
+	})
+	register("ar_coefficient", TierEfficient, func(x []float64) []Feature {
+		const order = 4
+		coefs := yuleWalker(x, order)
+		out := make([]Feature, order)
+		for i := 0; i < order; i++ {
+			v := 0.0
+			if i < len(coefs) {
+				v = coefs[i]
+			}
+			out[i] = Feature{Name: fmtParam("ar_coefficient", "k", i+1), Value: v}
+		}
+		return out
+	})
+}
+
+// linearTrend fits y = slope·t + intercept by least squares over t = 0..n-1
+// and returns the slope, intercept and Pearson r between x and t.
+func linearTrend(x []float64) (slope, intercept, r float64) {
+	n := len(x)
+	if n < 2 {
+		if n == 1 {
+			return 0, x[0], 0
+		}
+		return 0, 0, 0
+	}
+	tMean := float64(n-1) / 2
+	xMean := mat.Mean(x)
+	var stx, stt, sxx float64
+	for t, v := range x {
+		dt := float64(t) - tMean
+		dx := v - xMean
+		stx += dt * dx
+		stt += dt * dt
+		sxx += dx * dx
+	}
+	if stt == 0 {
+		return 0, xMean, 0
+	}
+	slope = stx / stt
+	intercept = xMean - slope*tMean
+	if sxx > 0 {
+		r = stx / math.Sqrt(stt*sxx)
+	}
+	return slope, intercept, r
+}
+
+// chunkAgg splits x into count nearly equal chunks and applies agg to each.
+// Empty trailing chunks (when len(x) < count) are dropped.
+func chunkAgg(x []float64, count int, agg func([]float64) float64) []float64 {
+	n := len(x)
+	if n == 0 || count < 1 {
+		return nil
+	}
+	if count > n {
+		count = n
+	}
+	out := make([]float64, 0, count)
+	for c := 0; c < count; c++ {
+		lo := c * n / count
+		hi := (c + 1) * n / count
+		if hi > lo {
+			out = append(out, agg(x[lo:hi]))
+		}
+	}
+	return out
+}
+
+// indexMassQuantile returns the relative index where q of the total absolute
+// mass of the series is reached.
+func indexMassQuantile(x []float64, q float64) float64 {
+	n := len(x)
+	if n == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, v := range x {
+		total += math.Abs(v)
+	}
+	if total == 0 {
+		return 0
+	}
+	target := q * total
+	cum := 0.0
+	for i, v := range x {
+		cum += math.Abs(v)
+		if cum >= target {
+			return float64(i+1) / float64(n)
+		}
+	}
+	return 1
+}
+
+// yuleWalker estimates AR(p) coefficients by solving the Yule-Walker
+// equations with Levinson-Durbin recursion. Returns p coefficients, or
+// zeros when the series is too short or has no variance.
+func yuleWalker(x []float64, p int) []float64 {
+	n := len(x)
+	coefs := make([]float64, p)
+	if n <= p+1 {
+		return coefs
+	}
+	// Autocovariances r[0..p].
+	m := mat.Mean(x)
+	r := make([]float64, p+1)
+	for k := 0; k <= p; k++ {
+		s := 0.0
+		for i := 0; i < n-k; i++ {
+			s += (x[i] - m) * (x[i+k] - m)
+		}
+		r[k] = s / float64(n)
+	}
+	if r[0] == 0 {
+		return coefs
+	}
+	// Levinson-Durbin.
+	a := make([]float64, p+1)
+	e := r[0]
+	for k := 1; k <= p; k++ {
+		acc := r[k]
+		for j := 1; j < k; j++ {
+			acc -= a[j] * r[k-j]
+		}
+		if e == 0 {
+			break
+		}
+		lambda := acc / e
+		// Update in place using a temporary copy of the relevant prefix.
+		prev := make([]float64, k)
+		copy(prev, a[:k])
+		for j := 1; j < k; j++ {
+			a[j] = prev[j] - lambda*prev[k-j]
+		}
+		a[k] = lambda
+		e *= 1 - lambda*lambda
+	}
+	copy(coefs, a[1:])
+	return coefs
+}

@@ -1,0 +1,120 @@
+package features
+
+import "math"
+
+// This file registers Haar discrete-wavelet-transform features — the
+// multi-resolution family TSFRESH covers with CWT coefficients. The series
+// is decomposed into detail levels (fine → coarse); the energy share per
+// level localizes where in time-scale space a metric's variability lives:
+// sampling noise concentrates in level 0, application phases in middle
+// levels, drifts in the approximation.
+
+const waveletLevels = 4
+
+func init() {
+	register("haar_energy", TierEfficient, func(x []float64) []Feature {
+		energies, approx := haarEnergies(x, waveletLevels)
+		total := approx
+		for _, e := range energies {
+			total += e
+		}
+		out := make([]Feature, 0, waveletLevels+1)
+		for lvl := 0; lvl < waveletLevels; lvl++ {
+			v := 0.0
+			if total > 0 && lvl < len(energies) {
+				v = energies[lvl] / total
+			}
+			out = append(out, Feature{Name: fmtParam("haar_energy_ratio", "level", lvl), Value: v})
+		}
+		v := 0.0
+		if total > 0 {
+			v = approx / total
+		}
+		out = append(out, Feature{Name: "haar_energy_ratio__approx", Value: v})
+		return out
+	})
+	register("haar_detail_std", TierEfficient, func(x []float64) []Feature {
+		stds := haarDetailStds(x, waveletLevels)
+		out := make([]Feature, waveletLevels)
+		for lvl := 0; lvl < waveletLevels; lvl++ {
+			v := 0.0
+			if lvl < len(stds) {
+				v = stds[lvl]
+			}
+			out[lvl] = Feature{Name: fmtParam("haar_detail_std", "level", lvl), Value: v}
+		}
+		return out
+	})
+}
+
+// haarStep performs one Haar DWT level: approximation (pairwise averages ×
+// √2) and detail (pairwise differences × 1/√2 scaling convention chosen so
+// energy is preserved).
+func haarStep(x []float64) (approx, detail []float64) {
+	n := len(x) / 2
+	approx = make([]float64, n)
+	detail = make([]float64, n)
+	inv := 1 / math.Sqrt2
+	for i := 0; i < n; i++ {
+		approx[i] = (x[2*i] + x[2*i+1]) * inv
+		detail[i] = (x[2*i] - x[2*i+1]) * inv
+	}
+	return approx, detail
+}
+
+// haarEnergies returns the detail energy per level (0 = finest) plus the
+// remaining approximation energy. The mean is removed first so the DC
+// offset does not drown the decomposition. Levels beyond what the series
+// length supports are simply absent.
+func haarEnergies(x []float64, levels int) (details []float64, approxEnergy float64) {
+	if len(x) < 2 {
+		return nil, 0
+	}
+	work := make([]float64, len(x))
+	m := 0.0
+	for _, v := range x {
+		m += v
+	}
+	m /= float64(len(x))
+	for i, v := range x {
+		work[i] = v - m
+	}
+	for lvl := 0; lvl < levels && len(work) >= 2; lvl++ {
+		approx, detail := haarStep(work)
+		e := 0.0
+		for _, d := range detail {
+			e += d * d
+		}
+		details = append(details, e)
+		work = approx
+	}
+	for _, a := range work {
+		approxEnergy += a * a
+	}
+	return details, approxEnergy
+}
+
+// haarDetailStds returns the standard deviation of each detail level.
+func haarDetailStds(x []float64, levels int) []float64 {
+	if len(x) < 2 {
+		return nil
+	}
+	work := make([]float64, len(x))
+	copy(work, x)
+	var out []float64
+	for lvl := 0; lvl < levels && len(work) >= 2; lvl++ {
+		approx, detail := haarStep(work)
+		mean := 0.0
+		for _, d := range detail {
+			mean += d
+		}
+		mean /= float64(len(detail))
+		varSum := 0.0
+		for _, d := range detail {
+			varSum += (d - mean) * (d - mean)
+		}
+		out = append(out, math.Sqrt(varSum/float64(len(detail))))
+		work = approx
+	}
+	return out
+}

@@ -1,0 +1,189 @@
+// Package features implements Prodigy's statistical feature extraction stage
+// (paper §3.1): a from-scratch catalog of time-series characterization
+// methods in the style of TSFRESH, spanning descriptive statistics,
+// information-theoretic measures, spectral features, trend features and
+// nonlinearity measures (C3, time-reversal asymmetry, Benford correlation).
+//
+// A sample in Prodigy is the feature vector obtained by running the catalog
+// over every metric column of one node's telemetry table. Feature names are
+// "<metric>__<feature>" so a selected feature can always be traced back to
+// the metric and method that produced it.
+package features
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"prodigy/internal/timeseries"
+)
+
+// Feature is a single named scalar produced by an extractor.
+type Feature struct {
+	Name  string
+	Value float64
+}
+
+// Tier classifies extractors by computational cost so callers can trade
+// catalog breadth for speed.
+type Tier int
+
+const (
+	// TierMinimal marks O(n) descriptive statistics.
+	TierMinimal Tier = iota
+	// TierEfficient marks everything except quadratic-time methods.
+	TierEfficient
+	// TierFull marks expensive methods such as approximate entropy (O(n²)).
+	TierFull
+)
+
+// Extractor computes a fixed-length group of features from one series.
+//
+// Fn must return the same number of features, with the same names in the
+// same order, for every input including degenerate ones (empty or constant
+// series); non-finite results are sanitized to 0 by the catalog.
+type Extractor struct {
+	Name string
+	Tier Tier
+	Fn   func(x []float64) []Feature
+}
+
+// Catalog is an ordered collection of extractors.
+type Catalog struct {
+	Extractors []Extractor
+	// MaxTier records which tier cutoff built this catalog, so deployment
+	// artifacts can persist and reconstruct it.
+	MaxTier Tier
+	names   []string // lazily computed per-series feature names
+}
+
+// registry holds every known extractor in canonical order.
+var registry []Extractor
+
+func register(name string, tier Tier, fn func(x []float64) []Feature) {
+	registry = append(registry, Extractor{Name: name, Tier: tier, Fn: fn})
+}
+
+// New returns a catalog containing all registered extractors at or below
+// the given tier.
+func New(maxTier Tier) *Catalog {
+	c := &Catalog{MaxTier: maxTier}
+	for _, e := range registry {
+		if e.Tier <= maxTier {
+			c.Extractors = append(c.Extractors, e)
+		}
+	}
+	return c
+}
+
+// Default returns the efficient catalog used by the experiments: every
+// method except the quadratic-time ones.
+func Default() *Catalog { return New(TierEfficient) }
+
+// Full returns the complete catalog including expensive extractors.
+func Full() *Catalog { return New(TierFull) }
+
+// Minimal returns only the O(n) descriptive statistics.
+func Minimal() *Catalog { return New(TierMinimal) }
+
+// ExtractSeries runs the catalog over one series, returning the raw features
+// (names not yet namespaced by metric). Non-finite values are replaced by 0.
+func (c *Catalog) ExtractSeries(x []float64) []Feature {
+	var out []Feature
+	for _, e := range c.Extractors {
+		fs := e.Fn(x)
+		for i := range fs {
+			if !isFinite(fs[i].Value) {
+				fs[i].Value = 0
+			}
+		}
+		out = append(out, fs...)
+	}
+	return out
+}
+
+// SeriesFeatureNames returns the per-series feature names the catalog
+// produces, in order. The result is cached.
+func (c *Catalog) SeriesFeatureNames() []string {
+	if c.names != nil {
+		return c.names
+	}
+	probe := []float64{1, 2, 0.5, 3, 2.5, 1.5, 4, 0, 2, 3.5, 1, 2.2}
+	fs := c.ExtractSeries(probe)
+	names := make([]string, len(fs))
+	for i, f := range fs {
+		names[i] = f.Name
+	}
+	c.names = names
+	return names
+}
+
+// NumFeaturesPerSeries returns how many features the catalog emits per
+// metric column.
+func (c *Catalog) NumFeaturesPerSeries() int { return len(c.SeriesFeatureNames()) }
+
+// ExtractTable runs the catalog over every metric column of t in parallel
+// and returns the namespaced feature names ("metric__feature") and the flat
+// feature vector, ordered by t.Order then catalog order.
+func (c *Catalog) ExtractTable(t *timeseries.Table) ([]string, []float64) {
+	per := c.NumFeaturesPerSeries()
+	nm := t.NumMetrics()
+	names := make([]string, nm*per)
+	values := make([]float64, nm*per)
+
+	serNames := c.SeriesFeatureNames()
+	workers := runtime.GOMAXPROCS(0)
+	if workers > nm {
+		workers = nm
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for mi := range jobs {
+				metric := t.Order[mi]
+				fs := c.ExtractSeries(t.Columns[metric])
+				base := mi * per
+				for i, f := range fs {
+					names[base+i] = metric + "__" + serNames[i]
+					values[base+i] = f.Value
+				}
+			}
+		}()
+	}
+	for mi := 0; mi < nm; mi++ {
+		jobs <- mi
+	}
+	close(jobs)
+	wg.Wait()
+	return names, values
+}
+
+// TableFeatureNames returns the namespaced names ExtractTable would produce
+// for a table with the given metric order, without extracting anything.
+func (c *Catalog) TableFeatureNames(metricOrder []string) []string {
+	per := c.SeriesFeatureNames()
+	out := make([]string, 0, len(metricOrder)*len(per))
+	for _, m := range metricOrder {
+		for _, f := range per {
+			out = append(out, m+"__"+f)
+		}
+	}
+	return out
+}
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// one wraps a single scalar into a one-feature slice.
+func one(name string, v float64) []Feature { return []Feature{{Name: name, Value: v}} }
+
+// fmtParam renders a parameterized feature name like "autocorrelation__lag_3".
+func fmtParam(base, param string, v interface{}) string {
+	return fmt.Sprintf("%s__%s_%v", base, param, v)
+}

@@ -1,0 +1,18 @@
+package hpas_test
+
+import (
+	"fmt"
+
+	"prodigy/internal/hpas"
+)
+
+func ExampleTable2() {
+	for _, inj := range hpas.AllTable2()[:4] {
+		fmt.Printf("%s %s\n", inj.Name(), inj.Config())
+	}
+	// Output:
+	// cachecopy -c L1 -m 1
+	// cpuoccupy -u 100%
+	// membw -s 4K
+	// memleak -s 1M -p 0.2
+}

@@ -1,0 +1,97 @@
+package ldms
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// Row is one sampler reading from one node at one second: the unit of data
+// the aggregator ships to storage.
+type Row struct {
+	JobID     int64
+	Component int // compute node ID, the paper's component_id
+	Timestamp int64
+	Sampler   SamplerName
+	Values    map[string]float64
+}
+
+// Sink receives aggregated rows. Implementations must be safe for
+// concurrent use; the aggregator calls Ingest from multiple goroutines.
+type Sink interface {
+	Ingest(Row)
+}
+
+// NodeSource produces the raw metric values of one node for consecutive
+// seconds. Implementations are owned by a single daemon and need not be
+// concurrency-safe.
+type NodeSource interface {
+	// Sample advances the node by one second and returns its current
+	// metric values grouped by sampler.
+	Sample(t int64) map[SamplerName]map[string]float64
+}
+
+// CollectConfig tunes the collection behaviour.
+type CollectConfig struct {
+	// DropProb is the probability that any single sampler reading is lost
+	// in flight, producing the missing values the preprocessing stage must
+	// interpolate (paper §4.2.1). Typical real-world loss is well under 1%.
+	DropProb float64
+	// Seed drives the drop decisions.
+	Seed int64
+}
+
+// Daemon is one simulated ldmsd sampler daemon: it samples a node at 1 Hz
+// for the lifetime of a job and forwards readings to the aggregator.
+type Daemon struct {
+	JobID     int64
+	Component int
+	Source    NodeSource
+	Cfg       CollectConfig
+}
+
+// run samples every second in [0, duration) and sends rows to out.
+func (d *Daemon) run(duration int64, out chan<- Row) {
+	rng := rand.New(rand.NewSource(d.Cfg.Seed ^ (int64(d.Component)+1)*0x5DEECE66D ^ d.JobID))
+	for t := int64(0); t < duration; t++ {
+		samples := d.Source.Sample(t)
+		for sampler, values := range samples {
+			if d.Cfg.DropProb > 0 && rng.Float64() < d.Cfg.DropProb {
+				continue // reading lost in flight
+			}
+			out <- Row{
+				JobID:     d.JobID,
+				Component: d.Component,
+				Timestamp: t,
+				Sampler:   sampler,
+				Values:    values,
+			}
+		}
+	}
+}
+
+// Aggregate runs every daemon concurrently (one goroutine per node, as on
+// the real system where ldmsd instances sample independently) and forwards
+// all rows into sink. It returns when every daemon has finished the
+// duration.
+func Aggregate(daemons []*Daemon, duration int64, sink Sink) {
+	rows := make(chan Row, 256)
+	var producers sync.WaitGroup
+	for _, d := range daemons {
+		producers.Add(1)
+		go func(d *Daemon) {
+			defer producers.Done()
+			d.run(duration, rows)
+		}(d)
+	}
+	// Single consumer preserves Sink simplicity while producers fan in.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for r := range rows {
+			sink.Ingest(r)
+		}
+	}()
+	producers.Wait()
+	close(rows)
+	<-done
+}

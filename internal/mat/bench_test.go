@@ -1,0 +1,46 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchmarkMatMul(b *testing.B, n int) {
+	rng := rand.New(rand.NewSource(1))
+	x := Randn(n, n, 1, rng)
+	y := Randn(n, n, 1, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(x, y)
+	}
+}
+
+func BenchmarkMatMul32(b *testing.B)  { benchmarkMatMul(b, 32) }
+func BenchmarkMatMul128(b *testing.B) { benchmarkMatMul(b, 128) }
+func BenchmarkMatMul256(b *testing.B) { benchmarkMatMul(b, 256) }
+
+func BenchmarkDot1k(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, 1024)
+	y := make([]float64, 1024)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Dot(x, y)
+	}
+}
+
+func BenchmarkPercentile(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, 10000)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Percentile(x, 99)
+	}
+}

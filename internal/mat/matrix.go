@@ -1,0 +1,399 @@
+// Package mat provides dense matrix and vector primitives used by the
+// machine-learning components of Prodigy. It is deliberately small: row-major
+// float64 storage, the handful of BLAS-like kernels a feed-forward network
+// needs, and parallel implementations of the expensive ones.
+//
+// All operations either return fresh values or write into receivers the
+// caller owns; nothing retains the caller's slices except the documented
+// zero-copy constructors.
+package mat
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// Matrix is a dense, row-major matrix of float64 values.
+//
+// The zero value is an empty (0x0) matrix. Use New, NewFromData or Randn to
+// construct useful instances.
+type Matrix struct {
+	Rows, Cols int
+	// Data holds the elements in row-major order: element (i, j) lives at
+	// Data[i*Cols+j]. len(Data) == Rows*Cols.
+	Data []float64
+}
+
+// New returns a zero-filled matrix of the given shape.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("mat: negative dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// NewFromData wraps data in a matrix header without copying. The caller must
+// not modify data afterwards unless it owns the matrix. len(data) must equal
+// rows*cols.
+func NewFromData(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("mat: data length %d does not match %dx%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// FromRows builds a matrix by copying a slice of equal-length rows.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return New(0, 0)
+	}
+	cols := len(rows[0])
+	m := New(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			panic(fmt.Sprintf("mat: ragged rows: row 0 has %d cols, row %d has %d", cols, i, len(r)))
+		}
+		copy(m.Data[i*cols:(i+1)*cols], r)
+	}
+	return m
+}
+
+// Randn returns a matrix with entries drawn from N(0, std²) using rng.
+func Randn(rows, cols int, std float64, rng *rand.Rand) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64() * std
+	}
+	return m
+}
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns v to the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view (not a copy) of row i.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// RowCopy returns a copy of row i.
+func (m *Matrix) RowCopy(i int) []float64 {
+	out := make([]float64, m.Cols)
+	copy(out, m.Row(i))
+	return out
+}
+
+// Col returns a copy of column j.
+func (m *Matrix) Col(j int) []float64 {
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		out[i] = m.Data[i*m.Cols+j]
+	}
+	return out
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := New(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Matrix) T() *Matrix {
+	out := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out.Data[j*m.Rows+i] = v
+		}
+	}
+	return out
+}
+
+// Shape returns the (rows, cols) pair.
+func (m *Matrix) Shape() (int, int) { return m.Rows, m.Cols }
+
+// SameShape reports whether m and n have identical dimensions.
+func (m *Matrix) SameShape(n *Matrix) bool { return m.Rows == n.Rows && m.Cols == n.Cols }
+
+// String implements fmt.Stringer with a compact shape-prefixed rendering.
+func (m *Matrix) String() string {
+	const maxShown = 6
+	s := fmt.Sprintf("Matrix(%dx%d)[", m.Rows, m.Cols)
+	n := len(m.Data)
+	shown := n
+	if shown > maxShown {
+		shown = maxShown
+	}
+	for i := 0; i < shown; i++ {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%.4g", m.Data[i])
+	}
+	if n > shown {
+		s += " ..."
+	}
+	return s + "]"
+}
+
+// parallelThreshold is the number of scalar multiply-adds below which MatMul
+// stays single-threaded; goroutine fan-out costs more than it saves on small
+// products.
+const parallelThreshold = 64 * 64 * 64
+
+// MatMul returns a×b. It panics if the inner dimensions disagree. Large
+// products are computed with one goroutine per row-block.
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: MatMul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Cols)
+	work := a.Rows * a.Cols * b.Cols
+	if work < parallelThreshold {
+		matMulRange(a, b, out, 0, a.Rows)
+		return out
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > a.Rows {
+		workers = a.Rows
+	}
+	var wg sync.WaitGroup
+	chunk := (a.Rows + workers - 1) / workers
+	for start := 0; start < a.Rows; start += chunk {
+		end := start + chunk
+		if end > a.Rows {
+			end = a.Rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matMulRange(a, b, out, lo, hi)
+		}(start, end)
+	}
+	wg.Wait()
+	return out
+}
+
+// matMulRange computes rows [lo, hi) of out = a×b using an ikj loop order
+// that streams through b row-by-row for cache locality.
+func matMulRange(a, b, out *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulT returns a×bᵀ without materializing the transpose.
+func MatMulT(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: MatMulT shape mismatch %dx%d · (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			orow[j] = Dot(arow, b.Row(j))
+		}
+	}
+	return out
+}
+
+// TMatMul returns aᵀ×b without materializing the transpose.
+func TMatMul(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("mat: TMatMul shape mismatch (%dx%d)ᵀ · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Cols, b.Cols)
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.Row(i)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// Add returns a+b element-wise.
+func Add(a, b *Matrix) *Matrix { return zipNew(a, b, func(x, y float64) float64 { return x + y }) }
+
+// Sub returns a−b element-wise.
+func Sub(a, b *Matrix) *Matrix { return zipNew(a, b, func(x, y float64) float64 { return x - y }) }
+
+// Mul returns the element-wise (Hadamard) product a∘b.
+func Mul(a, b *Matrix) *Matrix { return zipNew(a, b, func(x, y float64) float64 { return x * y }) }
+
+func zipNew(a, b *Matrix, f func(x, y float64) float64) *Matrix {
+	if !a.SameShape(b) {
+		panic(fmt.Sprintf("mat: shape mismatch %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, a.Cols)
+	for i, v := range a.Data {
+		out.Data[i] = f(v, b.Data[i])
+	}
+	return out
+}
+
+// AddInPlace adds b into a.
+func AddInPlace(a, b *Matrix) {
+	if !a.SameShape(b) {
+		panic(fmt.Sprintf("mat: shape mismatch %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	for i, v := range b.Data {
+		a.Data[i] += v
+	}
+}
+
+// Scale multiplies every element of m by s, in place, and returns m.
+func (m *Matrix) Scale(s float64) *Matrix {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+	return m
+}
+
+// Apply returns a new matrix with f applied to every element.
+func (m *Matrix) Apply(f func(float64) float64) *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i] = f(v)
+	}
+	return out
+}
+
+// ApplyInPlace applies f to every element of m.
+func (m *Matrix) ApplyInPlace(f func(float64) float64) {
+	for i, v := range m.Data {
+		m.Data[i] = f(v)
+	}
+}
+
+// AddRowVector adds vector v (length Cols) to every row of m, returning a
+// new matrix. This is the broadcast used for bias addition.
+func (m *Matrix) AddRowVector(v []float64) *Matrix {
+	if len(v) != m.Cols {
+		panic(fmt.Sprintf("mat: AddRowVector length %d != cols %d", len(v), m.Cols))
+	}
+	out := New(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		orow := out.Row(i)
+		for j, x := range row {
+			orow[j] = x + v[j]
+		}
+	}
+	return out
+}
+
+// SumRows returns the column-wise sum of m: a vector of length Cols.
+func (m *Matrix) SumRows() []float64 {
+	out := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out[j] += v
+		}
+	}
+	return out
+}
+
+// Sum returns the sum of all elements.
+func (m *Matrix) Sum() float64 {
+	s := 0.0
+	for _, v := range m.Data {
+		s += v
+	}
+	return s
+}
+
+// MaxAbs returns the largest absolute value in m, or 0 for an empty matrix.
+func (m *Matrix) MaxAbs() float64 {
+	max := 0.0
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > max {
+			max = a
+		}
+	}
+	return max
+}
+
+// SelectRows returns a new matrix containing the rows of m at the given
+// indices, in order.
+func (m *Matrix) SelectRows(idx []int) *Matrix {
+	out := New(len(idx), m.Cols)
+	for i, r := range idx {
+		copy(out.Row(i), m.Row(r))
+	}
+	return out
+}
+
+// SelectCols returns a new matrix containing the columns of m at the given
+// indices, in order.
+func (m *Matrix) SelectCols(idx []int) *Matrix {
+	out := New(m.Rows, len(idx))
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		orow := out.Row(i)
+		for k, c := range idx {
+			orow[k] = row[c]
+		}
+	}
+	return out
+}
+
+// VStack concatenates matrices vertically. All inputs must share Cols.
+func VStack(ms ...*Matrix) *Matrix {
+	if len(ms) == 0 {
+		return New(0, 0)
+	}
+	cols := ms[0].Cols
+	rows := 0
+	for _, m := range ms {
+		if m.Cols != cols {
+			panic(fmt.Sprintf("mat: VStack column mismatch %d vs %d", cols, m.Cols))
+		}
+		rows += m.Rows
+	}
+	out := New(rows, cols)
+	off := 0
+	for _, m := range ms {
+		copy(out.Data[off:], m.Data)
+		off += len(m.Data)
+	}
+	return out
+}
+
+// Equal reports whether a and b have the same shape and all elements are
+// within tol of each other.
+func Equal(a, b *Matrix, tol float64) bool {
+	if !a.SameShape(b) {
+		return false
+	}
+	for i, v := range a.Data {
+		if math.Abs(v-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,33 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"prodigy/internal/mat"
+)
+
+func BenchmarkForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	net, _ := NewMLP([]int{100, 64, 32, 100}, "tanh", "", rng)
+	x := mat.Randn(256, 100, 1, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Forward(x)
+	}
+}
+
+func BenchmarkTrainStep(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	net, _ := NewMLP([]int{100, 64, 32, 100}, "tanh", "", rng)
+	x := mat.Randn(64, 100, 1, rng)
+	opt := NewAdam(1e-3)
+	loss := MSELoss{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pred := net.Forward(x)
+		_, grad := loss.Compute(pred, x)
+		net.Backward(grad)
+		opt.Step(net.Params())
+	}
+}

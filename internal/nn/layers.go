@@ -1,0 +1,199 @@
+// Package nn is a from-scratch dense neural network library: layers with
+// reverse-mode gradients, losses, and SGD/Adam optimizers. It provides
+// exactly what Prodigy's models need — small multilayer perceptrons over
+// feature vectors — with batch-parallel matrix kernels from internal/mat.
+//
+// Layers cache activations between Forward and Backward, so a single layer
+// instance must not be shared across concurrent training loops. Inference
+// through Network.Predict is safe for concurrent use only on distinct
+// network clones.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"prodigy/internal/mat"
+)
+
+// Param is one trainable tensor and its accumulated gradient.
+type Param struct {
+	Name  string
+	Value *mat.Matrix
+	Grad  *mat.Matrix
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() {
+	for i := range p.Grad.Data {
+		p.Grad.Data[i] = 0
+	}
+}
+
+// Layer is a differentiable module. Forward consumes a batch (rows =
+// samples) and Backward consumes the gradient of the loss with respect to
+// the layer's output, returning the gradient with respect to its input and
+// accumulating parameter gradients.
+type Layer interface {
+	Forward(x *mat.Matrix) *mat.Matrix
+	Backward(gradOut *mat.Matrix) *mat.Matrix
+	Params() []*Param
+}
+
+// Dense is a fully connected layer: out = x·W + b.
+type Dense struct {
+	W, B  *Param
+	input *mat.Matrix // cached for Backward
+}
+
+// NewDense creates a Dense layer with Glorot-uniform weights and zero
+// biases, using rng for initialization.
+func NewDense(in, out int, rng *rand.Rand) *Dense {
+	limit := math.Sqrt(6.0 / float64(in+out))
+	w := mat.New(in, out)
+	for i := range w.Data {
+		w.Data[i] = (rng.Float64()*2 - 1) * limit
+	}
+	return &Dense{
+		W: &Param{Name: fmt.Sprintf("dense_%dx%d_w", in, out), Value: w, Grad: mat.New(in, out)},
+		B: &Param{Name: fmt.Sprintf("dense_%dx%d_b", in, out), Value: mat.New(1, out), Grad: mat.New(1, out)},
+	}
+}
+
+// In returns the input width of the layer.
+func (d *Dense) In() int { return d.W.Value.Rows }
+
+// Out returns the output width of the layer.
+func (d *Dense) Out() int { return d.W.Value.Cols }
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *mat.Matrix) *mat.Matrix {
+	d.input = x
+	return mat.MatMul(x, d.W.Value).AddRowVector(d.B.Value.Data)
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(gradOut *mat.Matrix) *mat.Matrix {
+	if d.input == nil {
+		panic("nn: Dense.Backward before Forward")
+	}
+	// dW = xᵀ·gradOut, db = column sums of gradOut, dx = gradOut·Wᵀ.
+	mat.AddInPlace(d.W.Grad, mat.TMatMul(d.input, gradOut))
+	bg := gradOut.SumRows()
+	for i := range bg {
+		d.B.Grad.Data[i] += bg[i]
+	}
+	return mat.MatMulT(gradOut, d.W.Value)
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+
+// Activation is an element-wise nonlinearity with its derivative expressed
+// in terms of the cached forward output.
+type Activation struct {
+	Name string
+	// F is the element-wise function.
+	F func(float64) float64
+	// DFromOut returns dF/dx given the forward *output* value F(x). For
+	// sigmoid/tanh this avoids recomputing the function; for ReLU the output
+	// carries enough sign information.
+	DFromOut func(out float64) float64
+	output   *mat.Matrix
+}
+
+// Forward implements Layer.
+func (a *Activation) Forward(x *mat.Matrix) *mat.Matrix {
+	a.output = x.Apply(a.F)
+	return a.output
+}
+
+// Backward implements Layer.
+func (a *Activation) Backward(gradOut *mat.Matrix) *mat.Matrix {
+	if a.output == nil {
+		panic("nn: Activation.Backward before Forward")
+	}
+	out := mat.New(gradOut.Rows, gradOut.Cols)
+	for i, g := range gradOut.Data {
+		out.Data[i] = g * a.DFromOut(a.output.Data[i])
+	}
+	return out
+}
+
+// Params implements Layer.
+func (a *Activation) Params() []*Param { return nil }
+
+// ReLU returns a rectified linear activation layer.
+func ReLU() *Activation {
+	return &Activation{
+		Name: "relu",
+		F: func(x float64) float64 {
+			if x > 0 {
+				return x
+			}
+			return 0
+		},
+		DFromOut: func(out float64) float64 {
+			if out > 0 {
+				return 1
+			}
+			return 0
+		},
+	}
+}
+
+// LeakyReLU returns a leaky rectified linear activation with slope alpha
+// for negative inputs.
+func LeakyReLU(alpha float64) *Activation {
+	return &Activation{
+		Name: "leaky_relu",
+		F: func(x float64) float64 {
+			if x > 0 {
+				return x
+			}
+			return alpha * x
+		},
+		DFromOut: func(out float64) float64 {
+			if out > 0 {
+				return 1
+			}
+			return alpha
+		},
+	}
+}
+
+// Sigmoid returns a logistic activation layer.
+func Sigmoid() *Activation {
+	return &Activation{
+		Name:     "sigmoid",
+		F:        func(x float64) float64 { return 1 / (1 + math.Exp(-x)) },
+		DFromOut: func(out float64) float64 { return out * (1 - out) },
+	}
+}
+
+// Tanh returns a hyperbolic tangent activation layer.
+func Tanh() *Activation {
+	return &Activation{
+		Name:     "tanh",
+		F:        math.Tanh,
+		DFromOut: func(out float64) float64 { return 1 - out*out },
+	}
+}
+
+// ActivationByName constructs an activation from its registered name,
+// supporting model deserialization. Recognized: relu, leaky_relu, sigmoid,
+// tanh.
+func ActivationByName(name string) (*Activation, error) {
+	switch name {
+	case "relu":
+		return ReLU(), nil
+	case "leaky_relu":
+		return LeakyReLU(0.01), nil
+	case "sigmoid":
+		return Sigmoid(), nil
+	case "tanh":
+		return Tanh(), nil
+	}
+	return nil, fmt.Errorf("nn: unknown activation %q", name)
+}

@@ -1,0 +1,111 @@
+package nn
+
+import (
+	"math"
+
+	"prodigy/internal/mat"
+)
+
+// Loss computes a scalar loss over a batch and the gradient of the mean
+// loss with respect to the predictions.
+type Loss interface {
+	// Compute returns the mean loss over the batch and dLoss/dPred.
+	Compute(pred, target *mat.Matrix) (float64, *mat.Matrix)
+	Name() string
+}
+
+// MSELoss is mean squared error, averaged over all elements.
+type MSELoss struct{}
+
+// Name implements Loss.
+func (MSELoss) Name() string { return "mse" }
+
+// Compute implements Loss.
+func (MSELoss) Compute(pred, target *mat.Matrix) (float64, *mat.Matrix) {
+	checkSameShape(pred, target)
+	n := float64(len(pred.Data))
+	grad := mat.New(pred.Rows, pred.Cols)
+	loss := 0.0
+	for i, p := range pred.Data {
+		d := p - target.Data[i]
+		loss += d * d
+		grad.Data[i] = 2 * d / n
+	}
+	return loss / n, grad
+}
+
+// MAELoss is mean absolute error, averaged over all elements. The gradient
+// at exactly zero error is 0 (subgradient choice).
+type MAELoss struct{}
+
+// Name implements Loss.
+func (MAELoss) Name() string { return "mae" }
+
+// Compute implements Loss.
+func (MAELoss) Compute(pred, target *mat.Matrix) (float64, *mat.Matrix) {
+	checkSameShape(pred, target)
+	n := float64(len(pred.Data))
+	grad := mat.New(pred.Rows, pred.Cols)
+	loss := 0.0
+	for i, p := range pred.Data {
+		d := p - target.Data[i]
+		loss += math.Abs(d)
+		switch {
+		case d > 0:
+			grad.Data[i] = 1 / n
+		case d < 0:
+			grad.Data[i] = -1 / n
+		}
+	}
+	return loss / n, grad
+}
+
+// BCELoss is binary cross-entropy over probabilities in (0, 1). Inputs are
+// clipped to [eps, 1-eps] for numerical stability.
+type BCELoss struct{}
+
+// Name implements Loss.
+func (BCELoss) Name() string { return "bce" }
+
+// Compute implements Loss.
+func (BCELoss) Compute(pred, target *mat.Matrix) (float64, *mat.Matrix) {
+	checkSameShape(pred, target)
+	const eps = 1e-7
+	n := float64(len(pred.Data))
+	grad := mat.New(pred.Rows, pred.Cols)
+	loss := 0.0
+	for i, p := range pred.Data {
+		p = mat.Clamp(p, eps, 1-eps)
+		t := target.Data[i]
+		loss += -(t*math.Log(p) + (1-t)*math.Log(1-p))
+		grad.Data[i] = (p - t) / (p * (1 - p)) / n
+	}
+	return loss / n, grad
+}
+
+func checkSameShape(a, b *mat.Matrix) {
+	if !a.SameShape(b) {
+		panic("nn: loss shape mismatch")
+	}
+}
+
+// RowMAE returns the per-row mean absolute error between pred and target —
+// the per-sample reconstruction error Prodigy thresholds on (§3.3).
+func RowMAE(pred, target *mat.Matrix) []float64 {
+	checkSameShape(pred, target)
+	out := make([]float64, pred.Rows)
+	for i := 0; i < pred.Rows; i++ {
+		out[i] = mat.MAE(pred.Row(i), target.Row(i))
+	}
+	return out
+}
+
+// RowMSE returns the per-row mean squared error between pred and target.
+func RowMSE(pred, target *mat.Matrix) []float64 {
+	checkSameShape(pred, target)
+	out := make([]float64, pred.Rows)
+	for i := 0; i < pred.Rows; i++ {
+		out[i] = mat.MSE(pred.Row(i), target.Row(i))
+	}
+	return out
+}

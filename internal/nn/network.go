@@ -1,0 +1,174 @@
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+
+	"prodigy/internal/mat"
+)
+
+// Network is a sequential stack of layers.
+type Network struct {
+	Layers []Layer
+}
+
+// NewMLP builds a multilayer perceptron with the given layer widths and an
+// activation (by name) after every hidden layer. The output layer is linear
+// unless outActivation is non-empty.
+func NewMLP(widths []int, hiddenAct, outActivation string, rng *rand.Rand) (*Network, error) {
+	if len(widths) < 2 {
+		return nil, fmt.Errorf("nn: MLP needs at least input and output widths, got %v", widths)
+	}
+	n := &Network{}
+	for i := 0; i < len(widths)-1; i++ {
+		n.Layers = append(n.Layers, NewDense(widths[i], widths[i+1], rng))
+		last := i == len(widths)-2
+		actName := hiddenAct
+		if last {
+			actName = outActivation
+		}
+		if actName != "" {
+			act, err := ActivationByName(actName)
+			if err != nil {
+				return nil, err
+			}
+			n.Layers = append(n.Layers, act)
+		}
+	}
+	return n, nil
+}
+
+// Forward runs the batch x through every layer.
+func (n *Network) Forward(x *mat.Matrix) *mat.Matrix {
+	for _, l := range n.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward propagates the loss gradient through every layer in reverse,
+// accumulating parameter gradients, and returns the gradient with respect
+// to the network input.
+func (n *Network) Backward(grad *mat.Matrix) *mat.Matrix {
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		grad = n.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params returns all trainable parameters in layer order.
+func (n *Network) Params() []*Param {
+	var ps []*Param
+	for _, l := range n.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ZeroGrads clears all accumulated gradients.
+func (n *Network) ZeroGrads() {
+	for _, p := range n.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// NumParams returns the total number of scalar parameters.
+func (n *Network) NumParams() int {
+	total := 0
+	for _, p := range n.Params() {
+		total += len(p.Value.Data)
+	}
+	return total
+}
+
+// layerSpec is the serialized form of one layer.
+type layerSpec struct {
+	Kind string    `json:"kind"` // "dense" or "activation"
+	Name string    `json:"name,omitempty"`
+	In   int       `json:"in,omitempty"`
+	Out  int       `json:"out,omitempty"`
+	W    []float64 `json:"w,omitempty"`
+	B    []float64 `json:"b,omitempty"`
+}
+
+// netSpec is the serialized form of a network.
+type netSpec struct {
+	Layers []layerSpec `json:"layers"`
+}
+
+// MarshalJSON serializes the network architecture and weights.
+func (n *Network) MarshalJSON() ([]byte, error) {
+	spec := netSpec{}
+	for _, l := range n.Layers {
+		switch v := l.(type) {
+		case *Dense:
+			spec.Layers = append(spec.Layers, layerSpec{
+				Kind: "dense", In: v.In(), Out: v.Out(),
+				W: v.W.Value.Data, B: v.B.Value.Data,
+			})
+		case *Activation:
+			spec.Layers = append(spec.Layers, layerSpec{Kind: "activation", Name: v.Name})
+		default:
+			return nil, fmt.Errorf("nn: cannot serialize layer of type %T", l)
+		}
+	}
+	return json.Marshal(spec)
+}
+
+// UnmarshalJSON restores a network serialized by MarshalJSON.
+func (n *Network) UnmarshalJSON(data []byte) error {
+	var spec netSpec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		return err
+	}
+	n.Layers = nil
+	for _, ls := range spec.Layers {
+		switch ls.Kind {
+		case "dense":
+			if len(ls.W) != ls.In*ls.Out {
+				return fmt.Errorf("nn: dense layer has %d weights for %dx%d", len(ls.W), ls.In, ls.Out)
+			}
+			if len(ls.B) != ls.Out {
+				return fmt.Errorf("nn: dense layer has %d biases for out=%d", len(ls.B), ls.Out)
+			}
+			d := &Dense{
+				W: &Param{Value: mat.NewFromData(ls.In, ls.Out, ls.W), Grad: mat.New(ls.In, ls.Out)},
+				B: &Param{Value: mat.NewFromData(1, ls.Out, ls.B), Grad: mat.New(1, ls.Out)},
+			}
+			n.Layers = append(n.Layers, d)
+		case "activation":
+			act, err := ActivationByName(ls.Name)
+			if err != nil {
+				return err
+			}
+			n.Layers = append(n.Layers, act)
+		default:
+			return fmt.Errorf("nn: unknown layer kind %q", ls.Kind)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the network (weights copied, gradients fresh).
+func (n *Network) Clone() *Network {
+	out := &Network{}
+	for _, l := range n.Layers {
+		switch v := l.(type) {
+		case *Dense:
+			out.Layers = append(out.Layers, &Dense{
+				W: &Param{Name: v.W.Name, Value: v.W.Value.Clone(), Grad: mat.New(v.W.Grad.Rows, v.W.Grad.Cols)},
+				B: &Param{Name: v.B.Name, Value: v.B.Value.Clone(), Grad: mat.New(v.B.Grad.Rows, v.B.Grad.Cols)},
+			})
+		case *Activation:
+			act, err := ActivationByName(v.Name)
+			if err != nil {
+				panic(err) // activations constructed by this package always round-trip
+			}
+			out.Layers = append(out.Layers, act)
+		default:
+			panic(fmt.Sprintf("nn: cannot clone layer of type %T", l))
+		}
+	}
+	return out
+}

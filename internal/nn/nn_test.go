@@ -1,0 +1,307 @@
+package nn
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"prodigy/internal/mat"
+)
+
+// numericGradient estimates dLoss/dParam[i] by central differences.
+func numericGradient(n *Network, x, y *mat.Matrix, loss Loss, p *Param, i int) float64 {
+	const h = 1e-5
+	orig := p.Value.Data[i]
+	p.Value.Data[i] = orig + h
+	lp, _ := loss.Compute(n.Forward(x), y)
+	p.Value.Data[i] = orig - h
+	lm, _ := loss.Compute(n.Forward(x), y)
+	p.Value.Data[i] = orig
+	return (lp - lm) / (2 * h)
+}
+
+// TestGradientCheck verifies analytic gradients against finite differences
+// for an MLP with every supported activation.
+func TestGradientCheck(t *testing.T) {
+	for _, act := range []string{"relu", "leaky_relu", "sigmoid", "tanh"} {
+		for _, loss := range []Loss{MSELoss{}, MAELoss{}} {
+			rng := rand.New(rand.NewSource(42))
+			net, err := NewMLP([]int{4, 6, 3}, act, "", rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			x := mat.Randn(5, 4, 1, rng)
+			y := mat.Randn(5, 3, 1, rng)
+
+			net.ZeroGrads()
+			pred := net.Forward(x)
+			_, grad := loss.Compute(pred, y)
+			net.Backward(grad)
+
+			for _, p := range net.Params() {
+				for _, i := range []int{0, len(p.Value.Data) / 2, len(p.Value.Data) - 1} {
+					want := numericGradient(net, x, y, loss, p, i)
+					got := p.Grad.Data[i]
+					// MAE's kink makes finite differences noisy; allow more slack.
+					tol := 1e-6
+					if loss.Name() == "mae" {
+						tol = 1e-3
+					}
+					if math.Abs(got-want) > tol*(1+math.Abs(want)) {
+						t.Fatalf("%s/%s %s[%d]: analytic %v vs numeric %v", act, loss.Name(), p.Name, i, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBCEGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	net, err := NewMLP([]int{3, 5, 1}, "tanh", "sigmoid", rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := mat.Randn(6, 3, 1, rng)
+	y := mat.New(6, 1)
+	for i := 0; i < 6; i++ {
+		y.Set(i, 0, float64(i%2))
+	}
+	loss := BCELoss{}
+	net.ZeroGrads()
+	_, grad := loss.Compute(net.Forward(x), y)
+	net.Backward(grad)
+	for _, p := range net.Params() {
+		i := len(p.Value.Data) / 2
+		want := numericGradient(net, x, y, loss, p, i)
+		got := p.Grad.Data[i]
+		if math.Abs(got-want) > 1e-5*(1+math.Abs(want)) {
+			t.Fatalf("BCE %s[%d]: analytic %v vs numeric %v", p.Name, i, got, want)
+		}
+	}
+}
+
+// TestTrainLearnsIdentity trains a small autoencoder-shaped net to copy its
+// input; the loss must fall by an order of magnitude.
+func TestTrainLearnsIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	net, err := NewMLP([]int{8, 4, 8}, "tanh", "", rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Low-rank data: 3 latent dims embedded in 8, so a 4-wide bottleneck
+	// can represent it exactly.
+	z := mat.Randn(64, 3, 0.5, rng)
+	emb := mat.Randn(3, 8, 1, rng)
+	x := mat.MatMul(z, emb)
+	initial, _ := MSELoss{}.Compute(net.Forward(x), x)
+	final, err := Train(net, x, x, MSELoss{}, NewAdam(0.01),
+		TrainConfig{Epochs: 300, BatchSize: 16}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final > initial/10 {
+		t.Fatalf("loss %v -> %v: did not learn", initial, final)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	net, _ := NewMLP([]int{2, 2}, "", "", rng)
+	if _, err := Train(net, mat.New(3, 2), mat.New(4, 2), MSELoss{}, NewSGD(0.1), TrainConfig{Epochs: 1}, rng); err == nil {
+		t.Fatal("expected row-mismatch error")
+	}
+	if _, err := Train(net, mat.New(0, 2), mat.New(0, 2), MSELoss{}, NewSGD(0.1), TrainConfig{Epochs: 1}, rng); err == nil {
+		t.Fatal("expected empty-set error")
+	}
+	if _, err := Train(net, mat.New(3, 2), mat.New(3, 2), MSELoss{}, NewSGD(0.1), TrainConfig{}, rng); err == nil {
+		t.Fatal("expected epoch validation error")
+	}
+}
+
+func TestSGDMomentumAndAdamReduceLoss(t *testing.T) {
+	for name, opt := range map[string]Optimizer{
+		"sgd":          NewSGD(0.05),
+		"sgd+momentum": &SGD{LR: 0.01, Momentum: 0.9},
+		"adam":         NewAdam(0.01),
+	} {
+		rng := rand.New(rand.NewSource(3))
+		net, _ := NewMLP([]int{4, 8, 2}, "relu", "", rng)
+		x := mat.Randn(32, 4, 1, rng)
+		// Learnable linear target.
+		w := mat.Randn(4, 2, 1, rng)
+		y := mat.MatMul(x, w)
+		first, _ := MSELoss{}.Compute(net.Forward(x), y)
+		last, err := Train(net, x, y, MSELoss{}, opt, TrainConfig{Epochs: 200, BatchSize: 8}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if last >= first {
+			t.Fatalf("%s: loss %v -> %v did not decrease", name, first, last)
+		}
+	}
+}
+
+func TestMLPValidatesWidths(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewMLP([]int{3}, "relu", "", rng); err == nil {
+		t.Fatal("expected error for single width")
+	}
+	if _, err := NewMLP([]int{3, 2, 2}, "nosuch", "", rng); err == nil {
+		t.Fatal("expected error for unknown hidden activation")
+	}
+	if _, err := NewMLP([]int{3, 2}, "", "nosuch", rng); err == nil {
+		t.Fatal("expected error for unknown output activation")
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	net, _ := NewMLP([]int{5, 3, 5}, "sigmoid", "tanh", rng)
+	x := mat.Randn(4, 5, 1, rng)
+	want := net.Forward(x)
+
+	blob, err := json.Marshal(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := &Network{}
+	if err := json.Unmarshal(blob, restored); err != nil {
+		t.Fatal(err)
+	}
+	got := restored.Forward(x)
+	if !mat.Equal(got, want, 1e-12) {
+		t.Fatal("restored network gives different outputs")
+	}
+	if restored.NumParams() != net.NumParams() {
+		t.Fatal("parameter count changed")
+	}
+}
+
+func TestUnmarshalRejectsCorrupt(t *testing.T) {
+	bad := []string{
+		`{"layers":[{"kind":"dense","in":2,"out":2,"w":[1],"b":[0,0]}]}`,
+		`{"layers":[{"kind":"dense","in":1,"out":2,"w":[1,2],"b":[0]}]}`,
+		`{"layers":[{"kind":"activation","name":"nosuch"}]}`,
+		`{"layers":[{"kind":"mystery"}]}`,
+	}
+	for _, blob := range bad {
+		n := &Network{}
+		if err := json.Unmarshal([]byte(blob), n); err == nil {
+			t.Fatalf("expected error for %s", blob)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	net, _ := NewMLP([]int{3, 3}, "relu", "", rng)
+	clone := net.Clone()
+	net.Params()[0].Value.Data[0] = 999
+	if clone.Params()[0].Value.Data[0] == 999 {
+		t.Fatal("clone shares weight storage")
+	}
+	x := mat.Randn(2, 3, 1, rng)
+	clone.Forward(x) // must not panic
+}
+
+func TestRowMAEAndRowMSE(t *testing.T) {
+	pred := mat.FromRows([][]float64{{1, 2}, {0, 0}})
+	target := mat.FromRows([][]float64{{2, 4}, {0, 0}})
+	mae := RowMAE(pred, target)
+	if mae[0] != 1.5 || mae[1] != 0 {
+		t.Fatalf("RowMAE = %v", mae)
+	}
+	mse := RowMSE(pred, target)
+	if mse[0] != 2.5 || mse[1] != 0 {
+		t.Fatalf("RowMSE = %v", mse)
+	}
+}
+
+func TestClipGradients(t *testing.T) {
+	p := &Param{Value: mat.New(1, 2), Grad: mat.NewFromData(1, 2, []float64{3, 4})}
+	norm := ClipGradients([]*Param{p}, 1)
+	if math.Abs(norm-5) > 1e-12 {
+		t.Fatalf("pre-clip norm = %v", norm)
+	}
+	after := math.Hypot(p.Grad.Data[0], p.Grad.Data[1])
+	if math.Abs(after-1) > 1e-9 {
+		t.Fatalf("post-clip norm = %v", after)
+	}
+	// Under the bound: untouched.
+	p2 := &Param{Value: mat.New(1, 1), Grad: mat.NewFromData(1, 1, []float64{0.5})}
+	ClipGradients([]*Param{p2}, 1)
+	if p2.Grad.Data[0] != 0.5 {
+		t.Fatal("clip must not rescale small gradients")
+	}
+}
+
+func TestLossValues(t *testing.T) {
+	pred := mat.FromRows([][]float64{{1, 2}})
+	target := mat.FromRows([][]float64{{0, 4}})
+	l, _ := MSELoss{}.Compute(pred, target)
+	if math.Abs(l-2.5) > 1e-12 {
+		t.Fatalf("MSE = %v", l)
+	}
+	l, _ = MAELoss{}.Compute(pred, target)
+	if math.Abs(l-1.5) > 1e-12 {
+		t.Fatalf("MAE = %v", l)
+	}
+	// BCE of a perfect confident prediction is ~0.
+	p := mat.FromRows([][]float64{{0.9999999, 0.0000001}})
+	y := mat.FromRows([][]float64{{1, 0}})
+	l, _ = BCELoss{}.Compute(p, y)
+	if l > 1e-5 {
+		t.Fatalf("BCE of near-perfect = %v", l)
+	}
+}
+
+// Property: a forward pass never produces NaN for finite inputs and finite
+// weights, across activations.
+func TestQuickForwardFinite(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		acts := []string{"relu", "leaky_relu", "sigmoid", "tanh"}
+		net, err := NewMLP([]int{3, 5, 2}, acts[rng.Intn(len(acts))], "", rng)
+		if err != nil {
+			return false
+		}
+		x := mat.Randn(4, 3, 10, rng)
+		out := net.Forward(x)
+		for _, v := range out.Data {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Dense backward returns a gradient with the input's shape and
+// accumulates (two backward passes double the parameter gradient).
+func TestQuickBackwardAccumulates(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := NewDense(3, 4, rng)
+		x := mat.Randn(5, 3, 1, rng)
+		g := mat.Randn(5, 4, 1, rng)
+		d.Forward(x)
+		dx := d.Backward(g)
+		if dx.Rows != 5 || dx.Cols != 3 {
+			return false
+		}
+		once := d.W.Grad.Clone()
+		d.Forward(x)
+		d.Backward(g)
+		twice := d.W.Grad
+		return mat.Equal(twice, once.Scale(2), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

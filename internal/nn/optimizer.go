@@ -1,0 +1,113 @@
+package nn
+
+import (
+	"math"
+
+	"prodigy/internal/mat"
+)
+
+// Optimizer updates parameters from their accumulated gradients and then
+// clears the gradients.
+type Optimizer interface {
+	Step(params []*Param)
+}
+
+// SGD is plain stochastic gradient descent with optional momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	velocity map[*Param]*mat.Matrix
+}
+
+// NewSGD returns an SGD optimizer with the given learning rate and no
+// momentum.
+func NewSGD(lr float64) *SGD { return &SGD{LR: lr} }
+
+// Step implements Optimizer.
+func (o *SGD) Step(params []*Param) {
+	if o.Momentum != 0 && o.velocity == nil {
+		o.velocity = make(map[*Param]*mat.Matrix)
+	}
+	for _, p := range params {
+		if o.Momentum != 0 {
+			v, ok := o.velocity[p]
+			if !ok {
+				v = mat.New(p.Grad.Rows, p.Grad.Cols)
+				o.velocity[p] = v
+			}
+			for i := range v.Data {
+				v.Data[i] = o.Momentum*v.Data[i] - o.LR*p.Grad.Data[i]
+				p.Value.Data[i] += v.Data[i]
+			}
+		} else {
+			for i := range p.Value.Data {
+				p.Value.Data[i] -= o.LR * p.Grad.Data[i]
+			}
+		}
+		p.ZeroGrad()
+	}
+}
+
+// Adam implements Kingma & Ba's Adam optimizer with bias correction.
+type Adam struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Epsilon float64
+
+	t int
+	m map[*Param]*mat.Matrix
+	v map[*Param]*mat.Matrix
+}
+
+// NewAdam returns an Adam optimizer with the standard defaults
+// (β1=0.9, β2=0.999, ε=1e-8).
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Epsilon: 1e-8,
+		m: make(map[*Param]*mat.Matrix), v: make(map[*Param]*mat.Matrix)}
+}
+
+// Step implements Optimizer.
+func (o *Adam) Step(params []*Param) {
+	o.t++
+	bc1 := 1 - math.Pow(o.Beta1, float64(o.t))
+	bc2 := 1 - math.Pow(o.Beta2, float64(o.t))
+	for _, p := range params {
+		m, ok := o.m[p]
+		if !ok {
+			m = mat.New(p.Grad.Rows, p.Grad.Cols)
+			o.m[p] = m
+			o.v[p] = mat.New(p.Grad.Rows, p.Grad.Cols)
+		}
+		v := o.v[p]
+		for i, g := range p.Grad.Data {
+			m.Data[i] = o.Beta1*m.Data[i] + (1-o.Beta1)*g
+			v.Data[i] = o.Beta2*v.Data[i] + (1-o.Beta2)*g*g
+			mh := m.Data[i] / bc1
+			vh := v.Data[i] / bc2
+			p.Value.Data[i] -= o.LR * mh / (math.Sqrt(vh) + o.Epsilon)
+		}
+		p.ZeroGrad()
+	}
+}
+
+// ClipGradients scales all gradients down so the global L2 norm does not
+// exceed maxNorm. It returns the pre-clip norm.
+func ClipGradients(params []*Param, maxNorm float64) float64 {
+	total := 0.0
+	for _, p := range params {
+		for _, g := range p.Grad.Data {
+			total += g * g
+		}
+	}
+	norm := math.Sqrt(total)
+	if norm > maxNorm && norm > 0 {
+		scale := maxNorm / norm
+		for _, p := range params {
+			for i := range p.Grad.Data {
+				p.Grad.Data[i] *= scale
+			}
+		}
+	}
+	return norm
+}

@@ -1,0 +1,80 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"prodigy/internal/mat"
+)
+
+// TrainConfig controls a minibatch training loop.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	// ClipNorm bounds the global gradient norm per step; 0 disables clipping.
+	ClipNorm float64
+	// Verbose, when non-nil, receives one line per log interval.
+	Verbose func(epoch int, loss float64)
+	// LogEvery controls the Verbose cadence; 0 defaults to every 100 epochs.
+	LogEvery int
+}
+
+// Train fits the network to reconstruct (or map) x → y with the given loss
+// and optimizer, shuffling minibatches with rng each epoch. It returns the
+// mean training loss of the final epoch.
+func Train(n *Network, x, y *mat.Matrix, loss Loss, opt Optimizer, cfg TrainConfig, rng *rand.Rand) (float64, error) {
+	if x.Rows != y.Rows {
+		return 0, fmt.Errorf("nn: %d inputs for %d targets", x.Rows, y.Rows)
+	}
+	if x.Rows == 0 {
+		return 0, fmt.Errorf("nn: empty training set")
+	}
+	if cfg.Epochs <= 0 {
+		return 0, fmt.Errorf("nn: epochs must be positive, got %d", cfg.Epochs)
+	}
+	bs := cfg.BatchSize
+	if bs <= 0 || bs > x.Rows {
+		bs = x.Rows
+	}
+	logEvery := cfg.LogEvery
+	if logEvery <= 0 {
+		logEvery = 100
+	}
+	idx := make([]int, x.Rows)
+	for i := range idx {
+		idx[i] = i
+	}
+	finalLoss := 0.0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		epochLoss := 0.0
+		batches := 0
+		for start := 0; start < len(idx); start += bs {
+			end := start + bs
+			if end > len(idx) {
+				end = len(idx)
+			}
+			batch := idx[start:end]
+			xb := x.SelectRows(batch)
+			yb := y.SelectRows(batch)
+			pred := n.Forward(xb)
+			l, grad := loss.Compute(pred, yb)
+			n.Backward(grad)
+			if cfg.ClipNorm > 0 {
+				ClipGradients(n.Params(), cfg.ClipNorm)
+			}
+			opt.Step(n.Params())
+			epochLoss += l
+			batches++
+		}
+		finalLoss = epochLoss / float64(batches)
+		if cfg.Verbose != nil && (epoch%logEvery == 0 || epoch == cfg.Epochs-1) {
+			cfg.Verbose(epoch, finalLoss)
+		}
+	}
+	return finalLoss, nil
+}
+
+// Predict runs a forward pass without caching anything the caller can see;
+// it is a convenience alias that makes call sites read as inference.
+func Predict(n *Network, x *mat.Matrix) *mat.Matrix { return n.Forward(x) }

@@ -1,0 +1,365 @@
+// Package online adds streaming anomaly detection on top of Prodigy: the
+// operational-data-analytics direction of §2.2 ("real-time system
+// insights") taken to its conclusion. Instead of waiting for a job to
+// finish, a Detector consumes the LDMS row stream directly (it implements
+// ldms.Sink, so it can sit next to — or instead of — the DSOS store in the
+// aggregation fan-in), maintains a sliding window per (job, component),
+// and emits a prediction event every stride seconds.
+//
+// Window-level feature vectors are distributed differently from whole-run
+// vectors (sums scale with length, trends shorten), so the model must be
+// trained on windows too: BuildWindowDataset slices stored telemetry into
+// the same windows the Detector will see.
+package online
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"prodigy/internal/dsos"
+	"prodigy/internal/features"
+	"prodigy/internal/ldms"
+	"prodigy/internal/mat"
+	"prodigy/internal/pipeline"
+	"prodigy/internal/timeseries"
+)
+
+// Event is one window-level prediction for one compute node.
+type Event struct {
+	JobID       int64
+	Component   int
+	WindowStart int64
+	WindowEnd   int64
+	Score       float64
+	Anomalous   bool
+}
+
+// Predictor is the model contract the detector needs (satisfied by
+// core.Prodigy).
+type Predictor interface {
+	DetectVector(vec []float64) (anomalous bool, score float64)
+	FeatureNames() []string
+}
+
+// Config tunes the streaming detector.
+type Config struct {
+	// Window is the feature window length in seconds.
+	Window int64
+	// Stride is how far the window advances between predictions.
+	Stride int64
+	// Grace is how many seconds past a window's end to wait for stragglers
+	// before flushing (dropped samples interpolate).
+	Grace int64
+	// Catalog must match the model's training catalog.
+	Catalog *features.Catalog
+}
+
+// DefaultConfig returns a 60-second window advancing every 30 seconds.
+func DefaultConfig() Config {
+	return Config{Window: 60, Stride: 30, Grace: 2, Catalog: features.Default()}
+}
+
+// Detector is a streaming window detector. It is safe for concurrent
+// Ingest calls (the LDMS aggregator contract).
+type Detector struct {
+	Cfg     Config
+	Model   Predictor
+	OnEvent func(Event)
+
+	accumulated map[string]bool
+	mu          sync.Mutex
+	buffers     map[streamKey]*streamBuffer
+}
+
+type streamKey struct {
+	job  int64
+	comp int
+}
+
+// streamBuffer accumulates one node's rows until windows complete.
+type streamBuffer struct {
+	rows map[ldms.SamplerName][]ldms.Row
+	// nextStart is the origin of the next window to flush.
+	nextStart int64
+	// watermark is the latest timestamp seen from any sampler.
+	watermark int64
+}
+
+// NewDetector wires a streaming detector. onEvent is called synchronously
+// from Ingest whenever a window completes; keep it fast or hand off.
+func NewDetector(cfg Config, model Predictor, onEvent func(Event)) (*Detector, error) {
+	if cfg.Window <= 0 || cfg.Stride <= 0 {
+		return nil, fmt.Errorf("online: window %d / stride %d must be positive", cfg.Window, cfg.Stride)
+	}
+	if cfg.Catalog == nil {
+		cfg.Catalog = features.Default()
+	}
+	if model == nil {
+		return nil, fmt.Errorf("online: nil model")
+	}
+	acc := map[string]bool{}
+	for _, name := range ldms.AccumulatedNames() {
+		acc[name] = true
+	}
+	return &Detector{
+		Cfg:         cfg,
+		Model:       model,
+		OnEvent:     onEvent,
+		accumulated: acc,
+		buffers:     make(map[streamKey]*streamBuffer),
+	}, nil
+}
+
+// Ingest implements ldms.Sink: buffer the row and flush any completed
+// windows for its node.
+func (d *Detector) Ingest(r ldms.Row) {
+	key := streamKey{job: r.JobID, comp: r.Component}
+	d.mu.Lock()
+	b, ok := d.buffers[key]
+	if !ok {
+		b = &streamBuffer{rows: make(map[ldms.SamplerName][]ldms.Row)}
+		d.buffers[key] = b
+	}
+	b.rows[r.Sampler] = append(b.rows[r.Sampler], r)
+	if r.Timestamp > b.watermark {
+		b.watermark = r.Timestamp
+	}
+	var events []Event
+	for b.watermark >= b.nextStart+d.Cfg.Window+d.Cfg.Grace {
+		if ev, ok := d.flushWindow(key, b); ok {
+			events = append(events, ev)
+		}
+		b.nextStart += d.Cfg.Stride
+	}
+	d.mu.Unlock()
+	if d.OnEvent != nil {
+		for _, ev := range events {
+			d.OnEvent(ev)
+		}
+	}
+}
+
+// Flush forces prediction of any window that has at least half its data,
+// for end-of-job cleanup. It returns the emitted events.
+func (d *Detector) Flush() []Event {
+	d.mu.Lock()
+	var events []Event
+	keys := make([]streamKey, 0, len(d.buffers))
+	for key := range d.buffers {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].job != keys[j].job {
+			return keys[i].job < keys[j].job
+		}
+		return keys[i].comp < keys[j].comp
+	})
+	for _, key := range keys {
+		b := d.buffers[key]
+		for b.watermark >= b.nextStart+d.Cfg.Window/2 {
+			if ev, ok := d.flushWindow(key, b); ok {
+				events = append(events, ev)
+			}
+			b.nextStart += d.Cfg.Stride
+		}
+	}
+	d.mu.Unlock()
+	if d.OnEvent != nil {
+		for _, ev := range events {
+			d.OnEvent(ev)
+		}
+	}
+	return events
+}
+
+// flushWindow assembles, preprocesses and predicts one window. Caller
+// holds d.mu.
+func (d *Detector) flushWindow(key streamKey, b *streamBuffer) (Event, bool) {
+	start := b.nextStart
+	end := start + d.Cfg.Window
+	var tables []*timeseries.Table
+	for _, sampler := range ldms.AllSamplers {
+		rows := b.rows[sampler]
+		if len(rows) == 0 {
+			continue
+		}
+		tb := rowsToTable(rows, sampler, start, end)
+		if tb.Len() > 0 {
+			tables = append(tables, tb)
+		}
+	}
+	if len(tables) == 0 {
+		return Event{}, false
+	}
+	window := timeseries.Align(tables...)
+	if window.Len() < int(d.Cfg.Window)/2 {
+		return Event{}, false // too sparse to trust
+	}
+	window.InterpolateAll()
+	acc := make([]string, 0, len(d.accumulated))
+	for name := range d.accumulated {
+		acc = append(acc, name)
+	}
+	sort.Strings(acc)
+	window.DiffColumns(acc)
+	window.SortColumns()
+
+	_, vec := d.Cfg.Catalog.ExtractTable(window)
+	if len(vec) != len(d.Model.FeatureNames()) {
+		// Schema mismatch (e.g. a GPU node against a CPU model): skip
+		// rather than emit garbage.
+		return Event{}, false
+	}
+	anomalous, score := d.Model.DetectVector(vec)
+
+	// Drop rows that can no longer contribute to any future window.
+	horizon := start + d.Cfg.Stride
+	for sampler, rows := range b.rows {
+		keep := rows[:0]
+		for _, r := range rows {
+			if r.Timestamp >= horizon {
+				keep = append(keep, r)
+			}
+		}
+		b.rows[sampler] = keep
+	}
+	return Event{
+		JobID:       key.job,
+		Component:   key.comp,
+		WindowStart: start,
+		WindowEnd:   end,
+		Score:       score,
+		Anomalous:   anomalous,
+	}, true
+}
+
+// rowsToTable builds a sampler table over [start, end) from buffered rows.
+func rowsToTable(rows []ldms.Row, sampler ldms.SamplerName, start, end int64) *timeseries.Table {
+	var inWindow []ldms.Row
+	for _, r := range rows {
+		if r.Timestamp >= start && r.Timestamp < end {
+			inWindow = append(inWindow, r)
+		}
+	}
+	sort.Slice(inWindow, func(i, j int) bool { return inWindow[i].Timestamp < inWindow[j].Timestamp })
+	ts := make([]int64, len(inWindow))
+	for i, r := range inWindow {
+		ts[i] = r.Timestamp
+	}
+	tb := timeseries.NewTable(ts)
+	if len(inWindow) == 0 {
+		return tb
+	}
+	// Collect the metric union, then fill columns.
+	metricSet := map[string]bool{}
+	for _, r := range inWindow {
+		for m := range r.Values {
+			metricSet[m] = true
+		}
+	}
+	metrics := make([]string, 0, len(metricSet))
+	for m := range metricSet {
+		metrics = append(metrics, m)
+	}
+	sort.Strings(metrics)
+	for _, m := range metrics {
+		col := make([]float64, len(inWindow))
+		for i, r := range inWindow {
+			if v, ok := r.Values[m]; ok {
+				col[i] = v
+			} else {
+				col[i] = timeseries.Missing
+			}
+		}
+		tb.AddColumn(fmt.Sprintf("%s::%s", m, sampler), col)
+	}
+	return tb
+}
+
+// BuildWindowDataset slices stored telemetry into windows and extracts one
+// sample per (job, component, window) — the training counterpart of the
+// streaming detector. Ground truth comes from truth (job → anomalous
+// components), matching DatasetBuilder.AddJob's convention.
+func BuildWindowDataset(store *dsos.Store, jobs map[int64]map[int][2]string, apps map[int64]string,
+	cfg Config) (*pipeline.Dataset, error) {
+	gen := pipeline.NewDataGenerator(store)
+	gen.TrimSeconds = 0 // windows handle boundaries themselves
+	builder := &windowAccumulator{catalog: cfg.Catalog}
+
+	jobIDs := make([]int64, 0, len(jobs))
+	for id := range jobs {
+		jobIDs = append(jobIDs, id)
+	}
+	sort.Slice(jobIDs, func(i, j int) bool { return jobIDs[i] < jobIDs[j] })
+	for _, jobID := range jobIDs {
+		tables, err := gen.JobTables(jobID)
+		if err != nil {
+			return nil, err
+		}
+		comps := store.Components(jobID)
+		for _, comp := range comps {
+			tb, ok := tables[comp]
+			if !ok || tb.Len() == 0 {
+				continue
+			}
+			meta := pipeline.SampleMeta{JobID: jobID, Component: comp, App: apps[jobID], Anomaly: "none", Label: pipeline.Healthy}
+			if truth, anom := jobs[jobID][comp]; anom {
+				meta.Anomaly = truth[0]
+				meta.Config = truth[1]
+				meta.Label = pipeline.Anomalous
+			}
+			last := tb.Timestamps[tb.Len()-1]
+			for start := tb.Timestamps[0]; start+cfg.Window <= last+1; start += cfg.Stride {
+				w := tb.Window(start, start+cfg.Window)
+				if w.Len() < int(cfg.Window)/2 {
+					continue
+				}
+				m := meta
+				m.WindowStart = start
+				builder.add(m, w)
+			}
+		}
+	}
+	return builder.build()
+}
+
+// windowAccumulator assembles the window dataset.
+type windowAccumulator struct {
+	catalog *features.Catalog
+	names   []string
+	rows    [][]float64
+	meta    []pipeline.SampleMeta
+}
+
+func (w *windowAccumulator) add(meta pipeline.SampleMeta, tb *timeseries.Table) {
+	names, vec := w.catalog.ExtractTable(tb)
+	if w.names == nil {
+		w.names = names
+	}
+	if len(vec) != len(w.names) {
+		return // mixed schema window; skip
+	}
+	w.rows = append(w.rows, vec)
+	w.meta = append(w.meta, meta)
+}
+
+func (w *windowAccumulator) build() (*pipeline.Dataset, error) {
+	if len(w.rows) == 0 {
+		return nil, fmt.Errorf("online: no windows extracted")
+	}
+	flat := make([]float64, 0, len(w.rows)*len(w.names))
+	for _, r := range w.rows {
+		flat = append(flat, r...)
+	}
+	return &pipeline.Dataset{
+		FeatureNames: w.names,
+		X:            matFromFlat(len(w.rows), len(w.names), flat),
+		Meta:         w.meta,
+	}, nil
+}
+
+// matFromFlat wraps a flat row-major buffer as a matrix.
+func matFromFlat(rows, cols int, data []float64) *mat.Matrix {
+	return mat.NewFromData(rows, cols, data)
+}

@@ -1,0 +1,326 @@
+// Package pipeline implements the data processing and training pipeline of
+// the paper's deployment architecture (§4.2): DataGenerator (query +
+// preprocessing), DataPipeline (feature extraction + scaling), ModelTrainer
+// (training + artifact persistence) and AnomalyDetector (inference). The
+// classes mirror Figure 3 and Figure 4 of the paper.
+package pipeline
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"prodigy/internal/dsos"
+	"prodigy/internal/features"
+	"prodigy/internal/ldms"
+	"prodigy/internal/mat"
+	"prodigy/internal/timeseries"
+)
+
+// Labels for samples. A sample is one (job, component) pair reduced to a
+// feature vector (paper §1, footnote 3).
+const (
+	Healthy   = 0
+	Anomalous = 1
+)
+
+// SampleMeta carries the identity and ground truth of one sample.
+type SampleMeta struct {
+	JobID     int64  `json:"job_id"`
+	Component int    `json:"component_id"`
+	App       string `json:"app"`
+	// Anomaly is the injected anomaly type ("none" for healthy runs).
+	Anomaly string `json:"anomaly"`
+	// Config is the injector configuration string (Table 2).
+	Config string `json:"config"`
+	Label  int    `json:"label"`
+	// WindowStart marks the window origin (seconds) for window-level
+	// samples produced by the online-detection extension; 0 for whole-run
+	// samples.
+	WindowStart int64 `json:"window_start,omitempty"`
+}
+
+// Dataset is a feature matrix with per-sample metadata.
+type Dataset struct {
+	FeatureNames []string
+	X            *mat.Matrix
+	Meta         []SampleMeta
+}
+
+// Labels returns the per-sample ground-truth labels.
+func (d *Dataset) Labels() []int {
+	out := make([]int, len(d.Meta))
+	for i, m := range d.Meta {
+		out[i] = m.Label
+	}
+	return out
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return len(d.Meta) }
+
+// Subset returns a dataset restricted to the given sample indices.
+func (d *Dataset) Subset(idx []int) *Dataset {
+	meta := make([]SampleMeta, len(idx))
+	for i, j := range idx {
+		meta[i] = d.Meta[j]
+	}
+	return &Dataset{FeatureNames: d.FeatureNames, X: d.X.SelectRows(idx), Meta: meta}
+}
+
+// IndicesWhere returns the indices of samples satisfying pred.
+func (d *Dataset) IndicesWhere(pred func(SampleMeta) bool) []int {
+	var out []int
+	for i, m := range d.Meta {
+		if pred(m) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// HealthyIndices returns the indices of healthy samples.
+func (d *Dataset) HealthyIndices() []int {
+	return d.IndicesWhere(func(m SampleMeta) bool { return m.Label == Healthy })
+}
+
+// AnomalousIndices returns the indices of anomalous samples.
+func (d *Dataset) AnomalousIndices() []int {
+	return d.IndicesWhere(func(m SampleMeta) bool { return m.Label == Anomalous })
+}
+
+// Concat appends other's samples to d's (feature spaces must match).
+func Concat(a, b *Dataset) (*Dataset, error) {
+	if a.X.Cols != b.X.Cols {
+		return nil, fmt.Errorf("pipeline: concat width mismatch %d vs %d", a.X.Cols, b.X.Cols)
+	}
+	meta := make([]SampleMeta, 0, len(a.Meta)+len(b.Meta))
+	meta = append(meta, a.Meta...)
+	meta = append(meta, b.Meta...)
+	return &Dataset{FeatureNames: a.FeatureNames, X: mat.VStack(a.X, b.X), Meta: meta}, nil
+}
+
+// DataGenerator performs the preprocessing of §4.2.1: query raw sampler
+// data for a job, trim initialization/termination boundaries, linearly
+// interpolate missing values, and first-difference accumulated counters.
+type DataGenerator struct {
+	Store *dsos.Store
+	// TrimSeconds removes this many seconds from each end (paper: 60).
+	TrimSeconds int
+	// accumulated caches the counter list.
+	accumulated []string
+}
+
+// NewDataGenerator returns a generator with the paper's 60-second trim.
+func NewDataGenerator(store *dsos.Store) *DataGenerator {
+	return &DataGenerator{Store: store, TrimSeconds: 60, accumulated: ldms.AccumulatedNames()}
+}
+
+// JobTables returns the preprocessed per-component telemetry tables of a
+// job, ready for feature extraction.
+func (g *DataGenerator) JobTables(jobID int64) (map[int]*timeseries.Table, error) {
+	raw, err := g.Store.QueryJob(jobID)
+	if err != nil {
+		return nil, err
+	}
+	acc := g.accumulated
+	if acc == nil {
+		acc = ldms.AccumulatedNames()
+	}
+	for _, tb := range raw {
+		tb.InterpolateAll()
+		tb.DiffColumns(acc)
+		tb.TrimBoundary(g.TrimSeconds)
+		tb.SortColumns()
+	}
+	return raw, nil
+}
+
+// DataPipeline performs feature extraction (§4.2.1's FeatureExtractor): it
+// turns preprocessed tables into fixed-width feature vectors with stable
+// names.
+type DataPipeline struct {
+	Catalog *features.Catalog
+}
+
+// NewDataPipeline returns a pipeline over the default (efficient) catalog.
+func NewDataPipeline() *DataPipeline {
+	return &DataPipeline{Catalog: features.Default()}
+}
+
+// ExtractTable converts one component's table into (names, vector).
+func (p *DataPipeline) ExtractTable(tb *timeseries.Table) ([]string, []float64) {
+	return p.Catalog.ExtractTable(tb)
+}
+
+// jobSpec pairs a job ID with its ground truth for dataset assembly.
+type jobSpec struct {
+	jobID int64
+	app   string
+	// perNode ground truth; nodes absent are healthy.
+	anomalies map[int]anomalyTruth
+}
+
+type anomalyTruth struct {
+	name   string
+	config string
+}
+
+// DatasetBuilder assembles labeled datasets from a store, extracting
+// samples in parallel.
+type DatasetBuilder struct {
+	Gen  *DataGenerator
+	Pipe *DataPipeline
+
+	mu    sync.Mutex
+	specs []jobSpec
+}
+
+// NewDatasetBuilder wires a generator and pipeline over one store.
+func NewDatasetBuilder(store *dsos.Store) *DatasetBuilder {
+	return &DatasetBuilder{Gen: NewDataGenerator(store), Pipe: NewDataPipeline()}
+}
+
+// AddJob registers a job's ground truth: the application it ran and, per
+// anomalous node, the injected anomaly name and config.
+func (b *DatasetBuilder) AddJob(jobID int64, app string, anomalies map[int][2]string) {
+	spec := jobSpec{jobID: jobID, app: app, anomalies: make(map[int]anomalyTruth)}
+	for node, a := range anomalies {
+		spec.anomalies[node] = anomalyTruth{name: a[0], config: a[1]}
+	}
+	b.mu.Lock()
+	b.specs = append(b.specs, spec)
+	b.mu.Unlock()
+}
+
+// task pairs one sample's metadata with its preprocessed table.
+type task struct {
+	meta  SampleMeta
+	table *timeseries.Table
+}
+
+// collectTasks gathers the preprocessed per-node tables of every
+// registered job.
+func (b *DatasetBuilder) collectTasks() ([]task, error) {
+	b.mu.Lock()
+	specs := make([]jobSpec, len(b.specs))
+	copy(specs, b.specs)
+	b.mu.Unlock()
+
+	var tasks []task
+	for _, spec := range specs {
+		tables, err := b.Gen.JobTables(spec.jobID)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: job %d: %w", spec.jobID, err)
+		}
+		comps := b.Gen.Store.Components(spec.jobID)
+		for _, comp := range comps {
+			tb, ok := tables[comp]
+			if !ok {
+				continue
+			}
+			meta := SampleMeta{JobID: spec.jobID, Component: comp, App: spec.app, Anomaly: "none", Label: Healthy}
+			if truth, anom := spec.anomalies[comp]; anom {
+				meta.Anomaly = truth.name
+				meta.Config = truth.config
+				meta.Label = Anomalous
+			}
+			tasks = append(tasks, task{meta: meta, table: tb})
+		}
+	}
+	if len(tasks) == 0 {
+		return nil, fmt.Errorf("pipeline: no samples to build")
+	}
+	return tasks, nil
+}
+
+// NodeClass identifies a node's metric-schema class for heterogeneous
+// systems: "gpu" for nodes reporting the dcgm sampler, "cpu" otherwise.
+func NodeClass(tb *timeseries.Table) string {
+	for _, m := range tb.Order {
+		if strings.HasSuffix(m, "::dcgm") {
+			return "gpu"
+		}
+	}
+	return "cpu"
+}
+
+// Build extracts every registered job into one dataset. Samples appear in
+// (job registration, component) order. All nodes must share one metric
+// schema; for mixed CPU/GPU campaigns use BuildPartitioned.
+func (b *DatasetBuilder) Build() (*Dataset, error) {
+	tasks, err := b.collectTasks()
+	if err != nil {
+		return nil, err
+	}
+	return b.extract(tasks)
+}
+
+// BuildPartitioned extracts every registered job into one dataset per node
+// class ("cpu", "gpu") — the per-class models the paper's §7 future work
+// calls for on heterogeneous systems, where GPU and CPU nodes produce
+// different metric sets.
+func (b *DatasetBuilder) BuildPartitioned() (map[string]*Dataset, error) {
+	tasks, err := b.collectTasks()
+	if err != nil {
+		return nil, err
+	}
+	byClass := map[string][]task{}
+	for _, t := range tasks {
+		c := NodeClass(t.table)
+		byClass[c] = append(byClass[c], t)
+	}
+	out := make(map[string]*Dataset, len(byClass))
+	for c, ts := range byClass {
+		ds, err := b.extract(ts)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: class %s: %w", c, err)
+		}
+		out[c] = ds
+	}
+	return out, nil
+}
+
+// extract runs feature extraction over tasks in parallel and assembles the
+// dataset.
+func (b *DatasetBuilder) extract(tasks []task) (*Dataset, error) {
+	// Extract features in parallel across samples.
+	vectors := make([][]float64, len(tasks))
+	var names []string
+	var nameOnce sync.Once
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				ns, vec := b.Pipe.ExtractTable(tasks[i].table)
+				vectors[i] = vec
+				nameOnce.Do(func() { names = ns })
+			}
+		}()
+	}
+	for i := range tasks {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	width := len(vectors[0])
+	x := mat.New(len(tasks), width)
+	meta := make([]SampleMeta, len(tasks))
+	for i, vec := range vectors {
+		if len(vec) != width {
+			return nil, fmt.Errorf("pipeline: sample %d has %d features, expected %d (mismatched metric schemas across jobs)", i, len(vec), width)
+		}
+		copy(x.Row(i), vec)
+		meta[i] = tasks[i].meta
+	}
+	return &Dataset{FeatureNames: names, X: x, Meta: meta}, nil
+}

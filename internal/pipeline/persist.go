@@ -1,0 +1,74 @@
+package pipeline
+
+import (
+	"compress/gzip"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"prodigy/internal/mat"
+)
+
+// datasetWire is the gob wire format for Dataset.
+type datasetWire struct {
+	FeatureNames []string
+	Rows, Cols   int
+	Data         []float64
+	Meta         []SampleMeta
+}
+
+// SaveDataset writes a dataset to path as gzip-compressed gob, creating
+// parent directories. Use the conventional ".dsgz" extension.
+func SaveDataset(ds *Dataset, path string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	zw := gzip.NewWriter(f)
+	enc := gob.NewEncoder(zw)
+	wire := datasetWire{
+		FeatureNames: ds.FeatureNames,
+		Rows:         ds.X.Rows,
+		Cols:         ds.X.Cols,
+		Data:         ds.X.Data,
+		Meta:         ds.Meta,
+	}
+	if err := enc.Encode(wire); err != nil {
+		return err
+	}
+	return zw.Close()
+}
+
+// LoadDataset reads a dataset written by SaveDataset.
+func LoadDataset(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		return nil, err
+	}
+	defer zr.Close()
+	var wire datasetWire
+	if err := gob.NewDecoder(zr).Decode(&wire); err != nil {
+		return nil, err
+	}
+	if len(wire.Data) != wire.Rows*wire.Cols {
+		return nil, fmt.Errorf("pipeline: corrupt dataset: %d values for %dx%d", len(wire.Data), wire.Rows, wire.Cols)
+	}
+	if len(wire.Meta) != wire.Rows {
+		return nil, fmt.Errorf("pipeline: corrupt dataset: %d meta entries for %d rows", len(wire.Meta), wire.Rows)
+	}
+	return &Dataset{
+		FeatureNames: wire.FeatureNames,
+		X:            mat.NewFromData(wire.Rows, wire.Cols, wire.Data),
+		Meta:         wire.Meta,
+	}, nil
+}

@@ -1,0 +1,52 @@
+package pipeline_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"prodigy/internal/mat"
+	"prodigy/internal/pipeline"
+)
+
+func TestDatasetSaveLoadRoundTrip(t *testing.T) {
+	ds, _ := tinyCampaign(t, 8)
+	path := filepath.Join(t.TempDir(), "sub", "campaign.dsgz")
+	if err := pipeline.SaveDataset(ds, path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := pipeline.LoadDataset(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != ds.Len() || loaded.X.Cols != ds.X.Cols {
+		t.Fatalf("shape changed: %dx%d vs %dx%d", loaded.Len(), loaded.X.Cols, ds.Len(), ds.X.Cols)
+	}
+	if !mat.Equal(loaded.X, ds.X, 0) {
+		t.Fatal("feature values changed")
+	}
+	for i := range ds.Meta {
+		if loaded.Meta[i] != ds.Meta[i] {
+			t.Fatalf("meta %d changed: %+v vs %+v", i, loaded.Meta[i], ds.Meta[i])
+		}
+	}
+	for i := range ds.FeatureNames {
+		if loaded.FeatureNames[i] != ds.FeatureNames[i] {
+			t.Fatal("feature names changed")
+		}
+	}
+}
+
+func TestLoadDatasetErrors(t *testing.T) {
+	if _, err := pipeline.LoadDataset("/nonexistent/path.dsgz"); err == nil {
+		t.Fatal("missing file should error")
+	}
+	// Not gzip.
+	bad := filepath.Join(t.TempDir(), "bad.dsgz")
+	if err := os.WriteFile(bad, []byte("not a gzip stream"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pipeline.LoadDataset(bad); err == nil {
+		t.Fatal("corrupt file should error")
+	}
+}

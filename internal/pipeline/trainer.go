@@ -1,0 +1,274 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"prodigy/internal/baselines/usad"
+	"prodigy/internal/featsel"
+	"prodigy/internal/mat"
+	"prodigy/internal/scale"
+	"prodigy/internal/vae"
+)
+
+// Model is the contract detection models implement: fit on healthy feature
+// vectors, then score arbitrary vectors (higher = more anomalous).
+type Model interface {
+	FitHealthy(x *mat.Matrix) error
+	Scores(x *mat.Matrix) []float64
+	Kind() string
+}
+
+// VAEModel adapts vae.VAE to the Model contract.
+type VAEModel struct{ *vae.VAE }
+
+// NewVAEModel constructs an untrained VAE model from a config.
+func NewVAEModel(cfg vae.Config) (*VAEModel, error) {
+	v, err := vae.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &VAEModel{VAE: v}, nil
+}
+
+// FitHealthy implements Model.
+func (m *VAEModel) FitHealthy(x *mat.Matrix) error {
+	_, err := m.Fit(x, nil)
+	return err
+}
+
+// Kind implements Model.
+func (m *VAEModel) Kind() string { return "vae" }
+
+// USADModel adapts usad.USAD to the Model contract.
+type USADModel struct{ *usad.USAD }
+
+// NewUSADModel constructs an untrained USAD model from a config.
+func NewUSADModel(cfg usad.Config) (*USADModel, error) {
+	u, err := usad.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &USADModel{USAD: u}, nil
+}
+
+// FitHealthy implements Model.
+func (m *USADModel) FitHealthy(x *mat.Matrix) error { return m.Fit(x, nil) }
+
+// Kind implements Model.
+func (m *USADModel) Kind() string { return "usad" }
+
+// TrainerConfig controls ModelTrainer.
+type TrainerConfig struct {
+	// TopK features selected by Chi-square (paper: 2000 performs best).
+	TopK int
+	// ThresholdPercentile of training reconstruction errors (paper: 99).
+	ThresholdPercentile float64
+	// ScalerKind is "minmax" (paper default), "standard" or "robust".
+	ScalerKind string
+}
+
+// DefaultTrainerConfig returns the paper's settings.
+func DefaultTrainerConfig() TrainerConfig {
+	return TrainerConfig{TopK: 2000, ThresholdPercentile: 99, ScalerKind: "minmax"}
+}
+
+// ModelTrainer mirrors §4.2.1's ModelTrainer: it owns feature selection,
+// scaling, model fitting and threshold calibration, and persists everything
+// needed for production inference.
+type ModelTrainer struct {
+	Cfg TrainerConfig
+	// NewModel constructs the model for a given (selected) input width.
+	NewModel func(inputDim int) (Model, error)
+}
+
+// Artifact is the deployable bundle ModelTrainer produces: the trained
+// model, scaler, feature selection and metadata (the "model weights, model
+// architecture, scaler, metadata" box of Figure 3).
+type Artifact struct {
+	ModelKind string             `json:"model_kind"`
+	Model     json.RawMessage    `json:"model"`
+	Scaler    json.RawMessage    `json:"scaler"`
+	Selection *featsel.Selection `json:"selection"`
+	Threshold float64            `json:"threshold"`
+	// Metadata for drift checks at inference time.
+	ThresholdPercentile float64  `json:"threshold_percentile"`
+	FullFeatureNames    []string `json:"full_feature_names"`
+	// CatalogTier and TrimSeconds record the extraction settings the model
+	// was trained with so a loaded model reproduces them exactly.
+	CatalogTier int `json:"catalog_tier"`
+	TrimSeconds int `json:"trim_seconds"`
+
+	model  Model
+	scaler scale.Scaler
+}
+
+// Train runs the full §3 flow:
+//  1. Chi-square feature selection on the selection dataset (which must
+//     contain both classes — minimal supervision, §5.4.3);
+//  2. min-max scaling fit on the healthy training samples;
+//  3. model training on scaled healthy samples only;
+//  4. threshold = ThresholdPercentile of training reconstruction errors.
+//
+// selection may be nil, in which case selectData must be non-nil to compute
+// one; pass a precomputed selection to reuse across folds.
+func (t *ModelTrainer) Train(train *Dataset, selectData *Dataset, selection *featsel.Selection) (*Artifact, error) {
+	if t.NewModel == nil {
+		return nil, fmt.Errorf("pipeline: ModelTrainer.NewModel is nil")
+	}
+	if selection == nil {
+		if selectData == nil {
+			return nil, fmt.Errorf("pipeline: need either a selection or selection data")
+		}
+		var err error
+		selection, err = featsel.Select(selectData.X, selectData.Labels(), selectData.FeatureNames, t.Cfg.TopK)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: feature selection: %w", err)
+		}
+	}
+
+	healthy := train.Subset(train.HealthyIndices())
+	if healthy.Len() == 0 {
+		return nil, fmt.Errorf("pipeline: no healthy samples to train on")
+	}
+	xSel := selection.Apply(healthy.X)
+
+	scaler, err := scale.New(t.Cfg.ScalerKind)
+	if err != nil {
+		return nil, err
+	}
+	xScaled := scale.FitTransform(scaler, xSel)
+
+	model, err := t.NewModel(xScaled.Cols)
+	if err != nil {
+		return nil, err
+	}
+	if err := model.FitHealthy(xScaled); err != nil {
+		return nil, err
+	}
+
+	scores := model.Scores(xScaled)
+	threshold := mat.Percentile(scores, t.Cfg.ThresholdPercentile)
+
+	modelBlob, err := json.Marshal(model)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: model not serializable: %w", err)
+	}
+	scalerBlob, err := scale.Marshal(scaler)
+	if err != nil {
+		return nil, err
+	}
+	return &Artifact{
+		ModelKind:           model.Kind(),
+		Model:               modelBlob,
+		Scaler:              scalerBlob,
+		Selection:           selection,
+		Threshold:           threshold,
+		ThresholdPercentile: t.Cfg.ThresholdPercentile,
+		FullFeatureNames:    train.FeatureNames,
+		model:               model,
+		scaler:              scaler,
+	}, nil
+}
+
+// Detector returns an AnomalyDetector over this artifact.
+func (a *Artifact) Detector() (*AnomalyDetector, error) {
+	if a.model == nil || a.scaler == nil {
+		if err := a.rehydrate(); err != nil {
+			return nil, err
+		}
+	}
+	return &AnomalyDetector{artifact: a}, nil
+}
+
+// rehydrate reconstructs the live model and scaler from the serialized
+// blobs (after loading from disk).
+func (a *Artifact) rehydrate() error {
+	scaler, err := scale.Unmarshal(a.Scaler)
+	if err != nil {
+		return err
+	}
+	a.scaler = scaler
+	switch a.ModelKind {
+	case "vae":
+		v := &vae.VAE{}
+		if err := json.Unmarshal(a.Model, v); err != nil {
+			return err
+		}
+		a.model = &VAEModel{VAE: v}
+	case "usad":
+		u := &usad.USAD{}
+		if err := json.Unmarshal(a.Model, u); err != nil {
+			return err
+		}
+		a.model = &USADModel{USAD: u}
+	default:
+		return fmt.Errorf("pipeline: cannot rehydrate model kind %q", a.ModelKind)
+	}
+	return nil
+}
+
+// Save writes the artifact to a JSON file, creating parent directories.
+func (a *Artifact) Save(path string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	blob, err := json.Marshal(a)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, blob, 0o644)
+}
+
+// LoadArtifact reads an artifact saved by Save and rehydrates it.
+func LoadArtifact(path string) (*Artifact, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	a := &Artifact{}
+	if err := json.Unmarshal(blob, a); err != nil {
+		return nil, err
+	}
+	if err := a.rehydrate(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// AnomalyDetector mirrors §4.3: given feature vectors in the *full*
+// extracted space, it applies the persisted selection and scaler, scores
+// with the model, and thresholds.
+type AnomalyDetector struct {
+	artifact *Artifact
+}
+
+// Artifact exposes the underlying bundle.
+func (d *AnomalyDetector) Artifact() *Artifact { return d.artifact }
+
+// Scores returns anomaly scores for full-feature-space vectors.
+func (d *AnomalyDetector) Scores(xFull *mat.Matrix) []float64 {
+	a := d.artifact
+	return a.model.Scores(a.scaler.Transform(a.Selection.Apply(xFull)))
+}
+
+// Predict returns binary predictions (1 = anomalous) and the scores.
+func (d *AnomalyDetector) Predict(xFull *mat.Matrix) ([]int, []float64) {
+	scores := d.Scores(xFull)
+	preds := make([]int, len(scores))
+	for i, s := range scores {
+		if s > d.artifact.Threshold {
+			preds[i] = 1
+		}
+	}
+	return preds, scores
+}
+
+// Threshold returns the calibrated decision threshold.
+func (d *AnomalyDetector) Threshold() float64 { return d.artifact.Threshold }
+
+// SetThreshold overrides the decision threshold (used by the validation
+// sweep of §5.4.4).
+func (d *AnomalyDetector) SetThreshold(th float64) { d.artifact.Threshold = th }

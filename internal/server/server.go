@@ -1,0 +1,295 @@
+// Package server implements the deployment pipeline's user-facing service
+// (paper §4, Figures 2 and 4): the role the Grafana → Apache → Django
+// stack plays on the production system. A user supplies a job ID and
+// selects an analysis; the server queries the DSOS store, runs the
+// requested Python-module equivalent (anomaly detection, raw metrics,
+// CoMTE explanations) and returns JSON the dashboard renders.
+//
+// Endpoints:
+//
+//	GET /api/health                      — model and store status
+//	GET /api/jobs                        — ingested job IDs
+//	GET /api/jobs/{id}/anomalies         — per-node anomaly predictions
+//	GET /api/jobs/{id}/explain?component=N — CoMTE explanation for a node
+//	GET /api/jobs/{id}/metrics?component=N&metric=MemFree::meminfo — raw series
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"prodigy/internal/core"
+	"prodigy/internal/diagnose"
+	"prodigy/internal/drift"
+	"prodigy/internal/dsos"
+	"prodigy/internal/ldms"
+	"prodigy/internal/timeseries"
+)
+
+// Server serves the analysis dashboard API.
+type Server struct {
+	Store   *dsos.Store
+	Prodigy *core.Prodigy
+	// Diagnoser, when set, enables /api/jobs/{id}/diagnose — anomaly-type
+	// triage of flagged nodes.
+	Diagnoser *diagnose.Classifier
+	// Drift, when set, accumulates healthy-predicted scores from the
+	// anomaly dashboard and serves /api/drift — the model-staleness check.
+	Drift *drift.Monitor
+
+	mu  sync.Mutex // guards Drift observations
+	mux *http.ServeMux
+}
+
+// New wires a server over a telemetry store and a trained Prodigy.
+func New(store *dsos.Store, p *core.Prodigy) *Server {
+	s := &Server{Store: store, Prodigy: p, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/api/health", s.handleHealth)
+	s.mux.HandleFunc("/api/jobs", s.handleJobs)
+	s.mux.HandleFunc("/api/jobs/", s.handleJob)
+	s.mux.HandleFunc("/api/drift", s.handleDrift)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// writeJSON writes v with a 200 status.
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// writeError writes a JSON error payload.
+func writeError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]interface{}{
+		"status":    "ok",
+		"trained":   s.Prodigy != nil && s.Prodigy.Trained(),
+		"jobs":      len(s.Store.Jobs()),
+		"rows":      s.Store.NumRows(),
+		"threshold": s.thresholdOrZero(),
+	})
+}
+
+func (s *Server) thresholdOrZero() float64 {
+	if s.Prodigy == nil || !s.Prodigy.Trained() {
+		return 0
+	}
+	return s.Prodigy.Threshold()
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]interface{}{"jobs": s.Store.Jobs()})
+}
+
+// handleJob dispatches /api/jobs/{id}/{analysis}.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/api/jobs/")
+	parts := strings.SplitN(rest, "/", 2)
+	jobID, err := strconv.ParseInt(parts[0], 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid job id %q", parts[0])
+		return
+	}
+	analysis := ""
+	if len(parts) == 2 {
+		analysis = parts[1]
+	}
+	switch analysis {
+	case "anomalies":
+		s.handleAnomalies(w, r, jobID)
+	case "explain":
+		s.handleExplain(w, r, jobID)
+	case "diagnose":
+		s.handleDiagnose(w, r, jobID)
+	case "metrics":
+		s.handleMetrics(w, r, jobID)
+	case "":
+		analyses := []string{"anomalies", "explain", "metrics"}
+		if s.Diagnoser != nil {
+			analyses = append(analyses, "diagnose")
+		}
+		writeJSON(w, map[string]interface{}{
+			"job_id":     jobID,
+			"components": s.Store.Components(jobID),
+			"analyses":   analyses,
+		})
+	default:
+		writeError(w, http.StatusNotFound, "unknown analysis %q", analysis)
+	}
+}
+
+// handleAnomalies is the anomaly detection dashboard (Figure 4): binary
+// prediction per compute node of the job.
+func (s *Server) handleAnomalies(w http.ResponseWriter, r *http.Request, jobID int64) {
+	if s.Prodigy == nil || !s.Prodigy.Trained() {
+		writeError(w, http.StatusServiceUnavailable, "no trained model deployed")
+		return
+	}
+	report, err := s.Prodigy.AnalyzeJob(s.Store, jobID)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	if s.Drift != nil {
+		// Healthy-predicted scores feed the staleness monitor: a drifting
+		// healthy distribution is the retrain signal.
+		s.mu.Lock()
+		for _, n := range report {
+			if !n.Anomalous {
+				s.Drift.Observe(n.Score)
+			}
+		}
+		s.mu.Unlock()
+	}
+	writeJSON(w, map[string]interface{}{"job_id": jobID, "nodes": report})
+}
+
+// handleDiagnose classifies the anomaly type of a flagged node.
+func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request, jobID int64) {
+	if s.Prodigy == nil || !s.Prodigy.Trained() {
+		writeError(w, http.StatusServiceUnavailable, "no trained model deployed")
+		return
+	}
+	if s.Diagnoser == nil {
+		writeError(w, http.StatusNotImplemented, "no diagnoser deployed")
+		return
+	}
+	comp, err := strconv.Atoi(r.URL.Query().Get("component"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "component query parameter required")
+		return
+	}
+	vec, err := s.Prodigy.JobNodeVector(s.Store, jobID, comp)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	anomalous, score := s.Prodigy.DetectVector(vec)
+	if !anomalous {
+		writeError(w, http.StatusUnprocessableEntity,
+			"component %d is predicted healthy (score %.5f); nothing to diagnose", comp, score)
+		return
+	}
+	d, err := s.Diagnoser.Classify(vec)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, map[string]interface{}{
+		"job_id":       jobID,
+		"component_id": comp,
+		"score":        score,
+		"type":         d.Type,
+		"confidence":   d.Confidence,
+		"votes":        d.Votes,
+	})
+}
+
+// handleDrift reports the model-staleness monitor's state.
+func (s *Server) handleDrift(w http.ResponseWriter, r *http.Request) {
+	if s.Drift == nil {
+		writeError(w, http.StatusNotImplemented, "no drift monitor deployed")
+		return
+	}
+	s.mu.Lock()
+	rep := s.Drift.Check()
+	window := s.Drift.WindowSize()
+	s.mu.Unlock()
+	writeJSON(w, map[string]interface{}{
+		"drifted": rep.Drifted,
+		"ks":      rep.KS,
+		"p_value": rep.PValue,
+		"psi":     rep.PSI,
+		"window":  window,
+	})
+}
+
+// handleExplain returns the CoMTE counterfactual for one anomalous node.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request, jobID int64) {
+	if s.Prodigy == nil || !s.Prodigy.Trained() {
+		writeError(w, http.StatusServiceUnavailable, "no trained model deployed")
+		return
+	}
+	comp, err := strconv.Atoi(r.URL.Query().Get("component"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "component query parameter required")
+		return
+	}
+	expl, err := s.Prodigy.ExplainJobNode(s.Store, jobID, comp)
+	if expl == nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	resp := map[string]interface{}{
+		"job_id":       jobID,
+		"component_id": comp,
+		"metrics":      expl.Metrics,
+		"score_before": expl.ScoreBefore,
+		"score_after":  expl.ScoreAfter,
+	}
+	if err != nil {
+		// Larger-than-requested explanations are still returned, flagged.
+		resp["note"] = err.Error()
+	}
+	writeJSON(w, resp)
+}
+
+// handleMetrics returns a raw metric series for dashboard plotting (the
+// "investigate how specific metrics change over execution" flow of §4.1).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request, jobID int64) {
+	comp, err := strconv.Atoi(r.URL.Query().Get("component"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "component query parameter required")
+		return
+	}
+	metric := r.URL.Query().Get("metric")
+	if metric == "" {
+		writeError(w, http.StatusBadRequest, "metric query parameter required")
+		return
+	}
+	parts := strings.SplitN(metric, "::", 2)
+	if len(parts) != 2 {
+		writeError(w, http.StatusBadRequest, "metric must be qualified as name::sampler")
+		return
+	}
+	tb, err := s.Store.QuerySampler(jobID, comp, ldms.SamplerName(parts[1]))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	col := tb.Column(metric)
+	if col == nil {
+		writeError(w, http.StatusNotFound, "metric %q not found", metric)
+		return
+	}
+	// Dropped samples are NaN in storage, which JSON cannot carry; emit
+	// null for them, as the production dashboard does.
+	values := make([]interface{}, len(col))
+	for i, v := range col {
+		if timeseries.IsMissing(v) {
+			values[i] = nil
+		} else {
+			values[i] = v
+		}
+	}
+	writeJSON(w, map[string]interface{}{
+		"job_id":       jobID,
+		"component_id": comp,
+		"metric":       metric,
+		"timestamps":   tb.Timestamps,
+		"values":       values,
+	})
+}

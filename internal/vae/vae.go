@@ -1,0 +1,384 @@
+// Package vae implements the variational autoencoder at the heart of
+// Prodigy (paper §3.3): an encoder mapping feature vectors to the mean and
+// log-variance of a Gaussian posterior q(z|x), the reparameterization trick
+// z = μ + σ⊙ε, a decoder p(x|z), and training by maximizing the evidence
+// lower bound (reconstruction term minus KL divergence to the standard
+// normal prior).
+//
+// Anomaly scoring follows §3.4: a sample's score is the mean absolute error
+// between the input and its deterministic reconstruction through the
+// posterior mean.
+package vae
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"prodigy/internal/mat"
+	"prodigy/internal/nn"
+)
+
+// Config describes a VAE architecture and its training hyperparameters.
+// The defaults mirror the paper's optimal grid-search values (Table 3):
+// learning rate 1e-4, batch size 256, 2400 epochs.
+type Config struct {
+	InputDim   int    `json:"input_dim"`
+	HiddenDims []int  `json:"hidden_dims"` // encoder widths; decoder mirrors them
+	LatentDim  int    `json:"latent_dim"`
+	Activation string `json:"activation"`
+
+	LearningRate float64 `json:"learning_rate"`
+	BatchSize    int     `json:"batch_size"`
+	Epochs       int     `json:"epochs"`
+	// Beta weights the KL term of the ELBO. Values below 1 trade latent
+	// regularity for reconstruction fidelity, which favours detection.
+	Beta float64 `json:"beta"`
+	// ClipNorm bounds the global gradient norm per step; 0 disables.
+	ClipNorm float64 `json:"clip_norm"`
+	Seed     int64   `json:"seed"`
+}
+
+// DefaultConfig returns the paper-tuned configuration for the given input
+// dimensionality.
+func DefaultConfig(inputDim int) Config {
+	return Config{
+		InputDim:     inputDim,
+		HiddenDims:   []int{64, 32},
+		LatentDim:    8,
+		Activation:   "tanh",
+		LearningRate: 1e-4,
+		BatchSize:    256,
+		Epochs:       2400,
+		Beta:         1e-3,
+		ClipNorm:     5,
+		Seed:         1,
+	}
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	switch {
+	case c.InputDim <= 0:
+		return fmt.Errorf("vae: input dim %d", c.InputDim)
+	case c.LatentDim <= 0:
+		return fmt.Errorf("vae: latent dim %d", c.LatentDim)
+	case c.LearningRate <= 0:
+		return fmt.Errorf("vae: learning rate %v", c.LearningRate)
+	case c.Epochs <= 0:
+		return fmt.Errorf("vae: epochs %d", c.Epochs)
+	case c.Beta < 0:
+		return fmt.Errorf("vae: beta %v", c.Beta)
+	}
+	for _, h := range c.HiddenDims {
+		if h <= 0 {
+			return fmt.Errorf("vae: hidden dim %d", h)
+		}
+	}
+	return nil
+}
+
+// VAE is a trained or in-training variational autoencoder.
+type VAE struct {
+	Cfg Config
+
+	encoder    *nn.Network // input -> last hidden
+	muHead     *nn.Dense   // hidden -> latent mean
+	logvarHead *nn.Dense   // hidden -> latent log-variance
+	decoder    *nn.Network // latent -> reconstruction
+}
+
+// New constructs an untrained VAE from the configuration.
+func New(cfg Config) (*VAE, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	encWidths := append([]int{cfg.InputDim}, cfg.HiddenDims...)
+	if len(cfg.HiddenDims) == 0 {
+		// Degenerate but legal: encode straight from the input.
+		encWidths = []int{cfg.InputDim, cfg.InputDim}
+	}
+	encoder, err := nn.NewMLP(encWidths, cfg.Activation, cfg.Activation, rng)
+	if err != nil {
+		return nil, err
+	}
+	lastHidden := encWidths[len(encWidths)-1]
+
+	// Decoder mirrors the encoder: latent -> reversed hidden -> input.
+	decWidths := []int{cfg.LatentDim}
+	for i := len(cfg.HiddenDims) - 1; i >= 0; i-- {
+		decWidths = append(decWidths, cfg.HiddenDims[i])
+	}
+	decWidths = append(decWidths, cfg.InputDim)
+	decoder, err := nn.NewMLP(decWidths, cfg.Activation, "", rng)
+	if err != nil {
+		return nil, err
+	}
+	return &VAE{
+		Cfg:        cfg,
+		encoder:    encoder,
+		muHead:     nn.NewDense(lastHidden, cfg.LatentDim, rng),
+		logvarHead: nn.NewDense(lastHidden, cfg.LatentDim, rng),
+		decoder:    decoder,
+	}, nil
+}
+
+// logvarBound keeps exp(logvar) in a numerically safe range.
+const logvarBound = 10
+
+// Encode returns the posterior mean and log-variance for each row of x.
+func (v *VAE) Encode(x *mat.Matrix) (mu, logvar *mat.Matrix) {
+	h := v.encoder.Forward(x)
+	mu = v.muHead.Forward(h)
+	logvar = v.logvarHead.Forward(h)
+	logvar.ApplyInPlace(func(lv float64) float64 { return mat.Clamp(lv, -logvarBound, logvarBound) })
+	return mu, logvar
+}
+
+// Decode maps latent vectors back to input space.
+func (v *VAE) Decode(z *mat.Matrix) *mat.Matrix { return v.decoder.Forward(z) }
+
+// Reconstruct returns the deterministic reconstruction of x through the
+// posterior mean (no sampling), as used for anomaly scoring.
+func (v *VAE) Reconstruct(x *mat.Matrix) *mat.Matrix {
+	mu, _ := v.Encode(x)
+	return v.Decode(mu)
+}
+
+// Scores returns the per-sample reconstruction MAE of x (paper §3.3: "we
+// measure the reconstruction error using mean absolute error for each
+// sample").
+func (v *VAE) Scores(x *mat.Matrix) []float64 {
+	return nn.RowMAE(v.Reconstruct(x), x)
+}
+
+// Sample draws n new samples from the prior and decodes them — the
+// generative direction of the model.
+func (v *VAE) Sample(n int, rng *rand.Rand) *mat.Matrix {
+	z := mat.Randn(n, v.Cfg.LatentDim, 1, rng)
+	return v.Decode(z)
+}
+
+// TrainStats summarizes one training run.
+type TrainStats struct {
+	FinalLoss  float64
+	FinalRecon float64
+	FinalKL    float64
+	Epochs     int
+}
+
+// Fit trains the VAE on x (healthy samples only, per the paper) and returns
+// training statistics. Progress, if non-nil, is called every logEvery-ish
+// epochs with the current epoch and loss components.
+func (v *VAE) Fit(x *mat.Matrix, progress func(epoch int, loss, recon, kl float64)) (*TrainStats, error) {
+	if x.Cols != v.Cfg.InputDim {
+		return nil, fmt.Errorf("vae: input has %d features, config expects %d", x.Cols, v.Cfg.InputDim)
+	}
+	if x.Rows == 0 {
+		return nil, errors.New("vae: empty training set")
+	}
+	rng := rand.New(rand.NewSource(v.Cfg.Seed + 1))
+	opt := nn.NewAdam(v.Cfg.LearningRate)
+	bs := v.Cfg.BatchSize
+	if bs <= 0 || bs > x.Rows {
+		bs = x.Rows
+	}
+	idx := make([]int, x.Rows)
+	for i := range idx {
+		idx[i] = i
+	}
+	stats := &TrainStats{Epochs: v.Cfg.Epochs}
+	for epoch := 0; epoch < v.Cfg.Epochs; epoch++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		var epochLoss, epochRecon, epochKL float64
+		batches := 0
+		for start := 0; start < len(idx); start += bs {
+			end := start + bs
+			if end > len(idx) {
+				end = len(idx)
+			}
+			xb := x.SelectRows(idx[start:end])
+			loss, recon, kl := v.trainStep(xb, opt, rng)
+			epochLoss += loss
+			epochRecon += recon
+			epochKL += kl
+			batches++
+		}
+		stats.FinalLoss = epochLoss / float64(batches)
+		stats.FinalRecon = epochRecon / float64(batches)
+		stats.FinalKL = epochKL / float64(batches)
+		if math.IsNaN(stats.FinalLoss) {
+			return nil, fmt.Errorf("vae: training diverged at epoch %d", epoch)
+		}
+		if progress != nil && (epoch%100 == 0 || epoch == v.Cfg.Epochs-1) {
+			progress(epoch, stats.FinalLoss, stats.FinalRecon, stats.FinalKL)
+		}
+	}
+	return stats, nil
+}
+
+// trainStep runs one minibatch update and returns (total, recon, kl) losses.
+func (v *VAE) trainStep(xb *mat.Matrix, opt nn.Optimizer, rng *rand.Rand) (loss, recon, kl float64) {
+	batch := xb.Rows
+	v.zeroGrads()
+
+	// Forward.
+	h := v.encoder.Forward(xb)
+	mu := v.muHead.Forward(h)
+	logvar := v.logvarHead.Forward(h)
+	// Clamp log-variance; gradients pass straight through inside the bound
+	// and are zeroed outside it.
+	clipped := make([]bool, len(logvar.Data))
+	for i, lv := range logvar.Data {
+		if lv > logvarBound || lv < -logvarBound {
+			clipped[i] = true
+			logvar.Data[i] = mat.Clamp(lv, -logvarBound, logvarBound)
+		}
+	}
+	std := logvar.Apply(func(lv float64) float64 { return math.Exp(0.5 * lv) })
+	eps := mat.Randn(batch, v.Cfg.LatentDim, 1, rng)
+	z := mat.Add(mu, mat.Mul(std, eps)) // reparameterization trick (eq. 4)
+	xr := v.decoder.Forward(z)
+
+	// Reconstruction term: mean squared error over all elements.
+	recon, gradXr := nn.MSELoss{}.Compute(xr, xb)
+
+	// KL divergence to N(0, I), averaged per sample and per input element so
+	// the two loss terms share a scale: KL = -1/2 Σ(1 + logvar - μ² - e^logvar).
+	norm := float64(batch) * float64(v.Cfg.InputDim)
+	for i := range mu.Data {
+		m, lv := mu.Data[i], logvar.Data[i]
+		kl += -0.5 * (1 + lv - m*m - math.Exp(lv))
+	}
+	kl /= norm
+	loss = recon + v.Cfg.Beta*kl
+
+	// Backward through the decoder to z.
+	gradZ := v.decoder.Backward(gradXr)
+
+	// Split gradZ into the μ and logvar paths, adding the KL gradients.
+	gradMu := mat.New(batch, v.Cfg.LatentDim)
+	gradLogvar := mat.New(batch, v.Cfg.LatentDim)
+	klScale := v.Cfg.Beta / norm
+	for i := range gradZ.Data {
+		gz := gradZ.Data[i]
+		m, lv := mu.Data[i], logvar.Data[i]
+		// dz/dμ = 1; dKL/dμ = μ.
+		gradMu.Data[i] = gz + klScale*m
+		// dz/dlogvar = ε·σ/2; dKL/dlogvar = -1/2(1 - e^logvar).
+		g := gz*eps.Data[i]*std.Data[i]*0.5 - klScale*0.5*(1-math.Exp(lv))
+		if clipped[i] {
+			g = 0
+		}
+		gradLogvar.Data[i] = g
+	}
+
+	// Backward through the two heads into the shared encoder trunk.
+	gh := v.muHead.Backward(gradMu)
+	mat.AddInPlace(gh, v.logvarHead.Backward(gradLogvar))
+	v.encoder.Backward(gh)
+
+	params := v.params()
+	if v.Cfg.ClipNorm > 0 {
+		nn.ClipGradients(params, v.Cfg.ClipNorm)
+	}
+	opt.Step(params)
+	return loss, recon, kl
+}
+
+func (v *VAE) params() []*nn.Param {
+	ps := v.encoder.Params()
+	ps = append(ps, v.muHead.Params()...)
+	ps = append(ps, v.logvarHead.Params()...)
+	ps = append(ps, v.decoder.Params()...)
+	return ps
+}
+
+func (v *VAE) zeroGrads() {
+	for _, p := range v.params() {
+		p.ZeroGrad()
+	}
+}
+
+// NumParams returns the total trainable parameter count.
+func (v *VAE) NumParams() int {
+	total := 0
+	for _, p := range v.params() {
+		total += len(p.Value.Data)
+	}
+	return total
+}
+
+// persisted is the JSON envelope for a trained VAE.
+type persisted struct {
+	Cfg        Config          `json:"config"`
+	Encoder    json.RawMessage `json:"encoder"`
+	MuHead     json.RawMessage `json:"mu_head"`
+	LogvarHead json.RawMessage `json:"logvar_head"`
+	Decoder    json.RawMessage `json:"decoder"`
+}
+
+// MarshalJSON serializes the configuration and all weights.
+func (v *VAE) MarshalJSON() ([]byte, error) {
+	enc, err := json.Marshal(v.encoder)
+	if err != nil {
+		return nil, err
+	}
+	muNet := &nn.Network{Layers: []nn.Layer{v.muHead}}
+	mu, err := json.Marshal(muNet)
+	if err != nil {
+		return nil, err
+	}
+	lvNet := &nn.Network{Layers: []nn.Layer{v.logvarHead}}
+	lv, err := json.Marshal(lvNet)
+	if err != nil {
+		return nil, err
+	}
+	dec, err := json.Marshal(v.decoder)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(persisted{Cfg: v.Cfg, Encoder: enc, MuHead: mu, LogvarHead: lv, Decoder: dec})
+}
+
+// UnmarshalJSON restores a VAE serialized by MarshalJSON.
+func (v *VAE) UnmarshalJSON(data []byte) error {
+	var p persisted
+	if err := json.Unmarshal(data, &p); err != nil {
+		return err
+	}
+	v.Cfg = p.Cfg
+	v.encoder = &nn.Network{}
+	if err := json.Unmarshal(p.Encoder, v.encoder); err != nil {
+		return err
+	}
+	v.decoder = &nn.Network{}
+	if err := json.Unmarshal(p.Decoder, v.decoder); err != nil {
+		return err
+	}
+	muNet := &nn.Network{}
+	if err := json.Unmarshal(p.MuHead, muNet); err != nil {
+		return err
+	}
+	lvNet := &nn.Network{}
+	if err := json.Unmarshal(p.LogvarHead, lvNet); err != nil {
+		return err
+	}
+	var ok bool
+	if len(muNet.Layers) != 1 {
+		return fmt.Errorf("vae: mu head has %d layers", len(muNet.Layers))
+	}
+	if v.muHead, ok = muNet.Layers[0].(*nn.Dense); !ok {
+		return errors.New("vae: mu head is not a dense layer")
+	}
+	if len(lvNet.Layers) != 1 {
+		return fmt.Errorf("vae: logvar head has %d layers", len(lvNet.Layers))
+	}
+	if v.logvarHead, ok = lvNet.Layers[0].(*nn.Dense); !ok {
+		return errors.New("vae: logvar head is not a dense layer")
+	}
+	return nil
+}
