@@ -1,0 +1,22 @@
+# Development targets. `make check` is what CI runs.
+
+.PHONY: check build vet test race bench
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+# The race detector guards the concurrency contract (see DESIGN.md §7):
+# inference through shared models must be stateless.
+race:
+	go test -race ./...
+
+check: build vet race
+
+bench:
+	go test -bench=. -benchmem -run=^$$ ./...

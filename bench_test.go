@@ -10,8 +10,10 @@
 package prodigy
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"prodigy/internal/cluster"
@@ -271,6 +273,91 @@ func BenchmarkVAEInference(b *testing.B) {
 		v.Scores(x)
 	}
 	b.ReportMetric(float64(1024*b.N)/b.Elapsed().Seconds(), "samples/s")
+}
+
+// benchDetector trains a small VAE detector over synthetic features — the
+// shared model for the concurrency benchmarks below.
+func benchDetector(b *testing.B) (*pipeline.AnomalyDetector, *mat.Matrix) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	n, dim := 256, 60
+	ds := &pipeline.Dataset{X: mat.Randn(n, dim, 1, rng)}
+	meta := make([]pipeline.SampleMeta, n)
+	for i := range meta {
+		meta[i].Label = pipeline.Healthy
+		if i%10 == 0 {
+			meta[i].Label = pipeline.Anomalous
+		}
+	}
+	ds.Meta = meta
+	trainer := &pipeline.ModelTrainer{
+		Cfg: pipeline.TrainerConfig{TopK: 40, ThresholdPercentile: 99, ScalerKind: "minmax"},
+		NewModel: func(in int) (pipeline.Model, error) {
+			cfg := vae.DefaultConfig(in)
+			cfg.HiddenDims = []int{32}
+			cfg.LatentDim = 4
+			cfg.Epochs = 10
+			cfg.BatchSize = 64
+			return pipeline.NewVAEModel(cfg)
+		},
+	}
+	artifact, err := trainer.Train(ds, ds, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	det, err := artifact.Detector()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return det, ds.X
+}
+
+// BenchmarkConcurrentScoring measures request throughput of one shared
+// detector as the number of concurrent scoring goroutines grows — the
+// serving shape where net/http runs every dashboard request in its own
+// goroutine. Stateless inference means throughput scales with cores
+// instead of corrupting activations.
+func BenchmarkConcurrentScoring(b *testing.B) {
+	det, x := benchDetector(b)
+	batch := x.SelectRows([]int{0, 1, 2, 3, 4, 5, 6, 7}) // one dashboard request ≈ one job's nodes
+	for _, g := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("goroutines=%d", g), func(b *testing.B) {
+			var wg sync.WaitGroup
+			iters := make(chan struct{}, b.N)
+			for i := 0; i < b.N; i++ {
+				iters <- struct{}{}
+			}
+			close(iters)
+			b.ResetTimer()
+			for w := 0; w < g; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for range iters {
+						det.Predict(batch)
+					}
+				}()
+			}
+			wg.Wait()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+		})
+	}
+}
+
+// BenchmarkBatchScoresParallel measures the large-batch Scores path, which
+// fans rows out across GOMAXPROCS workers internally.
+func BenchmarkBatchScoresParallel(b *testing.B) {
+	det, x := benchDetector(b)
+	idx := make([]int, 4096)
+	for i := range idx {
+		idx[i] = i % x.Rows
+	}
+	big := x.SelectRows(idx)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det.Scores(big)
+	}
+	b.ReportMetric(float64(len(idx)*b.N)/b.Elapsed().Seconds(), "samples/s")
 }
 
 // BenchmarkEndToEndDetection measures the production path (Figure 4) for

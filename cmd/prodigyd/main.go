@@ -16,11 +16,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"prodigy/internal/cluster"
 	"prodigy/internal/core"
@@ -123,5 +128,36 @@ func main() {
 	log.Printf("serving the analysis dashboard on %s", *addr)
 	log.Printf("try: curl localhost%s/api/jobs", *addr)
 	fmt.Println()
-	log.Fatal(http.ListenAndServe(*addr, srv))
+
+	// Production hardening: bounded read/write timeouts so a slow or stuck
+	// client cannot pin a handler goroutine forever, and signal-driven
+	// graceful shutdown so in-flight analyses finish before exit.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadTimeout:       10 * time.Second,
+		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      60 * time.Second, // CoMTE explanations can run long
+		IdleTimeout:       120 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		log.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("shutdown signal received; draining connections...")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("serve: %v", err)
+		}
+		log.Printf("bye")
+	}
 }

@@ -1,0 +1,56 @@
+package usad
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentScores shares one trained USAD across many scoring
+// goroutines — under -race, the regression test for the activation-cache
+// race in the two chained autoencoder forward passes.
+func TestConcurrentScores(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	healthy, anom := clusterData(64, 16, 10, rng)
+	cfg := smallConfig(10)
+	cfg.Epochs = 15
+	cfg.WarmupEpochs = 10
+	u, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Fit(healthy, nil); err != nil {
+		t.Fatal(err)
+	}
+	wantH := u.Scores(healthy)
+	wantA := u.Scores(anom)
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				x, want := healthy, wantH
+				if (g+i)%2 == 1 {
+					x, want = anom, wantA
+				}
+				got := u.Scores(x)
+				for j := range got {
+					if got[j] != want[j] {
+						errs <- "concurrent Scores returned corrupted values"
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+}

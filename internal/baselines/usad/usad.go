@@ -226,11 +226,13 @@ func (u *USAD) trainStep(xb *mat.Matrix, a, b float64, opt1, opt2 nn.Optimizer) 
 }
 
 // Scores returns the per-sample anomaly score
-// α·MSE(x, AE1(x)) + β·MSE(x, AE2(AE1(x))).
+// α·MSE(x, AE1(x)) + β·MSE(x, AE2(AE1(x))). The pass is stateless, so
+// concurrent scoring through one shared USAD is race-free (training via
+// Fit remains single-goroutine).
 func (u *USAD) Scores(x *mat.Matrix) []float64 {
-	w1 := u.ae1.Forward(x)
+	w1 := u.ae1.Infer(x)
 	direct := nn.RowMSE(w1, x)
-	w2 := u.ae2.Forward(w1)
+	w2 := u.ae2.Infer(w1)
 	adv := nn.RowMSE(w2, x)
 	out := make([]float64, x.Rows)
 	for i := range out {

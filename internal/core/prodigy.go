@@ -17,6 +17,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"prodigy/internal/comte"
 	"prodigy/internal/dsos"
@@ -64,13 +65,19 @@ func DefaultConfig() Config {
 }
 
 // Prodigy is a configured (and possibly trained) detection pipeline.
+//
+// All read paths (Detect, Scores, AnalyzeJob, DetectVector, Explain…) load
+// the deployed detector through one atomic pointer, so any number of
+// goroutines may score concurrently while Fit or Swap installs a new
+// artifact: readers in flight finish against the old model, later readers
+// see the new one, and nobody stalls. Fit, TuneThreshold and SetExplainPool
+// are deployment-time operations — run them from one goroutine.
 type Prodigy struct {
 	Cfg      Config
-	detector *pipeline.AnomalyDetector
+	detector atomic.Pointer[pipeline.AnomalyDetector]
 	// healthyTrain retains the healthy training pool (full feature space)
 	// for CoMTE distractors.
-	healthyTrain *mat.Matrix
-	featureNames []string
+	healthyTrain atomic.Pointer[mat.Matrix]
 }
 
 // New returns an untrained Prodigy with the given configuration.
@@ -110,42 +117,61 @@ func (p *Prodigy) FitWithSelection(train, selectionSet *pipeline.Dataset, sel *f
 	if err != nil {
 		return err
 	}
-	p.detector = det
 	healthy := train.Subset(train.HealthyIndices())
-	p.healthyTrain = healthy.X
-	p.featureNames = train.FeatureNames
+	p.healthyTrain.Store(healthy.X)
+	p.detector.Store(det)
+	return nil
+}
+
+// Swap atomically deploys a retrained artifact, replacing the current model
+// without stalling concurrent readers: requests in flight finish against
+// the old model, later requests score with the new one. The artifact must
+// carry the same extraction settings as the deployed one — a hot swap
+// replaces weights and threshold, not the feature pipeline.
+func (p *Prodigy) Swap(artifact *pipeline.Artifact) error {
+	det, err := artifact.Detector()
+	if err != nil {
+		return err
+	}
+	if cur := p.detector.Load(); cur != nil {
+		old := cur.Artifact()
+		if artifact.CatalogTier != old.CatalogTier || artifact.TrimSeconds != old.TrimSeconds {
+			return fmt.Errorf("core: hot swap changes extraction settings (tier %d→%d, trim %d→%d); redeploy instead",
+				old.CatalogTier, artifact.CatalogTier, old.TrimSeconds, artifact.TrimSeconds)
+		}
+	}
+	p.detector.Store(det)
 	return nil
 }
 
 // Trained reports whether Fit has completed.
-func (p *Prodigy) Trained() bool { return p.detector != nil }
+func (p *Prodigy) Trained() bool { return p.detector.Load() != nil }
 
 // Detect returns binary predictions (1 = anomalous) and scores for samples
 // in the full extracted feature space.
 func (p *Prodigy) Detect(xFull *mat.Matrix) ([]int, []float64) {
-	p.mustBeTrained()
-	return p.detector.Predict(xFull)
+	return p.det().Predict(xFull)
 }
 
 // Scores returns raw anomaly scores (reconstruction MAE).
 func (p *Prodigy) Scores(xFull *mat.Matrix) []float64 {
-	p.mustBeTrained()
-	return p.detector.Scores(xFull)
+	return p.det().Scores(xFull)
 }
 
 // Threshold returns the current decision threshold.
 func (p *Prodigy) Threshold() float64 {
-	p.mustBeTrained()
-	return p.detector.Threshold()
+	return p.det().Threshold()
 }
 
 // TuneThreshold sweeps thresholds over the given scored set and adopts the
 // best macro-F1 threshold (the §5.4.4 sweep: 0 to 1 in 0.001 increments).
+// Deployment-time only: it mutates the live threshold, so do not race it
+// against concurrent scoring.
 func (p *Prodigy) TuneThreshold(ds *pipeline.Dataset) float64 {
-	p.mustBeTrained()
-	scores := p.detector.Scores(ds.X)
+	det := p.det()
+	scores := det.Scores(ds.X)
 	best, _ := eval.BestThreshold(scores, ds.Labels(), 0, 1, 0.001)
-	p.detector.SetThreshold(best)
+	det.SetThreshold(best)
 	return best
 }
 
@@ -168,7 +194,10 @@ type NodePrediction struct {
 // AnalyzeJob runs the full prediction pipeline of Figure 4 for one job ID:
 // query the store, preprocess, extract features, detect per node.
 func (p *Prodigy) AnalyzeJob(store *dsos.Store, jobID int64) ([]NodePrediction, error) {
-	p.mustBeTrained()
+	// One atomic load per request: every node of the job is scored against
+	// the same model snapshot even if a hot swap lands mid-analysis.
+	det := p.det()
+	names := det.Artifact().FullFeatureNames
 	gen := pipeline.NewDataGenerator(store)
 	if p.Cfg.TrimSeconds > 0 {
 		gen.TrimSeconds = p.Cfg.TrimSeconds
@@ -185,16 +214,16 @@ func (p *Prodigy) AnalyzeJob(store *dsos.Store, jobID int64) ([]NodePrediction, 
 			continue
 		}
 		_, vec := pipe.ExtractTable(tb)
-		if len(vec) != len(p.featureNames) {
+		if len(vec) != len(names) {
 			return nil, fmt.Errorf("core: job %d component %d yields %d features, model expects %d",
-				jobID, comp, len(vec), len(p.featureNames))
+				jobID, comp, len(vec), len(names))
 		}
-		preds, scores := p.detector.Predict(mat.NewFromData(1, len(vec), vec))
+		preds, scores := det.Predict(mat.NewFromData(1, len(vec), vec))
 		out = append(out, NodePrediction{
 			Component: comp,
 			Anomalous: preds[0] == 1,
 			Score:     scores[0],
-			Threshold: p.detector.Threshold(),
+			Threshold: det.Threshold(),
 		})
 	}
 	return out, nil
@@ -203,11 +232,11 @@ func (p *Prodigy) AnalyzeJob(store *dsos.Store, jobID int64) ([]NodePrediction, 
 // Explain produces a CoMTE counterfactual explanation for sample idx of ds
 // (which must be predicted anomalous) using OptimizedSearch.
 func (p *Prodigy) Explain(ds *pipeline.Dataset, idx int) (*comte.Explanation, error) {
-	p.mustBeTrained()
+	det := p.det()
 	if idx < 0 || idx >= ds.Len() {
 		return nil, fmt.Errorf("core: sample index %d out of range", idx)
 	}
-	explainer, err := comte.New(p.detector, p.healthyTrain, p.featureNames, p.Cfg.Explain)
+	explainer, err := comte.New(det, p.healthyTrain.Load(), det.Artifact().FullFeatureNames, p.Cfg.Explain)
 	if err != nil {
 		return nil, err
 	}
@@ -225,7 +254,7 @@ func (p *Prodigy) Explain(ds *pipeline.Dataset, idx int) (*comte.Explanation, er
 // node of a job and returns its full feature vector — the input every
 // downstream analysis (detection, explanation, diagnosis) consumes.
 func (p *Prodigy) JobNodeVector(store *dsos.Store, jobID int64, component int) ([]float64, error) {
-	p.mustBeTrained()
+	names := p.det().Artifact().FullFeatureNames
 	gen := pipeline.NewDataGenerator(store)
 	if p.Cfg.TrimSeconds > 0 {
 		gen.TrimSeconds = p.Cfg.TrimSeconds
@@ -240,9 +269,9 @@ func (p *Prodigy) JobNodeVector(store *dsos.Store, jobID int64, component int) (
 	}
 	pipe := &pipeline.DataPipeline{Catalog: p.Cfg.catalog()}
 	_, vec := pipe.ExtractTable(tb)
-	if len(vec) != len(p.featureNames) {
+	if len(vec) != len(names) {
 		return nil, fmt.Errorf("core: job %d component %d yields %d features, model expects %d",
-			jobID, component, len(vec), len(p.featureNames))
+			jobID, component, len(vec), len(names))
 	}
 	return vec, nil
 }
@@ -251,15 +280,16 @@ func (p *Prodigy) JobNodeVector(store *dsos.Store, jobID int64, component int) (
 // node of a job: query + preprocess + extract, verify the node is predicted
 // anomalous, then search for a CoMTE counterfactual.
 func (p *Prodigy) ExplainJobNode(store *dsos.Store, jobID int64, component int) (*comte.Explanation, error) {
-	p.mustBeTrained()
-	if p.healthyTrain == nil {
+	det := p.det()
+	pool := p.healthyTrain.Load()
+	if pool == nil {
 		return nil, errors.New("core: explanation pool not set (call SetExplainPool after Load)")
 	}
 	vec, err := p.JobNodeVector(store, jobID, component)
 	if err != nil {
 		return nil, err
 	}
-	explainer, err := comte.New(p.detector, p.healthyTrain, p.featureNames, p.Cfg.Explain)
+	explainer, err := comte.New(det, pool, det.Artifact().FullFeatureNames, p.Cfg.Explain)
 	if err != nil {
 		return nil, err
 	}
@@ -272,8 +302,7 @@ func (p *Prodigy) ExplainJobNode(store *dsos.Store, jobID int64, component int) 
 
 // Save persists the trained artifact to path.
 func (p *Prodigy) Save(path string) error {
-	p.mustBeTrained()
-	return p.detector.Artifact().Save(path)
+	return p.det().Artifact().Save(path)
 }
 
 // Load restores a trained pipeline saved by Save. The artifact carries the
@@ -292,34 +321,41 @@ func Load(path string, cfg Config) (*Prodigy, error) {
 	}
 	cfg.Catalog = features.New(features.Tier(artifact.CatalogTier))
 	cfg.TrimSeconds = artifact.TrimSeconds
-	return &Prodigy{
-		Cfg:          cfg,
-		detector:     det,
-		featureNames: artifact.FullFeatureNames,
-	}, nil
+	p := &Prodigy{Cfg: cfg}
+	p.detector.Store(det)
+	return p, nil
 }
 
 // SetExplainPool provides the healthy training pool needed by Explain on a
 // loaded model.
-func (p *Prodigy) SetExplainPool(healthy *mat.Matrix) { p.healthyTrain = healthy }
+func (p *Prodigy) SetExplainPool(healthy *mat.Matrix) { p.healthyTrain.Store(healthy) }
 
 // DetectVector classifies a single full-feature-space vector — the
 // streaming entry point used by the online-detection extension.
 func (p *Prodigy) DetectVector(vec []float64) (anomalous bool, score float64) {
-	p.mustBeTrained()
-	preds, scores := p.detector.Predict(matrixFromVec(vec))
+	preds, scores := p.det().Predict(matrixFromVec(vec))
 	return preds[0] == 1, scores[0]
 }
 
-// FeatureNames returns the full extracted-feature names the model was
-// trained against.
-func (p *Prodigy) FeatureNames() []string { return p.featureNames }
+// FeatureNames returns the full extracted-feature names the deployed model
+// was trained against. The names travel with the artifact, so a reader
+// pairing FeatureNames with a scoring call sees a consistent schema.
+func (p *Prodigy) FeatureNames() []string {
+	if d := p.detector.Load(); d != nil {
+		return d.Artifact().FullFeatureNames
+	}
+	return nil
+}
 
 // matrixFromVec wraps one feature vector as a 1×n matrix.
 func matrixFromVec(vec []float64) *mat.Matrix { return mat.NewFromData(1, len(vec), vec) }
 
-func (p *Prodigy) mustBeTrained() {
-	if p.detector == nil {
+// det returns the deployed detector, panicking on an untrained pipeline —
+// the same contract mustBeTrained enforced, now one atomic load.
+func (p *Prodigy) det() *pipeline.AnomalyDetector {
+	d := p.detector.Load()
+	if d == nil {
 		panic("core: Prodigy used before Fit/Load")
 	}
+	return d
 }

@@ -1,0 +1,125 @@
+package core_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"prodigy/internal/core"
+	"prodigy/internal/pipeline"
+)
+
+// TestHotSwapUnderLoad trains two models, then swaps between them while 16
+// goroutines score continuously. Every scoring call must see a consistent
+// snapshot: its scores match one deployed model or the other, never a mix.
+// Under -race this also proves the atomic artifact pointer needs no locks.
+func TestHotSwapUnderLoad(t *testing.T) {
+	ds, _, _ := campaign(t, 51)
+
+	cfg := quickConfig()
+	p := core.New(cfg)
+	if err := p.Fit(ds, nil); err != nil {
+		t.Fatal(err)
+	}
+	scoresA := p.Scores(ds.X)
+
+	cfg2 := quickConfig()
+	cfg2.VAE.Seed = 7
+	cfg2.VAE.Epochs = 120
+	p2 := core.New(cfg2)
+	if err := p2.Fit(ds, nil); err != nil {
+		t.Fatal(err)
+	}
+	scoresB := p2.Scores(ds.X)
+	path := filepath.Join(t.TempDir(), "b.json")
+	if err := p2.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	artB, err := pipeline.LoadArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pathA := filepath.Join(t.TempDir(), "a.json")
+	if err := p.Save(pathA); err != nil {
+		t.Fatal(err)
+	}
+	artA, err := pipeline.LoadArtifact(pathA)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	matches := func(got, want []float64) bool {
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	stop := make(chan struct{})
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				got := p.Scores(ds.X)
+				if !matches(got, scoresA) && !matches(got, scoresB) {
+					select {
+					case errs <- fmt.Errorf("scores match neither deployed model: torn read"):
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 20; i++ {
+		art := artB
+		if i%2 == 1 {
+			art = artA
+		}
+		if err := p.Swap(art); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestSwapRejectsMismatchedExtraction pins the hot-swap guard: an artifact
+// trained with different extraction settings cannot be swapped in.
+func TestSwapRejectsMismatchedExtraction(t *testing.T) {
+	ds, _, _ := campaign(t, 52)
+	cfg := quickConfig()
+	cfg.VAE.Epochs = 60
+	p := core.New(cfg)
+	if err := p.Fit(ds, nil); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "m.json")
+	if err := p.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	art, err := pipeline.LoadArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art.TrimSeconds++
+	if err := p.Swap(art); err == nil {
+		t.Fatal("swap with mismatched extraction settings should error")
+	}
+}

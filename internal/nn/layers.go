@@ -5,8 +5,9 @@
 //
 // Layers cache activations between Forward and Backward, so a single layer
 // instance must not be shared across concurrent training loops. Inference
-// through Network.Predict is safe for concurrent use only on distinct
-// network clones.
+// through Layer.Apply and Network.Infer is stateless: it reads weights but
+// never writes layer fields, so any number of goroutines may score through
+// one shared network as long as no goroutine is training it concurrently.
 package nn
 
 import (
@@ -34,10 +35,13 @@ func (p *Param) ZeroGrad() {
 // Layer is a differentiable module. Forward consumes a batch (rows =
 // samples) and Backward consumes the gradient of the loss with respect to
 // the layer's output, returning the gradient with respect to its input and
-// accumulating parameter gradients.
+// accumulating parameter gradients. Apply computes the same function as
+// Forward without caching anything on the layer: it must not write any
+// layer field, so it is safe to call from many goroutines at once.
 type Layer interface {
 	Forward(x *mat.Matrix) *mat.Matrix
 	Backward(gradOut *mat.Matrix) *mat.Matrix
+	Apply(x *mat.Matrix) *mat.Matrix
 	Params() []*Param
 }
 
@@ -70,6 +74,11 @@ func (d *Dense) Out() int { return d.W.Value.Cols }
 // Forward implements Layer.
 func (d *Dense) Forward(x *mat.Matrix) *mat.Matrix {
 	d.input = x
+	return d.Apply(x)
+}
+
+// Apply implements Layer: the same affine map as Forward with no caching.
+func (d *Dense) Apply(x *mat.Matrix) *mat.Matrix {
 	return mat.MatMul(x, d.W.Value).AddRowVector(d.B.Value.Data)
 }
 
@@ -108,6 +117,9 @@ func (a *Activation) Forward(x *mat.Matrix) *mat.Matrix {
 	a.output = x.Apply(a.F)
 	return a.output
 }
+
+// Apply implements Layer: the element-wise map with no caching.
+func (a *Activation) Apply(x *mat.Matrix) *mat.Matrix { return x.Apply(a.F) }
 
 // Backward implements Layer.
 func (a *Activation) Backward(gradOut *mat.Matrix) *mat.Matrix {

@@ -39,10 +39,23 @@ func NewMLP(widths []int, hiddenAct, outActivation string, rng *rand.Rand) (*Net
 	return n, nil
 }
 
-// Forward runs the batch x through every layer.
+// Forward runs the batch x through every layer, caching activations for
+// Backward. Use only from the (single-goroutine) training loop; concurrent
+// scoring goes through Infer.
 func (n *Network) Forward(x *mat.Matrix) *mat.Matrix {
 	for _, l := range n.Layers {
 		x = l.Forward(x)
+	}
+	return x
+}
+
+// Infer runs the batch x through every layer without touching layer state:
+// activations thread through locals, nothing is cached, and no Backward is
+// possible afterwards. Safe for any number of concurrent callers sharing
+// this network, provided no goroutine is training it at the same time.
+func (n *Network) Infer(x *mat.Matrix) *mat.Matrix {
+	for _, l := range n.Layers {
+		x = l.Apply(x)
 	}
 	return x
 }

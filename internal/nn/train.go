@@ -48,7 +48,6 @@ func Train(n *Network, x, y *mat.Matrix, loss Loss, opt Optimizer, cfg TrainConf
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 		epochLoss := 0.0
-		batches := 0
 		for start := 0; start < len(idx); start += bs {
 			end := start + bs
 			if end > len(idx) {
@@ -64,10 +63,11 @@ func Train(n *Network, x, y *mat.Matrix, loss Loss, opt Optimizer, cfg TrainConf
 				ClipGradients(n.Params(), cfg.ClipNorm)
 			}
 			opt.Step(n.Params())
-			epochLoss += l
-			batches++
+			// Weight by batch size so a partial final batch does not skew
+			// the epoch mean: the reported loss is the true per-sample mean.
+			epochLoss += l * float64(len(batch))
 		}
-		finalLoss = epochLoss / float64(batches)
+		finalLoss = epochLoss / float64(len(idx))
 		if cfg.Verbose != nil && (epoch%logEvery == 0 || epoch == cfg.Epochs-1) {
 			cfg.Verbose(epoch, finalLoss)
 		}
@@ -75,6 +75,6 @@ func Train(n *Network, x, y *mat.Matrix, loss Loss, opt Optimizer, cfg TrainConf
 	return finalLoss, nil
 }
 
-// Predict runs a forward pass without caching anything the caller can see;
-// it is a convenience alias that makes call sites read as inference.
-func Predict(n *Network, x *mat.Matrix) *mat.Matrix { return n.Forward(x) }
+// Predict runs a stateless forward pass; it is a convenience alias that
+// makes call sites read as inference and is safe for concurrent use.
+func Predict(n *Network, x *mat.Matrix) *mat.Matrix { return n.Infer(x) }

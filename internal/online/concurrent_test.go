@@ -1,0 +1,84 @@
+package online_test
+
+import (
+	"sync"
+	"testing"
+
+	"prodigy/internal/hpas"
+	"prodigy/internal/ldms"
+	"prodigy/internal/online"
+)
+
+// rowsSink records a job's row stream so a test can replay it.
+type rowsSink struct{ rows []ldms.Row }
+
+func (s *rowsSink) Ingest(r ldms.Row) { s.rows = append(s.rows, r) }
+
+// TestConcurrentIngest replays one job's row stream into the detector from
+// many goroutines at once — the LDMS aggregator contract — while the same
+// model is also being scored directly. Under -race this covers both the
+// buffer-map lock and the stateless model path that scoring shares with
+// the HTTP serving layer.
+func TestConcurrentIngest(t *testing.T) {
+	p, ocfg, sys := trainWindowModel(t, 43)
+
+	job, err := sys.Submit("lammps", 4, 150, 78)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leak := hpas.Memleak{SizeMB: 10, Period: 0.05}
+	for _, n := range job.Nodes[:2] {
+		job.Injectors[n] = leak
+	}
+	sink := &rowsSink{}
+	sys.CollectJob(job, ldms.CollectConfig{DropProb: 0.005, Seed: 78}, sink)
+	if len(sink.rows) == 0 {
+		t.Fatal("no rows collected")
+	}
+
+	var mu sync.Mutex
+	var events []online.Event
+	det, err := online.NewDetector(ocfg, p, func(ev online.Event) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Shard rows round-robin over ≥16 ingest goroutines. Out-of-order
+	// arrival within a node is allowed by the watermark design; the test
+	// asserts race-freedom and sane events, not exact window contents.
+	const goroutines = 16
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := g; i < len(sink.rows); i += goroutines {
+				det.Ingest(sink.rows[i])
+			}
+		}()
+	}
+	wg.Wait()
+	det.Flush()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(events) == 0 {
+		t.Fatal("no window events emitted")
+	}
+	for _, ev := range events {
+		if ev.JobID != job.ID {
+			t.Fatalf("event for wrong job: %+v", ev)
+		}
+		if ev.Score < 0 {
+			t.Fatalf("negative score: %+v", ev)
+		}
+		if ev.WindowEnd-ev.WindowStart != ocfg.Window {
+			t.Fatalf("window size wrong: %+v", ev)
+		}
+	}
+}

@@ -36,7 +36,9 @@ type Event struct {
 }
 
 // Predictor is the model contract the detector needs (satisfied by
-// core.Prodigy).
+// core.Prodigy). DetectVector must be safe for concurrent use: the
+// detector calls it outside its buffer lock, possibly from many ingest
+// goroutines at once.
 type Predictor interface {
 	DetectVector(vec []float64) (anomalous bool, score float64)
 	FeatureNames() []string
@@ -61,7 +63,11 @@ func DefaultConfig() Config {
 }
 
 // Detector is a streaming window detector. It is safe for concurrent
-// Ingest calls (the LDMS aggregator contract).
+// Ingest calls (the LDMS aggregator contract): the buffer map is guarded
+// by a mutex, while model scoring happens outside the lock through the
+// stateless Predictor contract, so many nodes' windows can score in
+// parallel — and concurrently with the HTTP serving layer sharing the
+// same model.
 type Detector struct {
 	Cfg     Config
 	Model   Predictor
@@ -111,8 +117,17 @@ func NewDetector(cfg Config, model Predictor, onEvent func(Event)) (*Detector, e
 	}, nil
 }
 
+// pendingWindow is an assembled window's feature vector, carried out of
+// the buffer lock so the model scores it without blocking other ingests.
+type pendingWindow struct {
+	key        streamKey
+	start, end int64
+	vec        []float64
+}
+
 // Ingest implements ldms.Sink: buffer the row and flush any completed
-// windows for its node.
+// windows for its node. Window assembly happens under the buffer lock;
+// model scoring and event delivery happen after it is released.
 func (d *Detector) Ingest(r ldms.Row) {
 	key := streamKey{job: r.JobID, comp: r.Component}
 	d.mu.Lock()
@@ -125,26 +140,22 @@ func (d *Detector) Ingest(r ldms.Row) {
 	if r.Timestamp > b.watermark {
 		b.watermark = r.Timestamp
 	}
-	var events []Event
+	var pending []pendingWindow
 	for b.watermark >= b.nextStart+d.Cfg.Window+d.Cfg.Grace {
-		if ev, ok := d.flushWindow(key, b); ok {
-			events = append(events, ev)
+		if pw, ok := d.assembleWindow(key, b); ok {
+			pending = append(pending, pw)
 		}
 		b.nextStart += d.Cfg.Stride
 	}
 	d.mu.Unlock()
-	if d.OnEvent != nil {
-		for _, ev := range events {
-			d.OnEvent(ev)
-		}
-	}
+	d.scoreAndEmit(pending)
 }
 
 // Flush forces prediction of any window that has at least half its data,
 // for end-of-job cleanup. It returns the emitted events.
 func (d *Detector) Flush() []Event {
 	d.mu.Lock()
-	var events []Event
+	var pending []pendingWindow
 	keys := make([]streamKey, 0, len(d.buffers))
 	for key := range d.buffers {
 		keys = append(keys, key)
@@ -158,13 +169,34 @@ func (d *Detector) Flush() []Event {
 	for _, key := range keys {
 		b := d.buffers[key]
 		for b.watermark >= b.nextStart+d.Cfg.Window/2 {
-			if ev, ok := d.flushWindow(key, b); ok {
-				events = append(events, ev)
+			if pw, ok := d.assembleWindow(key, b); ok {
+				pending = append(pending, pw)
 			}
 			b.nextStart += d.Cfg.Stride
 		}
 	}
 	d.mu.Unlock()
+	return d.scoreAndEmit(pending)
+}
+
+// scoreAndEmit runs the model over assembled windows (outside the buffer
+// lock) and delivers events in window order.
+func (d *Detector) scoreAndEmit(pending []pendingWindow) []Event {
+	if len(pending) == 0 {
+		return nil
+	}
+	events := make([]Event, 0, len(pending))
+	for _, pw := range pending {
+		anomalous, score := d.Model.DetectVector(pw.vec)
+		events = append(events, Event{
+			JobID:       pw.key.job,
+			Component:   pw.key.comp,
+			WindowStart: pw.start,
+			WindowEnd:   pw.end,
+			Score:       score,
+			Anomalous:   anomalous,
+		})
+	}
 	if d.OnEvent != nil {
 		for _, ev := range events {
 			d.OnEvent(ev)
@@ -173,9 +205,9 @@ func (d *Detector) Flush() []Event {
 	return events
 }
 
-// flushWindow assembles, preprocesses and predicts one window. Caller
-// holds d.mu.
-func (d *Detector) flushWindow(key streamKey, b *streamBuffer) (Event, bool) {
+// assembleWindow builds one window's feature vector and prunes rows that
+// can no longer contribute to future windows. Caller holds d.mu.
+func (d *Detector) assembleWindow(key streamKey, b *streamBuffer) (pendingWindow, bool) {
 	start := b.nextStart
 	end := start + d.Cfg.Window
 	var tables []*timeseries.Table
@@ -190,11 +222,11 @@ func (d *Detector) flushWindow(key streamKey, b *streamBuffer) (Event, bool) {
 		}
 	}
 	if len(tables) == 0 {
-		return Event{}, false
+		return pendingWindow{}, false
 	}
 	window := timeseries.Align(tables...)
 	if window.Len() < int(d.Cfg.Window)/2 {
-		return Event{}, false // too sparse to trust
+		return pendingWindow{}, false // too sparse to trust
 	}
 	window.InterpolateAll()
 	acc := make([]string, 0, len(d.accumulated))
@@ -209,9 +241,8 @@ func (d *Detector) flushWindow(key streamKey, b *streamBuffer) (Event, bool) {
 	if len(vec) != len(d.Model.FeatureNames()) {
 		// Schema mismatch (e.g. a GPU node against a CPU model): skip
 		// rather than emit garbage.
-		return Event{}, false
+		return pendingWindow{}, false
 	}
-	anomalous, score := d.Model.DetectVector(vec)
 
 	// Drop rows that can no longer contribute to any future window.
 	horizon := start + d.Cfg.Stride
@@ -224,14 +255,7 @@ func (d *Detector) flushWindow(key streamKey, b *streamBuffer) (Event, bool) {
 		}
 		b.rows[sampler] = keep
 	}
-	return Event{
-		JobID:       key.job,
-		Component:   key.comp,
-		WindowStart: start,
-		WindowEnd:   end,
-		Score:       score,
-		Anomalous:   anomalous,
-	}, true
+	return pendingWindow{key: key, start: start, end: end, vec: vec}, true
 }
 
 // rowsToTable builds a sampler table over [start, end) from buffered rows.

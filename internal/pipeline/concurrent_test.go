@@ -1,0 +1,81 @@
+package pipeline_test
+
+import (
+	"sync"
+	"testing"
+)
+
+// bigBatch tiles a dataset's rows until the batch is large enough to take
+// AnomalyDetector.Scores' parallel fan-out path.
+func bigBatchIdx(rows, want int) []int {
+	idx := make([]int, want)
+	for i := range idx {
+		idx[i] = i % rows
+	}
+	return idx
+}
+
+// TestParallelScoresMatchesSerial checks the fan-out path in
+// AnomalyDetector.Scores is a pure optimization: scoring a large batch
+// must produce bitwise the same scores as scoring each row alone (which
+// stays on the serial path).
+func TestParallelScoresMatchesSerial(t *testing.T) {
+	ds, _ := tinyCampaign(t, 31)
+	artifact := trainProdigyArtifact(t, ds)
+	det, err := artifact.Detector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := ds.X.SelectRows(bigBatchIdx(ds.X.Rows, 300))
+	got := det.Scores(big)
+	if len(got) != 300 {
+		t.Fatalf("got %d scores for 300 rows", len(got))
+	}
+	for i := 0; i < big.Rows; i++ {
+		one := det.Scores(big.SelectRows([]int{i}))
+		if got[i] != one[0] {
+			t.Fatalf("row %d: parallel score %v != serial score %v", i, got[i], one[0])
+		}
+	}
+}
+
+// TestConcurrentDetectorPredict hammers one detector from many goroutines
+// — the pipeline-level regression test for the model-state race, run
+// under -race in CI.
+func TestConcurrentDetectorPredict(t *testing.T) {
+	ds, _ := tinyCampaign(t, 32)
+	artifact := trainProdigyArtifact(t, ds)
+	det, err := artifact.Detector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := det.Scores(ds.X)
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				preds, scores := det.Predict(ds.X)
+				for j := range scores {
+					if scores[j] != want[j] {
+						errs <- "concurrent Predict returned corrupted scores"
+						return
+					}
+					if (preds[j] == 1) != (scores[j] > det.Threshold()) {
+						errs <- "prediction inconsistent with threshold"
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sync"
 
 	"prodigy/internal/baselines/usad"
 	"prodigy/internal/featsel"
@@ -15,6 +17,11 @@ import (
 
 // Model is the contract detection models implement: fit on healthy feature
 // vectors, then score arbitrary vectors (higher = more anomalous).
+//
+// Scores must be stateless — safe for any number of concurrent callers on
+// one shared model — while FitHealthy is single-goroutine and must not run
+// concurrently with Scores. Both VAE and USAD satisfy this via nn.Network's
+// cache-free Infer path.
 type Model interface {
 	FitHealthy(x *mat.Matrix) error
 	Scores(x *mat.Matrix) []float64
@@ -240,7 +247,9 @@ func LoadArtifact(path string) (*Artifact, error) {
 
 // AnomalyDetector mirrors §4.3: given feature vectors in the *full*
 // extracted space, it applies the persisted selection and scaler, scores
-// with the model, and thresholds.
+// with the model, and thresholds. Scores and Predict are safe for
+// concurrent use; SetThreshold is a training-time operation and must not
+// race with them.
 type AnomalyDetector struct {
 	artifact *Artifact
 }
@@ -248,10 +257,42 @@ type AnomalyDetector struct {
 // Artifact exposes the underlying bundle.
 func (d *AnomalyDetector) Artifact() *Artifact { return d.artifact }
 
-// Scores returns anomaly scores for full-feature-space vectors.
+// parallelScoreMinRows is the batch size below which fanning scoring out
+// across workers costs more in goroutine overhead than it recovers.
+const parallelScoreMinRows = 128
+
+// Scores returns anomaly scores for full-feature-space vectors. Large
+// batches fan out across GOMAXPROCS workers — safe because Model.Scores is
+// stateless — so batch throughput scales with cores.
 func (d *AnomalyDetector) Scores(xFull *mat.Matrix) []float64 {
 	a := d.artifact
-	return a.model.Scores(a.scaler.Transform(a.Selection.Apply(xFull)))
+	x := a.scaler.Transform(a.Selection.Apply(xFull))
+	workers := runtime.GOMAXPROCS(0)
+	if x.Rows < parallelScoreMinRows || workers < 2 {
+		return a.model.Scores(x)
+	}
+	if workers > x.Rows {
+		workers = x.Rows
+	}
+	out := make([]float64, x.Rows)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * x.Rows / workers
+		hi := (w + 1) * x.Rows / workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			// Rows are contiguous in the row-major buffer, so a chunk is a
+			// zero-copy sub-matrix view.
+			chunk := mat.NewFromData(hi-lo, x.Cols, x.Data[lo*x.Cols:hi*x.Cols])
+			copy(out[lo:hi], a.model.Scores(chunk))
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
 }
 
 // Predict returns binary predictions (1 = anomalous) and the scores.

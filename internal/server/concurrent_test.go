@@ -1,0 +1,108 @@
+package server_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"prodigy/internal/drift"
+)
+
+// fetchJSON is getJSON for worker goroutines: it returns errors instead of
+// calling t.Fatal, which may only run on the test goroutine.
+func fetchJSON(url string) (map[string]interface{}, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	var out map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("GET %s: %v", url, err)
+	}
+	return out, nil
+}
+
+// TestConcurrentRequests hammers the scoring and drift endpoints from many
+// goroutines against one shared trained model — the production shape:
+// net/http runs each request in its own goroutine. Under -race this is the
+// regression test for the forward-pass activation race; it also checks
+// every request sees consistent, uncorrupted scores.
+func TestConcurrentRequests(t *testing.T) {
+	srv, anomJob, _ := deployServer(t)
+
+	// Arm the drift monitor so /api/drift and the Observe path inside
+	// /api/jobs/{id}/anomalies are exercised together.
+	ref := make([]float64, 64)
+	for i := range ref {
+		ref[i] = 0.01 + float64(i)*0.001
+	}
+	mon, err := drift.NewMonitor(ref, 500, drift.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Drift = mon
+
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Reference response, fetched before the hammering starts.
+	anomaliesURL := fmt.Sprintf("%s/api/jobs/%d/anomalies", ts.URL, anomJob)
+	want := getJSON(t, anomaliesURL, 200)
+	wantNodes := want["nodes"].([]interface{})
+
+	const goroutines = 24 // ≥16 concurrent scoring requests, plus drift readers
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if g%4 == 3 {
+					out, err := fetchJSON(ts.URL + "/api/drift")
+					if err == nil {
+						if _, ok := out["drifted"].(bool); !ok {
+							err = fmt.Errorf("drift response malformed: %v", out)
+						}
+					}
+					if err != nil {
+						errs <- err
+						return
+					}
+					continue
+				}
+				out, err := fetchJSON(anomaliesURL)
+				if err != nil {
+					errs <- err
+					return
+				}
+				nodes := out["nodes"].([]interface{})
+				if len(nodes) != len(wantNodes) {
+					errs <- fmt.Errorf("got %d nodes, want %d", len(nodes), len(wantNodes))
+					return
+				}
+				for j, n := range nodes {
+					got := n.(map[string]interface{})
+					ref := wantNodes[j].(map[string]interface{})
+					if got["score"] != ref["score"] || got["anomalous"] != ref["anomalous"] {
+						errs <- fmt.Errorf("node %d: concurrent response diverged: %v vs %v", j, got, ref)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

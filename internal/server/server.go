@@ -30,7 +30,10 @@ import (
 	"prodigy/internal/timeseries"
 )
 
-// Server serves the analysis dashboard API.
+// Server serves the analysis dashboard API. Its handlers are safe for
+// concurrent use — net/http serves each request in its own goroutine, and
+// every scoring path goes through core.Prodigy's stateless read paths;
+// only the drift monitor needs the server's own mutex.
 type Server struct {
 	Store   *dsos.Store
 	Prodigy *core.Prodigy
@@ -230,6 +233,11 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request, jobID int
 	}
 	expl, err := s.Prodigy.ExplainJobNode(s.Store, jobID, comp)
 	if expl == nil {
+		if err == nil {
+			writeError(w, http.StatusUnprocessableEntity,
+				"no explanation available for job %d component %d", jobID, comp)
+			return
+		}
 		writeError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}

@@ -23,6 +23,16 @@ import (
 // anomalous job's ID and one of its anomalous components.
 func deploy(t *testing.T) (*httptest.Server, int64, int) {
 	t.Helper()
+	srv, anomJob, anomComp := deployServer(t)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts, anomJob, anomComp
+}
+
+// deployServer is deploy without the HTTP wrapper, for tests that need to
+// configure the server (e.g. arm the drift monitor) before serving.
+func deployServer(t *testing.T) (*server.Server, int64, int) {
+	t.Helper()
 	sys := cluster.NewSystem("test", 8, cluster.EclipseNode(), 0)
 	store := dsos.NewStore()
 	builder := pipeline.NewDatasetBuilder(store)
@@ -76,9 +86,7 @@ func deploy(t *testing.T) (*httptest.Server, int64, int) {
 	}
 	p.TuneThreshold(ds)
 
-	ts := httptest.NewServer(server.New(store, p))
-	t.Cleanup(ts.Close)
-	return ts, anomJob, anomComp
+	return server.New(store, p), anomJob, anomComp
 }
 
 func getJSON(t *testing.T, url string, wantStatus int) map[string]interface{} {

@@ -1,0 +1,56 @@
+package vae
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentScores shares one trained VAE across many scoring
+// goroutines. Under -race this is the regression test for the forward-pass
+// activation race: before inference went stateless, two concurrent Scores
+// calls silently corrupted each other's reconstructions.
+func TestConcurrentScores(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	healthy, anom := clusterData(64, 16, 12, rng)
+	cfg := smallConfig(12)
+	cfg.Epochs = 40
+	v, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Fit(healthy, nil); err != nil {
+		t.Fatal(err)
+	}
+	wantH := v.Scores(healthy)
+	wantA := v.Scores(anom)
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				x, want := healthy, wantH
+				if (g+i)%2 == 1 {
+					x, want = anom, wantA
+				}
+				got := v.Scores(x)
+				for j := range got {
+					if got[j] != want[j] {
+						errs <- "concurrent Scores returned corrupted values"
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+}

@@ -130,16 +130,18 @@ func New(cfg Config) (*VAE, error) {
 const logvarBound = 10
 
 // Encode returns the posterior mean and log-variance for each row of x.
+// It is a stateless inference pass: safe for concurrent callers sharing
+// this VAE as long as no goroutine is running Fit on it.
 func (v *VAE) Encode(x *mat.Matrix) (mu, logvar *mat.Matrix) {
-	h := v.encoder.Forward(x)
-	mu = v.muHead.Forward(h)
-	logvar = v.logvarHead.Forward(h)
+	h := v.encoder.Infer(x)
+	mu = v.muHead.Apply(h)
+	logvar = v.logvarHead.Apply(h)
 	logvar.ApplyInPlace(func(lv float64) float64 { return mat.Clamp(lv, -logvarBound, logvarBound) })
 	return mu, logvar
 }
 
-// Decode maps latent vectors back to input space.
-func (v *VAE) Decode(z *mat.Matrix) *mat.Matrix { return v.decoder.Forward(z) }
+// Decode maps latent vectors back to input space. Stateless, like Encode.
+func (v *VAE) Decode(z *mat.Matrix) *mat.Matrix { return v.decoder.Infer(z) }
 
 // Reconstruct returns the deterministic reconstruction of x through the
 // posterior mean (no sampling), as used for anomaly scoring.
@@ -150,7 +152,8 @@ func (v *VAE) Reconstruct(x *mat.Matrix) *mat.Matrix {
 
 // Scores returns the per-sample reconstruction MAE of x (paper §3.3: "we
 // measure the reconstruction error using mean absolute error for each
-// sample").
+// sample"). Like Encode/Decode it mutates no model state, so concurrent
+// scoring through one shared VAE is race-free.
 func (v *VAE) Scores(x *mat.Matrix) []float64 {
 	return nn.RowMAE(v.Reconstruct(x), x)
 }
