@@ -1,6 +1,7 @@
-# Development targets. `make check` is what CI runs.
+# Development targets. `make check` is what CI runs on every push;
+# `make bench-json` backs the per-commit BENCH_scoring.json artifact.
 
-.PHONY: check build vet test race bench
+.PHONY: check build vet test race bench bench-json
 
 build:
 	go build ./...
@@ -18,5 +19,12 @@ race:
 
 check: build vet race
 
-bench:
+# Full benchmark sweep plus the scoring snapshot (bench-json). CI runs
+# only bench-json; the sweep is the laptop workflow.
+bench: bench-json
 	go test -bench=. -benchmem -run=^$$ ./...
+
+# Scoring-path benchmarks emitted as BENCH_scoring.json — the perf
+# trajectory tracked across PRs (see DESIGN.md §8).
+bench-json:
+	BENCH_JSON=$(CURDIR)/BENCH_scoring.json go test -run '^TestEmitScoringBenchJSON$$' -count=1 .

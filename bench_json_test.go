@@ -1,0 +1,95 @@
+package prodigy
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// BENCH_scoring.json emitter: `make bench` (and CI's bench job) sets
+// BENCH_JSON=<path> and runs this test, which re-runs the scoring-path
+// benchmarks through testing.Benchmark and writes one machine-readable
+// snapshot per commit. Appending these artifacts across PRs is the perf
+// trajectory every future optimisation reports against — in particular,
+// instrumentation overhead regressions show up here as a ns/op jump on
+// the batch-scoring entries.
+
+type benchEntry struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// SamplesPerSec is the samples/s custom metric, when the benchmark
+	// reports one.
+	SamplesPerSec float64 `json:"samples_per_s,omitempty"`
+}
+
+type benchReport struct {
+	GeneratedUnix int64        `json:"generated_unix"`
+	GoVersion     string       `json:"go_version"`
+	GOOS          string       `json:"goos"`
+	GOARCH        string       `json:"goarch"`
+	CPUs          int          `json:"cpus"`
+	Benchmarks    []benchEntry `json:"benchmarks"`
+}
+
+// TestEmitScoringBenchJSON is skipped unless BENCH_JSON names an output
+// path, so `go test ./...` stays fast.
+func TestEmitScoringBenchJSON(t *testing.T) {
+	path := os.Getenv("BENCH_JSON")
+	if path == "" {
+		t.Skip("set BENCH_JSON=<path> to emit the scoring benchmark JSON")
+	}
+	benches := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		// The scoring hot paths PR 1 parallelized, plus the end-to-end
+		// dashboard request — the surfaces an instrumentation or perf PR
+		// can regress.
+		{"VAEInference", BenchmarkVAEInference},
+		{"BatchScoresParallel", BenchmarkBatchScoresParallel},
+		{"EndToEndDetection", BenchmarkEndToEndDetection},
+		{"FeatureExtraction", BenchmarkFeatureExtraction},
+	}
+	report := benchReport{
+		GeneratedUnix: time.Now().Unix(),
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		CPUs:          runtime.NumCPU(),
+	}
+	for _, b := range benches {
+		fn := b.fn
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			fn(b)
+		})
+		if res.N == 0 {
+			t.Fatalf("benchmark %s did not run", b.name)
+		}
+		entry := benchEntry{
+			Name:        b.name,
+			Iterations:  res.N,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+		}
+		if v, ok := res.Extra["samples/s"]; ok {
+			entry.SamplesPerSec = v
+		}
+		report.Benchmarks = append(report.Benchmarks, entry)
+		t.Logf("%s: %.0f ns/op (%d iters)", b.name, entry.NsPerOp, entry.Iterations)
+	}
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", path)
+}

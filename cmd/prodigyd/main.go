@@ -1,10 +1,12 @@
 // Command prodigyd runs the full deployment pipeline of §4 end to end on a
 // simulated system: it boots a cluster, runs a stream of jobs (some with
 // injected anomalies) collected through LDMS into the DSOS store, trains
-// Prodigy on an initial healthy window, and serves the analysis dashboard
-// API over HTTP.
+// Prodigy on an initial healthy window, optionally replays extra jobs
+// through the streaming detector, and serves the analysis dashboard API
+// over HTTP — including the self-monitoring surface (/metrics,
+// /debug/vars, /debug/pprof).
 //
-//	prodigyd -addr :8080 -system volta -jobs 24
+//	prodigyd -addr :8080 -system volta -jobs 24 -log-level debug
 //
 // Then, as a user would through Grafana:
 //
@@ -13,16 +15,21 @@
 //	curl "localhost:8080/api/jobs/20/explain?component=2"
 //	curl "localhost:8080/api/jobs/20/diagnose?component=2"
 //	curl localhost:8080/api/drift
+//
+// And, as an operator watching the watcher:
+//
+//	curl localhost:8080/api/health
+//	curl localhost:8080/metrics
+//	go tool pprof localhost:8080/debug/pprof/profile?seconds=5
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"fmt"
-	"log"
 	"math/rand"
 	"net/http"
+	"os"
 	"os/signal"
 	"syscall"
 	"time"
@@ -36,6 +43,8 @@ import (
 	"prodigy/internal/features"
 	"prodigy/internal/hpas"
 	"prodigy/internal/ldms"
+	"prodigy/internal/obs"
+	"prodigy/internal/online"
 	"prodigy/internal/pipeline"
 	"prodigy/internal/server"
 )
@@ -47,7 +56,17 @@ func main() {
 	duration := flag.Int64("duration", 240, "job duration in seconds")
 	anomFrac := flag.Float64("anomalous", 0.25, "fraction of jobs run with an injected anomaly")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	logLevel := flag.String("log-level", "info", "log verbosity: error, warn, info or debug")
+	stream := flag.Bool("stream", true, "train a window model and replay extra jobs through the streaming detector")
+	streamJobs := flag.Int("stream-jobs", 2, "extra jobs replayed through the streaming detector")
 	flag.Parse()
+
+	lvl, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		obs.Error("bad -log-level", "err", err)
+		os.Exit(2)
+	}
+	obs.SetLogLevel(lvl)
 
 	var sys *cluster.System
 	var appNames []string
@@ -66,12 +85,15 @@ func main() {
 
 	rng := rand.New(rand.NewSource(*seed))
 	injectors := hpas.AllTable2()
-	log.Printf("simulating %d jobs on %s (%d nodes)...", *jobs, sys.Name, sys.NumNodes())
+	truthByJob := map[int64]map[int][2]string{}
+	appByJob := map[int64]string{}
+	obs.Info("simulating campaign", "jobs", *jobs, "system", sys.Name, "nodes", sys.NumNodes())
 	for i := 0; i < *jobs; i++ {
 		app := appNames[i%len(appNames)]
 		job, err := sys.Submit(app, 4, *duration, *seed+int64(i))
 		if err != nil {
-			log.Fatalf("submit: %v", err)
+			obs.Error("submit failed", "app", app, "err", err)
+			os.Exit(1)
 		}
 		truth := map[int][2]string{}
 		if rng.Float64() < *anomFrac {
@@ -82,52 +104,71 @@ func main() {
 					truth[n] = [2]string{inj.Name(), inj.Config()}
 				}
 			}
-			log.Printf("job %d: %s with %s %s on %d nodes", job.ID, app, injectors[i%len(injectors)].Name(),
-				injectors[i%len(injectors)].Config(), len(truth))
+			obs.Info("job submitted", "job", job.ID, "app", app,
+				"injector", inj.Name(), "config", inj.Config(), "anomalous_nodes", len(truth))
 		} else {
-			log.Printf("job %d: %s healthy", job.ID, app)
+			obs.Debug("job submitted", "job", job.ID, "app", app, "healthy", true)
 		}
 		sys.CollectJob(job, ldms.CollectConfig{DropProb: 0.005, Seed: *seed + job.ID}, store)
 		builder.AddJob(job.ID, app, truth)
+		truthByJob[job.ID] = truth
+		appByJob[job.ID] = app
 		if err := sys.Complete(job.ID); err != nil {
-			log.Fatalf("complete: %v", err)
+			obs.Error("complete failed", "job", job.ID, "err", err)
+			os.Exit(1)
 		}
 	}
 
-	log.Printf("extracting features and training Prodigy...")
+	obs.Info("extracting features and training Prodigy")
 	ds, err := builder.Build()
 	if err != nil {
-		log.Fatalf("build dataset: %v", err)
+		obs.Error("build dataset failed", "err", err)
+		os.Exit(1)
 	}
 	campaignLike := experiments.CampaignConfig{System: *systemName, Catalog: features.Minimal(), TrimSeconds: 30}
+
+	// The streaming detector needs its own model trained on window-level
+	// vectors (whole-run features distribute differently). Train it first
+	// so the deployment gauges (prodigy_model_*) end up describing the
+	// serving model, which is deployed last.
+	var streamDet *online.Detector
+	if *stream {
+		streamDet = trainStreamingDetector(store, truthByJob, appByJob, campaignLike, *seed)
+	}
+
 	cfg := experiments.ProdigyConfig(experiments.Quick, campaignLike, *seed)
 	experiments.TopKFor(&cfg, ds.X.Cols)
 	p := core.New(cfg)
 	if err := p.Fit(ds, nil); err != nil {
-		log.Fatalf("train: %v", err)
+		obs.Error("train failed", "err", err)
+		os.Exit(1)
 	}
 	conf := p.Evaluate(ds)
-	log.Printf("trained: threshold %.5f, campaign macro F1 %.3f", p.Threshold(), conf.MacroF1())
+	obs.Info("trained", "threshold", p.Threshold(), "campaign_macro_f1", conf.MacroF1(),
+		"features", len(p.FeatureNames()))
+
+	if streamDet != nil {
+		replayStream(sys, streamDet, appNames, *duration, *seed, *streamJobs)
+	}
 
 	srv := server.New(store, p)
 	// Optional production extras: anomaly-type diagnosis (needs ≥2 labeled
 	// types in the campaign) and the model-staleness monitor.
 	if clf, err := diagnose.New(ds, 3); err == nil {
 		srv.Diagnoser = clf
-		log.Printf("diagnoser ready: types %v", clf.Types())
+		obs.Info("diagnoser ready", "types", clf.Types())
 	} else {
-		log.Printf("diagnoser disabled: %v", err)
+		obs.Warn("diagnoser disabled", "err", err)
 	}
 	healthy := ds.Subset(ds.HealthyIndices())
 	if healthy.Len() >= 2 {
 		if mon, err := drift.NewMonitor(p.Scores(healthy.X), 500, drift.DefaultConfig()); err == nil {
 			srv.Drift = mon
-			log.Printf("drift monitor armed over %d reference scores", healthy.Len())
+			obs.Info("drift monitor armed", "reference_scores", healthy.Len())
 		}
 	}
-	log.Printf("serving the analysis dashboard on %s", *addr)
-	log.Printf("try: curl localhost%s/api/jobs", *addr)
-	fmt.Println()
+	obs.Info("serving the analysis dashboard", "addr", *addr)
+	obs.Info("try", "dashboard", "curl localhost"+*addr+"/api/jobs", "metrics", "curl localhost"+*addr+"/metrics")
 
 	// Production hardening: bounded read/write timeouts so a slow or stuck
 	// client cannot pin a handler goroutine forever, and signal-driven
@@ -146,18 +187,80 @@ func main() {
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	select {
 	case err := <-errc:
-		log.Fatalf("serve: %v", err)
+		obs.Error("serve failed", "err", err)
+		os.Exit(1)
 	case <-ctx.Done():
 		stop()
-		log.Printf("shutdown signal received; draining connections...")
+		obs.Info("shutdown signal received; draining connections")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-			log.Printf("shutdown: %v", err)
+			obs.Warn("shutdown", "err", err)
 		}
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Printf("serve: %v", err)
+			obs.Warn("serve", "err", err)
 		}
-		log.Printf("bye")
+		obs.Info("bye")
 	}
+}
+
+// streamConfig is the shared window geometry of the live detector.
+func streamConfig() online.Config {
+	return online.Config{Window: 60, Stride: 30, Grace: 2, Catalog: features.Minimal()}
+}
+
+// trainStreamingDetector slices the stored campaign into windows, trains a
+// window-level model and wires the live detector over it. Failures only
+// log: streaming is an optional extra on top of the dashboard.
+func trainStreamingDetector(store *dsos.Store, truth map[int64]map[int][2]string, apps map[int64]string,
+	campaignLike experiments.CampaignConfig, seed int64) *online.Detector {
+	ocfg := streamConfig()
+	wds, err := online.BuildWindowDataset(store, truth, apps, ocfg)
+	if err != nil {
+		obs.Warn("streaming disabled: window dataset", "err", err)
+		return nil
+	}
+	cfg := experiments.ProdigyConfig(experiments.Quick, campaignLike, seed)
+	experiments.TopKFor(&cfg, wds.X.Cols)
+	wp := core.New(cfg)
+	if err := wp.Fit(wds, nil); err != nil {
+		obs.Warn("streaming disabled: window model train", "err", err)
+		return nil
+	}
+	obs.Info("streaming window model trained", "windows", wds.Len(), "threshold", wp.Threshold())
+	det, err := online.NewDetector(ocfg, wp, func(ev online.Event) {
+		if ev.Anomalous {
+			obs.Info("streaming anomaly", "job", ev.JobID, "component", ev.Component,
+				"window_start", ev.WindowStart, "score", ev.Score)
+		} else {
+			obs.Debug("streaming window healthy", "job", ev.JobID, "component", ev.Component,
+				"window_start", ev.WindowStart, "score", ev.Score)
+		}
+	})
+	if err != nil {
+		obs.Warn("streaming disabled", "err", err)
+		return nil
+	}
+	return det
+}
+
+// replayStream runs extra jobs whose rows flow straight into the
+// streaming detector (it implements ldms.Sink), exercising the live
+// windowed path so online_* metrics carry real traffic.
+func replayStream(sys *cluster.System, det *online.Detector, appNames []string, duration, seed int64, n int) {
+	for i := 0; i < n; i++ {
+		app := appNames[i%len(appNames)]
+		job, err := sys.Submit(app, 4, duration, seed+1000+int64(i))
+		if err != nil {
+			obs.Warn("stream job submit failed", "err", err)
+			return
+		}
+		sys.CollectJob(job, ldms.CollectConfig{DropProb: 0.005, Seed: seed + 1000 + job.ID}, det)
+		if err := sys.Complete(job.ID); err != nil {
+			obs.Warn("stream job complete failed", "job", job.ID, "err", err)
+		}
+		obs.Debug("streamed job", "job", job.ID, "app", app)
+	}
+	events := det.Flush()
+	obs.Info("streaming replay done", "jobs", n, "events", len(events))
 }

@@ -15,6 +15,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -25,8 +26,25 @@ import (
 	"prodigy/internal/featsel"
 	"prodigy/internal/features"
 	"prodigy/internal/mat"
+	"prodigy/internal/obs"
 	"prodigy/internal/pipeline"
 	"prodigy/internal/vae"
+)
+
+// Deployment telemetry (DESIGN.md §8): the gauges describe the model
+// snapshot most recently deployed in this process (Fit, Swap or Load —
+// with several Prodigy instances the last deployment wins, which matches
+// the one-deployed-model-per-process serving shape of §4). The swap
+// counter is the retrain/redeploy event stream the drift story hangs off.
+var (
+	modelSwaps = obs.Default.NewCounter("prodigy_model_swaps_total",
+		"Hot model swaps deployed through Prodigy.Swap.")
+	modelGeneration = obs.Default.NewGauge("prodigy_model_generation",
+		"Generation of the deployed model artifact; Fit, Swap and Load each advance it.")
+	modelThreshold = obs.Default.NewGauge("prodigy_model_threshold",
+		"Decision threshold of the deployed model.")
+	modelFeatures = obs.Default.NewGauge("prodigy_model_features",
+		"Full extracted-feature count the deployed model scores against.")
 )
 
 // Config bundles the tunables of the framework. Zero values are filled
@@ -78,7 +96,22 @@ type Prodigy struct {
 	// healthyTrain retains the healthy training pool (full feature space)
 	// for CoMTE distractors.
 	healthyTrain atomic.Pointer[mat.Matrix]
+	// generation counts deployments into this instance (Fit, Swap, Load);
+	// /api/health reports it so operators can tell which artifact answered.
+	generation atomic.Uint64
 }
+
+// deploy installs a detector and publishes the snapshot's metadata.
+func (p *Prodigy) deploy(det *pipeline.AnomalyDetector) {
+	p.detector.Store(det)
+	modelGeneration.Set(float64(p.generation.Add(1)))
+	modelThreshold.Set(det.Threshold())
+	modelFeatures.Set(float64(len(det.Artifact().FullFeatureNames)))
+}
+
+// Generation returns how many model deployments (Fit, Swap, Load) this
+// instance has seen; 0 means untrained.
+func (p *Prodigy) Generation() uint64 { return p.generation.Load() }
 
 // New returns an untrained Prodigy with the given configuration.
 func New(cfg Config) *Prodigy { return &Prodigy{Cfg: cfg} }
@@ -119,7 +152,7 @@ func (p *Prodigy) FitWithSelection(train, selectionSet *pipeline.Dataset, sel *f
 	}
 	healthy := train.Subset(train.HealthyIndices())
 	p.healthyTrain.Store(healthy.X)
-	p.detector.Store(det)
+	p.deploy(det)
 	return nil
 }
 
@@ -140,7 +173,8 @@ func (p *Prodigy) Swap(artifact *pipeline.Artifact) error {
 				old.CatalogTier, artifact.CatalogTier, old.TrimSeconds, artifact.TrimSeconds)
 		}
 	}
-	p.detector.Store(det)
+	p.deploy(det)
+	modelSwaps.Inc()
 	return nil
 }
 
@@ -172,6 +206,7 @@ func (p *Prodigy) TuneThreshold(ds *pipeline.Dataset) float64 {
 	scores := det.Scores(ds.X)
 	best, _ := eval.BestThreshold(scores, ds.Labels(), 0, 1, 0.001)
 	det.SetThreshold(best)
+	modelThreshold.Set(best)
 	return best
 }
 
@@ -194,6 +229,8 @@ type NodePrediction struct {
 // AnalyzeJob runs the full prediction pipeline of Figure 4 for one job ID:
 // query the store, preprocess, extract features, detect per node.
 func (p *Prodigy) AnalyzeJob(store *dsos.Store, jobID int64) ([]NodePrediction, error) {
+	ctx, span := obs.StartSpan(context.Background(), "core.analyze_job")
+	defer span.End()
 	// One atomic load per request: every node of the job is scored against
 	// the same model snapshot even if a hot swap lands mid-analysis.
 	det := p.det()
@@ -202,10 +239,14 @@ func (p *Prodigy) AnalyzeJob(store *dsos.Store, jobID int64) ([]NodePrediction, 
 	if p.Cfg.TrimSeconds > 0 {
 		gen.TrimSeconds = p.Cfg.TrimSeconds
 	}
+	_, qspan := obs.StartSpan(ctx, "query")
 	tables, err := gen.JobTables(jobID)
+	qspan.End()
 	if err != nil {
 		return nil, err
 	}
+	_, sspan := obs.StartSpan(ctx, "extract_score")
+	defer sspan.End()
 	pipe := &pipeline.DataPipeline{Catalog: p.Cfg.catalog()}
 	var out []NodePrediction
 	for _, comp := range store.Components(jobID) {
@@ -280,6 +321,8 @@ func (p *Prodigy) JobNodeVector(store *dsos.Store, jobID int64, component int) (
 // node of a job: query + preprocess + extract, verify the node is predicted
 // anomalous, then search for a CoMTE counterfactual.
 func (p *Prodigy) ExplainJobNode(store *dsos.Store, jobID int64, component int) (*comte.Explanation, error) {
+	_, span := obs.StartSpan(context.Background(), "core.explain_job_node")
+	defer span.End()
 	det := p.det()
 	pool := p.healthyTrain.Load()
 	if pool == nil {
@@ -322,7 +365,7 @@ func Load(path string, cfg Config) (*Prodigy, error) {
 	cfg.Catalog = features.New(features.Tier(artifact.CatalogTier))
 	cfg.TrimSeconds = artifact.TrimSeconds
 	p := &Prodigy{Cfg: cfg}
-	p.detector.Store(det)
+	p.deploy(det)
 	return p, nil
 }
 

@@ -3,8 +3,23 @@ package nn
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"prodigy/internal/mat"
+	"prodigy/internal/obs"
+)
+
+// Training telemetry: the loss trajectory and epoch wall time of whatever
+// model is currently fitting. One gauge suffices because training is
+// single-goroutine by contract (DESIGN.md §7) — there is at most one
+// in-flight Train per deployment operation worth watching.
+var (
+	trainLoss = obs.Default.NewGauge("nn_train_loss",
+		"Mean per-sample training loss of the most recently completed epoch.")
+	trainEpochs = obs.Default.NewCounter("nn_train_epochs_total",
+		"Completed training epochs across all models in this process.")
+	epochDur = obs.Default.NewHistogram("nn_epoch_seconds",
+		"Wall time per training epoch.", obs.DefBuckets)
 )
 
 // TrainConfig controls a minibatch training loop.
@@ -46,6 +61,7 @@ func Train(n *Network, x, y *mat.Matrix, loss Loss, opt Optimizer, cfg TrainConf
 	}
 	finalLoss := 0.0
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		epochStart := time.Now()
 		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 		epochLoss := 0.0
 		for start := 0; start < len(idx); start += bs {
@@ -68,6 +84,9 @@ func Train(n *Network, x, y *mat.Matrix, loss Loss, opt Optimizer, cfg TrainConf
 			epochLoss += l * float64(len(batch))
 		}
 		finalLoss = epochLoss / float64(len(idx))
+		trainLoss.Set(finalLoss)
+		trainEpochs.Inc()
+		epochDur.Observe(time.Since(epochStart).Seconds())
 		if cfg.Verbose != nil && (epoch%logEvery == 0 || epoch == cfg.Epochs-1) {
 			cfg.Verbose(epoch, finalLoss)
 		}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func fixedClock() time.Time { return time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC) }
+
+func testLogger(lvl Level) (*Logger, *strings.Builder) {
+	var b strings.Builder
+	l := NewLogger(&b, lvl)
+	l.now = fixedClock
+	return l, &b
+}
+
+func TestLoggerFormat(t *testing.T) {
+	l, b := testLogger(LevelDebug)
+	l.Info("model trained", "threshold", 0.125, "jobs", 24, "system", "eclipse volta")
+	want := `2026-08-05T12:00:00Z level=info msg="model trained" threshold=0.125 jobs=24 system="eclipse volta"` + "\n"
+	if b.String() != want {
+		t.Fatalf("log line:\n got %q\nwant %q", b.String(), want)
+	}
+}
+
+func TestLoggerLevels(t *testing.T) {
+	l, b := testLogger(LevelWarn)
+	l.Debug("hidden")
+	l.Info("hidden")
+	l.Warn("shown")
+	l.Error("also shown", "err", errors.New("boom"))
+	out := b.String()
+	if strings.Contains(out, "hidden") {
+		t.Fatalf("suppressed levels leaked: %q", out)
+	}
+	if !strings.Contains(out, "level=warn msg=shown") || !strings.Contains(out, "level=error") || !strings.Contains(out, "err=boom") {
+		t.Fatalf("missing lines: %q", out)
+	}
+	l.SetLevel(LevelDebug)
+	l.Debug("now visible")
+	if !strings.Contains(b.String(), "level=debug") {
+		t.Fatal("SetLevel did not lower the threshold")
+	}
+}
+
+func TestLoggerOddKV(t *testing.T) {
+	l, b := testLogger(LevelInfo)
+	l.Info("oops", "dangling")
+	if !strings.Contains(b.String(), "!MISSING=dangling") {
+		t.Fatalf("odd kv not flagged: %q", b.String())
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for s, want := range map[string]Level{"error": LevelError, "WARN": LevelWarn, "warning": LevelWarn, " info ": LevelInfo, "debug": LevelDebug} {
+		got, err := ParseLevel(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("ParseLevel should reject unknown levels")
+	}
+}
+
+// Concurrent writers must interleave whole lines, never bytes.
+func TestLoggerConcurrent(t *testing.T) {
+	l, b := testLogger(LevelInfo)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				l.Info("tick", "n", j)
+			}
+		}()
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSuffix(b.String(), "\n"), "\n")
+	if len(lines) != 16*200 {
+		t.Fatalf("got %d lines, want %d", len(lines), 16*200)
+	}
+	for _, line := range lines {
+		if !strings.HasPrefix(line, "2026-08-05T12:00:00Z level=info msg=tick n=") {
+			t.Fatalf("torn line: %q", line)
+		}
+	}
+}

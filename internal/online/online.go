@@ -21,8 +21,32 @@ import (
 	"prodigy/internal/features"
 	"prodigy/internal/ldms"
 	"prodigy/internal/mat"
+	"prodigy/internal/obs"
 	"prodigy/internal/pipeline"
 	"prodigy/internal/timeseries"
+)
+
+// Streaming telemetry (DESIGN.md §8): ingestion lag is measured on the
+// stream's own clock (row timestamps vs the per-stream watermark), so it
+// reports how out-of-order the aggregation fan-in delivers rows; buffer
+// gauges expose window-assembly depth; the dropped-window counter makes
+// silently skipped predictions (sparse or schema-mismatched windows)
+// visible instead of indistinguishable from healthy silence.
+var (
+	ingestLag = obs.Default.NewHistogram("online_ingest_lag_seconds",
+		"How far behind its stream's watermark each ingested row arrives (stream-clock seconds).", obs.LagBuckets)
+	ingestRows = obs.Default.NewCounter("online_ingest_rows_total",
+		"Rows ingested by the streaming detector.")
+	bufferRows = obs.Default.NewGauge("online_buffer_rows",
+		"Rows buffered across all streams awaiting window assembly.")
+	bufferStreams = obs.Default.NewGauge("online_buffer_streams",
+		"Distinct (job, component) streams currently buffered.")
+	windowsScored = obs.Default.NewCounter("online_windows_scored_total",
+		"Windows assembled and scored.")
+	windowsDropped = obs.Default.NewCounterVec("online_windows_dropped_total",
+		"Windows dropped before scoring, by reason (empty, sparse, schema).", "reason")
+	eventsAnomalous = obs.Default.NewCounter("online_events_anomalous_total",
+		"Anomalous window predictions emitted.")
 )
 
 // Event is one window-level prediction for one compute node.
@@ -140,6 +164,10 @@ func (d *Detector) Ingest(r ldms.Row) {
 	if r.Timestamp > b.watermark {
 		b.watermark = r.Timestamp
 	}
+	ingestRows.Inc()
+	ingestLag.Observe(float64(b.watermark - r.Timestamp))
+	bufferRows.Add(1)
+	bufferStreams.Set(float64(len(d.buffers)))
 	var pending []pendingWindow
 	for b.watermark >= b.nextStart+d.Cfg.Window+d.Cfg.Grace {
 		if pw, ok := d.assembleWindow(key, b); ok {
@@ -185,9 +213,13 @@ func (d *Detector) scoreAndEmit(pending []pendingWindow) []Event {
 	if len(pending) == 0 {
 		return nil
 	}
+	windowsScored.Add(float64(len(pending)))
 	events := make([]Event, 0, len(pending))
 	for _, pw := range pending {
 		anomalous, score := d.Model.DetectVector(pw.vec)
+		if anomalous {
+			eventsAnomalous.Inc()
+		}
 		events = append(events, Event{
 			JobID:       pw.key.job,
 			Component:   pw.key.comp,
@@ -222,10 +254,12 @@ func (d *Detector) assembleWindow(key streamKey, b *streamBuffer) (pendingWindow
 		}
 	}
 	if len(tables) == 0 {
+		windowsDropped.With("empty").Inc()
 		return pendingWindow{}, false
 	}
 	window := timeseries.Align(tables...)
 	if window.Len() < int(d.Cfg.Window)/2 {
+		windowsDropped.With("sparse").Inc()
 		return pendingWindow{}, false // too sparse to trust
 	}
 	window.InterpolateAll()
@@ -241,11 +275,13 @@ func (d *Detector) assembleWindow(key streamKey, b *streamBuffer) (pendingWindow
 	if len(vec) != len(d.Model.FeatureNames()) {
 		// Schema mismatch (e.g. a GPU node against a CPU model): skip
 		// rather than emit garbage.
+		windowsDropped.With("schema").Inc()
 		return pendingWindow{}, false
 	}
 
 	// Drop rows that can no longer contribute to any future window.
 	horizon := start + d.Cfg.Stride
+	pruned := 0
 	for sampler, rows := range b.rows {
 		keep := rows[:0]
 		for _, r := range rows {
@@ -253,8 +289,10 @@ func (d *Detector) assembleWindow(key streamKey, b *streamBuffer) (pendingWindow
 				keep = append(keep, r)
 			}
 		}
+		pruned += len(rows) - len(keep)
 		b.rows[sampler] = keep
 	}
+	bufferRows.Add(-float64(pruned))
 	return pendingWindow{key: key, start: start, end: end, vec: vec}, true
 }
 

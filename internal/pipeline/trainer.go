@@ -7,13 +7,50 @@ import (
 	"path/filepath"
 	"runtime"
 	"sync"
+	"time"
 
 	"prodigy/internal/baselines/usad"
 	"prodigy/internal/featsel"
 	"prodigy/internal/mat"
+	"prodigy/internal/obs"
 	"prodigy/internal/scale"
 	"prodigy/internal/vae"
 )
+
+// Scoring telemetry (see DESIGN.md §8): every deployed detector reports
+// throughput, batch latency by execution path, fan-out utilization and the
+// score distribution itself — the p50/p95/p99 reconstruction error that
+// feeds the drift story. The per-batch cost is a few atomic adds, kept
+// invisible next to the matrix math it measures.
+var (
+	scoresTotal = obs.Default.NewCounter("prodigy_scores_total",
+		"Samples scored through a deployed AnomalyDetector, all paths.")
+	scoreErrors = obs.Default.NewHistogram("prodigy_score_error",
+		"Reconstruction-error (anomaly score) distribution of scored samples.", obs.ScoreBuckets)
+	batchScoreDur = obs.Default.NewHistogramVec("pipeline_batch_score_seconds",
+		"Wall time of one AnomalyDetector.Scores batch, by execution path.", obs.DefBuckets, "path")
+	scoreBatches = obs.Default.NewCounterVec("pipeline_score_batches_total",
+		"Scored batches, by execution path (serial vs parallel fan-out).", "path")
+	busyScoreWorkers = obs.Default.NewGauge("pipeline_score_workers_busy",
+		"Scoring workers currently running in the parallel fan-out.")
+)
+
+// ScoreQuantiles summarizes the process-wide reconstruction-error
+// distribution (p50/p95/p99) — the snapshot /api/health and /api/drift
+// report next to the threshold.
+func ScoreQuantiles() (p50, p95, p99 float64) {
+	return scoreErrors.Quantile(0.50), scoreErrors.Quantile(0.95), scoreErrors.Quantile(0.99)
+}
+
+// recordBatch publishes one finished Scores call.
+func recordBatch(path string, start time.Time, scores []float64) {
+	batchScoreDur.With(path).Observe(time.Since(start).Seconds())
+	scoreBatches.With(path).Inc()
+	scoresTotal.Add(float64(len(scores)))
+	for _, s := range scores {
+		scoreErrors.Observe(s)
+	}
+}
 
 // Model is the contract detection models implement: fit on healthy feature
 // vectors, then score arbitrary vectors (higher = more anomalous).
@@ -265,11 +302,14 @@ const parallelScoreMinRows = 128
 // batches fan out across GOMAXPROCS workers — safe because Model.Scores is
 // stateless — so batch throughput scales with cores.
 func (d *AnomalyDetector) Scores(xFull *mat.Matrix) []float64 {
+	start := time.Now()
 	a := d.artifact
 	x := a.scaler.Transform(a.Selection.Apply(xFull))
 	workers := runtime.GOMAXPROCS(0)
 	if x.Rows < parallelScoreMinRows || workers < 2 {
-		return a.model.Scores(x)
+		out := a.model.Scores(x)
+		recordBatch("serial", start, out)
+		return out
 	}
 	if workers > x.Rows {
 		workers = x.Rows
@@ -284,6 +324,8 @@ func (d *AnomalyDetector) Scores(xFull *mat.Matrix) []float64 {
 		}
 		wg.Add(1)
 		go func(lo, hi int) {
+			busyScoreWorkers.Add(1)
+			defer busyScoreWorkers.Add(-1)
 			defer wg.Done()
 			// Rows are contiguous in the row-major buffer, so a chunk is a
 			// zero-copy sub-matrix view.
@@ -292,6 +334,7 @@ func (d *AnomalyDetector) Scores(xFull *mat.Matrix) []float64 {
 		}(lo, hi)
 	}
 	wg.Wait()
+	recordBatch("parallel", start, out)
 	return out
 }
 

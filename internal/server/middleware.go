@@ -1,0 +1,105 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"prodigy/internal/obs"
+)
+
+// HTTP telemetry (DESIGN.md §8). Routes are normalized to their pattern —
+// `/api/jobs/17/anomalies` reports as `/api/jobs/{id}/anomalies` — so
+// cardinality is bounded by the API surface, not by traffic. Status codes
+// collapse to classes ("2xx" … "5xx") for the same reason.
+var (
+	httpRequests = obs.Default.NewCounterVec("http_requests_total",
+		"HTTP requests served, by normalized route and status class.", "route", "class")
+	httpErrors = obs.Default.NewCounterVec("http_errors_total",
+		"HTTP error responses written, by normalized route and status class.", "route", "class")
+	httpDuration = obs.Default.NewHistogramVec("http_request_duration_seconds",
+		"HTTP request latency, by normalized route.", obs.DefBuckets, "route")
+	httpInFlight = obs.Default.NewGauge("http_in_flight_requests",
+		"Requests currently being served.")
+)
+
+// apiAnalyses is the closed set of /api/jobs/{id}/<analysis> suffixes a
+// route label may take; anything else collapses to "other".
+var apiAnalyses = map[string]bool{
+	"anomalies": true, "explain": true, "diagnose": true, "metrics": true,
+}
+
+// routeLabel maps a request path to its bounded-cardinality pattern.
+func routeLabel(path string) string {
+	switch path {
+	case "/api/health", "/api/jobs", "/api/drift", "/metrics", "/debug/vars":
+		return path
+	}
+	if rest, ok := strings.CutPrefix(path, "/api/jobs/"); ok {
+		analysis := ""
+		if i := strings.IndexByte(rest, '/'); i >= 0 {
+			analysis = rest[i+1:]
+		}
+		switch {
+		case analysis == "":
+			return "/api/jobs/{id}"
+		case apiAnalyses[analysis]:
+			return "/api/jobs/{id}/" + analysis
+		default:
+			return "/api/jobs/{id}/other"
+		}
+	}
+	if strings.HasPrefix(path, "/debug/pprof") {
+		return "/debug/pprof"
+	}
+	return "other"
+}
+
+// statusClass collapses a status code to its class label.
+func statusClass(code int) string {
+	if code < 100 || code > 599 {
+		return "other"
+	}
+	return strconv.Itoa(code/100) + "xx"
+}
+
+// statusRecorder captures the response status for instrumentation.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (s *statusRecorder) WriteHeader(code int) {
+	if s.status == 0 {
+		s.status = code
+	}
+	s.ResponseWriter.WriteHeader(code)
+}
+
+func (s *statusRecorder) Write(b []byte) (int, error) {
+	if s.status == 0 {
+		s.status = http.StatusOK
+	}
+	return s.ResponseWriter.Write(b)
+}
+
+// instrument wraps the server's mux with request counting, latency
+// histograms, the in-flight gauge and a per-request span.
+func instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		route := routeLabel(r.URL.Path)
+		httpInFlight.Add(1)
+		defer httpInFlight.Add(-1)
+		_, span := obs.StartSpan(r.Context(), "http "+route)
+		rec := &statusRecorder{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(rec, r)
+		httpDuration.With(route).Observe(time.Since(start).Seconds())
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		httpRequests.With(route, statusClass(rec.status)).Inc()
+		span.End()
+	})
+}

@@ -16,8 +16,10 @@ package server
 
 import (
 	"encoding/json"
+	"expvar"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -27,6 +29,8 @@ import (
 	"prodigy/internal/drift"
 	"prodigy/internal/dsos"
 	"prodigy/internal/ldms"
+	"prodigy/internal/obs"
+	"prodigy/internal/pipeline"
 	"prodigy/internal/timeseries"
 )
 
@@ -44,22 +48,36 @@ type Server struct {
 	// anomaly dashboard and serves /api/drift — the model-staleness check.
 	Drift *drift.Monitor
 
-	mu  sync.Mutex // guards Drift observations
-	mux *http.ServeMux
+	mu      sync.Mutex // guards Drift observations
+	mux     *http.ServeMux
+	handler http.Handler // mux wrapped with instrumentation middleware
 }
 
-// New wires a server over a telemetry store and a trained Prodigy.
+// New wires a server over a telemetry store and a trained Prodigy. Beyond
+// the dashboard API it mounts the self-monitoring surface: /metrics
+// (Prometheus text exposition), /debug/vars (expvar snapshot including
+// the slow-span ring) and /debug/pprof (the stdlib profiler, for
+// profiling the scoring hot paths under live traffic).
 func New(store *dsos.Store, p *core.Prodigy) *Server {
 	s := &Server{Store: store, Prodigy: p, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/api/health", s.handleHealth)
 	s.mux.HandleFunc("/api/jobs", s.handleJobs)
 	s.mux.HandleFunc("/api/jobs/", s.handleJob)
 	s.mux.HandleFunc("/api/drift", s.handleDrift)
+	obs.PublishExpvar()
+	s.mux.Handle("/metrics", obs.Handler())
+	s.mux.Handle("/debug/vars", expvar.Handler())
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.handler = instrument(s.mux)
 	return s
 }
 
 // ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
 
 // writeJSON writes v with a 200 status.
 func writeJSON(w http.ResponseWriter, v interface{}) {
@@ -69,20 +87,50 @@ func writeJSON(w http.ResponseWriter, v interface{}) {
 	}
 }
 
-// writeError writes a JSON error payload.
-func writeError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+// writeError writes a JSON error payload, counts it under
+// http_errors_total{route,class} so 4xx/5xx are distinguishable from
+// silence, and routes it through the leveled logger (client errors at
+// debug — they are the caller's problem — server errors at error).
+func writeError(w http.ResponseWriter, r *http.Request, status int, format string, args ...interface{}) {
+	msg := fmt.Sprintf(format, args...)
+	route := routeLabel(r.URL.Path)
+	class := statusClass(status)
+	httpErrors.With(route, class).Inc()
+	if status >= 500 {
+		obs.Error("request failed", "route", route, "path", r.URL.Path, "status", status, "err", msg)
+	} else {
+		obs.Debug("request rejected", "route", route, "path", r.URL.Path, "status", status, "err", msg)
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
 }
 
+// handleHealth reports model snapshot metadata next to store liveness: the
+// decision threshold, feature count, swap generation and process uptime,
+// plus the p50/p95/p99 of the reconstruction-error distribution scored so
+// far — the same values the obs gauges export on /metrics.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	trained := s.Prodigy != nil && s.Prodigy.Trained()
+	var generation uint64
+	var featureCount int
+	if s.Prodigy != nil {
+		generation = s.Prodigy.Generation()
+		featureCount = len(s.Prodigy.FeatureNames())
+	}
+	p50, p95, p99 := pipeline.ScoreQuantiles()
 	writeJSON(w, map[string]interface{}{
-		"status":    "ok",
-		"trained":   s.Prodigy != nil && s.Prodigy.Trained(),
-		"jobs":      len(s.Store.Jobs()),
-		"rows":      s.Store.NumRows(),
-		"threshold": s.thresholdOrZero(),
+		"status":          "ok",
+		"trained":         trained,
+		"jobs":            len(s.Store.Jobs()),
+		"rows":            s.Store.NumRows(),
+		"threshold":       s.thresholdOrZero(),
+		"features":        featureCount,
+		"swap_generation": generation,
+		"uptime_seconds":  obs.Uptime().Seconds(),
+		"score_p50":       p50,
+		"score_p95":       p95,
+		"score_p99":       p99,
 	})
 }
 
@@ -103,7 +151,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	parts := strings.SplitN(rest, "/", 2)
 	jobID, err := strconv.ParseInt(parts[0], 10, 64)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "invalid job id %q", parts[0])
+		writeError(w, r, http.StatusBadRequest, "invalid job id %q", parts[0])
 		return
 	}
 	analysis := ""
@@ -130,7 +178,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 			"analyses":   analyses,
 		})
 	default:
-		writeError(w, http.StatusNotFound, "unknown analysis %q", analysis)
+		writeError(w, r, http.StatusNotFound, "unknown analysis %q", analysis)
 	}
 }
 
@@ -138,12 +186,12 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 // prediction per compute node of the job.
 func (s *Server) handleAnomalies(w http.ResponseWriter, r *http.Request, jobID int64) {
 	if s.Prodigy == nil || !s.Prodigy.Trained() {
-		writeError(w, http.StatusServiceUnavailable, "no trained model deployed")
+		writeError(w, r, http.StatusServiceUnavailable, "no trained model deployed")
 		return
 	}
 	report, err := s.Prodigy.AnalyzeJob(s.Store, jobID)
 	if err != nil {
-		writeError(w, http.StatusNotFound, "%v", err)
+		writeError(w, r, http.StatusNotFound, "%v", err)
 		return
 	}
 	if s.Drift != nil {
@@ -163,32 +211,32 @@ func (s *Server) handleAnomalies(w http.ResponseWriter, r *http.Request, jobID i
 // handleDiagnose classifies the anomaly type of a flagged node.
 func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request, jobID int64) {
 	if s.Prodigy == nil || !s.Prodigy.Trained() {
-		writeError(w, http.StatusServiceUnavailable, "no trained model deployed")
+		writeError(w, r, http.StatusServiceUnavailable, "no trained model deployed")
 		return
 	}
 	if s.Diagnoser == nil {
-		writeError(w, http.StatusNotImplemented, "no diagnoser deployed")
+		writeError(w, r, http.StatusNotImplemented, "no diagnoser deployed")
 		return
 	}
 	comp, err := strconv.Atoi(r.URL.Query().Get("component"))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "component query parameter required")
+		writeError(w, r, http.StatusBadRequest, "component query parameter required")
 		return
 	}
 	vec, err := s.Prodigy.JobNodeVector(s.Store, jobID, comp)
 	if err != nil {
-		writeError(w, http.StatusNotFound, "%v", err)
+		writeError(w, r, http.StatusNotFound, "%v", err)
 		return
 	}
 	anomalous, score := s.Prodigy.DetectVector(vec)
 	if !anomalous {
-		writeError(w, http.StatusUnprocessableEntity,
+		writeError(w, r, http.StatusUnprocessableEntity,
 			"component %d is predicted healthy (score %.5f); nothing to diagnose", comp, score)
 		return
 	}
 	d, err := s.Diagnoser.Classify(vec)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		writeError(w, r, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	writeJSON(w, map[string]interface{}{
@@ -204,41 +252,48 @@ func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request, jobID in
 // handleDrift reports the model-staleness monitor's state.
 func (s *Server) handleDrift(w http.ResponseWriter, r *http.Request) {
 	if s.Drift == nil {
-		writeError(w, http.StatusNotImplemented, "no drift monitor deployed")
+		writeError(w, r, http.StatusNotImplemented, "no drift monitor deployed")
 		return
 	}
 	s.mu.Lock()
 	rep := s.Drift.Check()
 	window := s.Drift.WindowSize()
 	s.mu.Unlock()
+	// The process-wide score distribution gives the drift verdict context:
+	// a KS rejection with stable percentiles is noise, one with a moving
+	// p95/p99 is the retrain signal.
+	p50, p95, p99 := pipeline.ScoreQuantiles()
 	writeJSON(w, map[string]interface{}{
-		"drifted": rep.Drifted,
-		"ks":      rep.KS,
-		"p_value": rep.PValue,
-		"psi":     rep.PSI,
-		"window":  window,
+		"drifted":   rep.Drifted,
+		"ks":        rep.KS,
+		"p_value":   rep.PValue,
+		"psi":       rep.PSI,
+		"window":    window,
+		"score_p50": p50,
+		"score_p95": p95,
+		"score_p99": p99,
 	})
 }
 
 // handleExplain returns the CoMTE counterfactual for one anomalous node.
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request, jobID int64) {
 	if s.Prodigy == nil || !s.Prodigy.Trained() {
-		writeError(w, http.StatusServiceUnavailable, "no trained model deployed")
+		writeError(w, r, http.StatusServiceUnavailable, "no trained model deployed")
 		return
 	}
 	comp, err := strconv.Atoi(r.URL.Query().Get("component"))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "component query parameter required")
+		writeError(w, r, http.StatusBadRequest, "component query parameter required")
 		return
 	}
 	expl, err := s.Prodigy.ExplainJobNode(s.Store, jobID, comp)
 	if expl == nil {
 		if err == nil {
-			writeError(w, http.StatusUnprocessableEntity,
+			writeError(w, r, http.StatusUnprocessableEntity,
 				"no explanation available for job %d component %d", jobID, comp)
 			return
 		}
-		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		writeError(w, r, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
 	resp := map[string]interface{}{
@@ -260,27 +315,27 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request, jobID int
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request, jobID int64) {
 	comp, err := strconv.Atoi(r.URL.Query().Get("component"))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "component query parameter required")
+		writeError(w, r, http.StatusBadRequest, "component query parameter required")
 		return
 	}
 	metric := r.URL.Query().Get("metric")
 	if metric == "" {
-		writeError(w, http.StatusBadRequest, "metric query parameter required")
+		writeError(w, r, http.StatusBadRequest, "metric query parameter required")
 		return
 	}
 	parts := strings.SplitN(metric, "::", 2)
 	if len(parts) != 2 {
-		writeError(w, http.StatusBadRequest, "metric must be qualified as name::sampler")
+		writeError(w, r, http.StatusBadRequest, "metric must be qualified as name::sampler")
 		return
 	}
 	tb, err := s.Store.QuerySampler(jobID, comp, ldms.SamplerName(parts[1]))
 	if err != nil {
-		writeError(w, http.StatusNotFound, "%v", err)
+		writeError(w, r, http.StatusNotFound, "%v", err)
 		return
 	}
 	col := tb.Column(metric)
 	if col == nil {
-		writeError(w, http.StatusNotFound, "metric %q not found", metric)
+		writeError(w, r, http.StatusNotFound, "metric %q not found", metric)
 		return
 	}
 	// Dropped samples are NaN in storage, which JSON cannot carry; emit
