@@ -1,7 +1,7 @@
 # Development targets. `make check` is what CI runs on every push;
 # `make bench-json` backs the per-commit BENCH_scoring.json artifact.
 
-.PHONY: check build vet test race bench bench-json
+.PHONY: check build vet test race lint fmt-check fuzz bench bench-json
 
 build:
 	go build ./...
@@ -17,7 +17,24 @@ test:
 race:
 	go test -race ./...
 
-check: build vet race
+# prodigy-lint turns the repo's prose contracts into machine-checked ones
+# (DESIGN.md §9): stateless inference, bounded metric labels, seeded
+# randomness, no float equality in the numeric core.
+lint:
+	go run ./cmd/prodigy-lint
+
+# gofmt cleanliness gate: fails listing any file gofmt would rewrite.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Fuzz smoke: a short randomized pass over the untrusted-input parsers
+# (score request JSON, metric label values) on every invocation.
+fuzz:
+	go test ./internal/server/ -run '^$$' -fuzz FuzzDecodeScoreRequest -fuzztime 10s
+	go test ./internal/obs/ -run '^$$' -fuzz FuzzSeriesLabels -fuzztime 10s
+
+check: build vet fmt-check lint race
 
 # Full benchmark sweep plus the scoring snapshot (bench-json). CI runs
 # only bench-json; the sweep is the laptop workflow.

@@ -1,0 +1,73 @@
+// Command prodigy-lint runs the repository's static-analysis suite
+// (internal/analysis): stdlib-only go/ast+go/types analyzers that enforce
+// the concurrency, reproducibility and observability contracts of
+// DESIGN.md §7–§9. It type-checks every module package, runs the default
+// analyzers, prints file:line:col: [analyzer] message diagnostics, and
+// exits 1 when any survive suppression.
+//
+// Usage:
+//
+//	prodigy-lint [-list] [dir]
+//
+// dir defaults to the current directory; the module containing it is
+// analyzed. -list prints the analyzers and exits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"prodigy/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.DefaultAnalyzers() {
+			fmt.Printf("%-16s %s\n", a.Name(), a.Doc())
+		}
+		return
+	}
+
+	dir := "."
+	if flag.NArg() > 0 {
+		dir = flag.Arg(0)
+	}
+
+	diags, err := run(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "prodigy-lint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "prodigy-lint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func run(dir string) ([]analysis.Diagnostic, error) {
+	loader, err := analysis.NewLoader(dir)
+	if err != nil {
+		return nil, err
+	}
+	unit, err := loader.LoadModule()
+	if err != nil {
+		return nil, err
+	}
+	diags := analysis.Lint(unit, analysis.DefaultAnalyzers()...)
+	// Report module-relative paths: stable across checkouts, and what the
+	// golden tests and CI logs expect.
+	for i := range diags {
+		if rel, err := filepath.Rel(loader.ModDir, diags[i].Pos.Filename); err == nil {
+			diags[i].Pos.Filename = filepath.ToSlash(rel)
+		}
+	}
+	return diags, nil
+}

@@ -1,0 +1,170 @@
+// Package analysis is prodigy-lint: a static-analysis suite, written
+// purely against the standard library (go/parser, go/ast, go/types,
+// go/importer), that turns the repository's prose contracts into
+// machine-checked ones (DESIGN.md §9). Four analyzers enforce the
+// concurrency contract (statelessinfer), the observability naming and
+// cardinality rules (obsconventions), experiment reproducibility
+// (seededrand) and numeric hygiene (floateq).
+//
+// A finding can be suppressed at the offending line (same line or the
+// line directly above) with an explanation:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// Directives naming an analyzer the suite does not know, or missing the
+// reason, are themselves reported — a silencer that silences nothing it
+// can name is a stale contract.
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, attributed to the analyzer that produced it.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Reporter records one finding at a position.
+type Reporter func(pos token.Pos, format string, args ...interface{})
+
+// Analyzer is one pluggable invariant checker. Run inspects the whole
+// unit (analyzers are free to build cross-package indexes) and reports
+// findings through report.
+type Analyzer interface {
+	Name() string
+	Doc() string
+	Run(u *Unit, report Reporter)
+}
+
+// directiveName is the comment prefix of a suppression directive.
+const directiveName = "//lint:ignore"
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	pos      token.Position
+	analyzer string
+	reason   string
+}
+
+// Lint runs the analyzers over the unit, applies suppression directives,
+// and returns the surviving diagnostics sorted by position. Directives
+// naming unknown analyzers or missing a reason are reported under the
+// pseudo-analyzer "lint".
+func Lint(u *Unit, analyzers ...Analyzer) []Diagnostic {
+	known := make(map[string]bool, len(analyzers))
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		a := a
+		known[a.Name()] = true
+		a.Run(u, func(pos token.Pos, format string, args ...interface{}) {
+			diags = append(diags, Diagnostic{
+				Pos:      u.Fset.Position(pos),
+				Analyzer: a.Name(),
+				Message:  fmt.Sprintf(format, args...),
+			})
+		})
+	}
+
+	directives := collectDirectives(u)
+	// suppressed[file][line][analyzer]: a directive covers its own line and
+	// the line directly below it (so it can sit above the offending
+	// statement or trail it on the same line).
+	suppressed := make(map[string]map[int]map[string]bool)
+	mark := func(file string, line int, analyzer string) {
+		if suppressed[file] == nil {
+			suppressed[file] = make(map[int]map[string]bool)
+		}
+		if suppressed[file][line] == nil {
+			suppressed[file][line] = make(map[string]bool)
+		}
+		suppressed[file][line][analyzer] = true
+	}
+	for _, d := range directives {
+		switch {
+		case !known[d.analyzer]:
+			diags = append(diags, Diagnostic{Pos: d.pos, Analyzer: "lint",
+				Message: fmt.Sprintf("lint:ignore names unknown analyzer %q", d.analyzer)})
+		case d.reason == "":
+			diags = append(diags, Diagnostic{Pos: d.pos, Analyzer: "lint",
+				Message: fmt.Sprintf("lint:ignore %s needs a reason", d.analyzer)})
+		default:
+			mark(d.pos.Filename, d.pos.Line, d.analyzer)
+			mark(d.pos.Filename, d.pos.Line+1, d.analyzer)
+		}
+	}
+
+	out := diags[:0]
+	for _, d := range diags {
+		if suppressed[d.Pos.Filename][d.Pos.Line][d.Analyzer] {
+			continue
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// collectDirectives parses every //lint:ignore comment in the unit.
+func collectDirectives(u *Unit) []ignoreDirective {
+	var out []ignoreDirective
+	for _, pkg := range u.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, directiveName)
+					if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+						continue
+					}
+					fields := strings.Fields(rest)
+					d := ignoreDirective{pos: u.Fset.Position(c.Pos())}
+					if len(fields) > 0 {
+						d.analyzer = fields[0]
+					}
+					if len(fields) > 1 {
+						d.reason = strings.Join(fields[1:], " ")
+					}
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// labelsafeDirective marks a function whose string results come from a
+// closed, code-bounded vocabulary — obsconventions accepts its results as
+// metric label values (see DESIGN.md §8 cardinality rules).
+const labelsafeDirective = "//lint:labelsafe"
+
+// DefaultAnalyzers returns the production-configured suite prodigy-lint
+// runs: every analyzer, with the repository's roots and package scopes.
+func DefaultAnalyzers() []Analyzer {
+	return []Analyzer{
+		&StatelessInfer{Roots: DefaultStatelessRoots()},
+		&ObsConventions{},
+		&SeededRand{},
+		&FloatEq{Packages: DefaultFloatEqPackages()},
+	}
+}

@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FloatEq forbids == and != between floating-point operands in the
+// numeric core. Reconstruction errors, thresholds and KS statistics are
+// accumulated floating values; exact comparison against them encodes an
+// assumption rounding will eventually break, usually silently and only on
+// some inputs. Compare against a tolerance instead — or, where exact
+// comparison is genuinely intended (a sparsity fast path testing a value
+// never produced by arithmetic), suppress with //lint:ignore floateq and
+// say why.
+type FloatEq struct {
+	// Packages restricts the check to import paths with one of these
+	// suffixes; empty means the whole module.
+	Packages []string
+}
+
+// DefaultFloatEqPackages scopes the check to the numeric core named by
+// the invariant: nn, mat, vae, dsos, eval, drift.
+func DefaultFloatEqPackages() []string {
+	return []string{
+		"internal/nn",
+		"internal/mat",
+		"internal/vae",
+		"internal/dsos",
+		"internal/eval",
+		"internal/drift",
+	}
+}
+
+// Name implements Analyzer.
+func (a *FloatEq) Name() string { return "floateq" }
+
+// Doc implements Analyzer.
+func (a *FloatEq) Doc() string {
+	return "no ==/!= between floating-point operands in the numeric core; compare with a tolerance"
+}
+
+// Run implements Analyzer.
+func (a *FloatEq) Run(u *Unit, report Reporter) {
+	for _, pkg := range u.Pkgs {
+		if !a.inScope(pkg.Path) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				if isFloat(pkg, be.X) || isFloat(pkg, be.Y) {
+					report(be.OpPos, "floating-point %s comparison; use a tolerance (math.Abs(a-b) <= eps) or restructure", be.Op)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// inScope applies the package-suffix filter.
+func (a *FloatEq) inScope(path string) bool {
+	if len(a.Packages) == 0 {
+		return true
+	}
+	for _, suffix := range a.Packages {
+		if path == suffix || strings.HasSuffix(path, "/"+suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+// isFloat reports whether the expression has floating-point (or complex)
+// type.
+func isFloat(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&(types.IsFloat|types.IsComplex) != 0
+}

@@ -1,0 +1,292 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one type-checked module package: the unit analyzers inspect.
+type Package struct {
+	// Path is the import path ("prodigy/internal/nn", or a synthetic
+	// "fixture/..." path for testdata packages).
+	Path string
+	// Dir is the directory the files were read from.
+	Dir string
+	// Files are the parsed non-test sources, with comments.
+	Files []*ast.File
+	// Types and Info carry the go/types results for Files.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Unit is a whole loaded module: every package shares one FileSet and one
+// type-checker universe, so a *types.Func seen at a call site in one
+// package is the same object as the one indexed from its defining package
+// — the property the cross-package statelessinfer call graph relies on.
+type Unit struct {
+	Fset *token.FileSet
+	Pkgs []*Package
+}
+
+// Loader parses and type-checks module packages from source. Imports
+// inside the module recurse through the loader itself; everything else
+// (the standard library) is resolved from compiler export data located
+// with `go list -export`, so no package outside the module is ever
+// re-type-checked from source.
+type Loader struct {
+	Fset    *token.FileSet
+	ModPath string // module path from go.mod
+	ModDir  string // module root directory
+
+	mu      sync.Mutex
+	pkgs    map[string]*Package // loaded source packages by import path
+	loading map[string]bool     // cycle guard
+	exports map[string]string   // import path -> export data file
+	gcimp   types.Importer      // export-data importer for non-module deps
+}
+
+// NewLoader builds a loader rooted at the module containing dir. It runs
+// `go list -export -deps ./...` once to locate export data for the
+// module's whole dependency closure (all standard library, here).
+func NewLoader(dir string) (*Loader, error) {
+	modDir, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Loader{
+		Fset:    token.NewFileSet(),
+		ModPath: modPath,
+		ModDir:  modDir,
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+		exports: make(map[string]string),
+	}
+	l.gcimp = importer.ForCompiler(l.Fset, "gc", l.lookupExport)
+	if err := l.fillExports("-deps", "./..."); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module directory and module path.
+func findModule(dir string) (modDir, modPath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: no module line in %s/go.mod", d)
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("analysis: no go.mod above %s", abs)
+		}
+	}
+}
+
+// fillExports records import path -> export data file for the packages
+// matching args (go list syntax), building them if needed.
+func (l *Loader) fillExports(args ...string) error {
+	cmd := exec.Command("go", append([]string{"list", "-export", "-f", "{{.ImportPath}}\t{{.Export}}"}, args...)...)
+	cmd.Dir = l.ModDir
+	out, err := cmd.Output()
+	if err != nil {
+		msg := ""
+		if ee, ok := err.(*exec.ExitError); ok {
+			msg = ": " + strings.TrimSpace(string(ee.Stderr))
+		}
+		return fmt.Errorf("analysis: go list -export %v failed%s", args, msg)
+	}
+	for _, line := range strings.Split(string(out), "\n") {
+		path, file, ok := strings.Cut(strings.TrimSpace(line), "\t")
+		if ok && file != "" {
+			l.exports[path] = file
+		}
+	}
+	return nil
+}
+
+// lookupExport feeds the gc importer the export data for one import path.
+func (l *Loader) lookupExport(path string) (io.ReadCloser, error) {
+	l.mu.Lock()
+	file, ok := l.exports[path]
+	l.mu.Unlock()
+	if !ok {
+		// A path outside the batch-resolved closure (fixtures may import
+		// stdlib packages the module itself does not): resolve it lazily.
+		if err := l.fillExports(path); err != nil {
+			return nil, err
+		}
+		l.mu.Lock()
+		file, ok = l.exports[path]
+		l.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+	}
+	return os.Open(file)
+}
+
+// Import implements types.Importer: module packages load from source
+// through the loader (so object identities unify across the unit),
+// everything else comes from export data.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	l.mu.Lock()
+	p, ok := l.pkgs[path]
+	l.mu.Unlock()
+	if ok {
+		return p.Types, nil
+	}
+	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModPath), "/")
+		p, err := l.LoadDir(filepath.Join(l.ModDir, filepath.FromSlash(rel)), path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.gcimp.Import(path)
+}
+
+// LoadDir parses and type-checks the non-test .go files of one directory
+// under the given import path. Results are memoized by import path.
+func (l *Loader) LoadDir(dir, path string) (*Package, error) {
+	l.mu.Lock()
+	if p, ok := l.pkgs[path]; ok {
+		l.mu.Unlock()
+		return p, nil
+	}
+	if l.loading[path] {
+		l.mu.Unlock()
+		return nil, fmt.Errorf("analysis: import cycle through %q", path)
+	}
+	l.loading[path] = true
+	l.mu.Unlock()
+	defer func() {
+		l.mu.Lock()
+		delete(l.loading, path)
+		l.mu.Unlock()
+	}()
+
+	names, err := sourceFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no non-test Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	p := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	l.mu.Lock()
+	l.pkgs[path] = p
+	l.mu.Unlock()
+	return p, nil
+}
+
+// LoadModule loads every package of the module (every directory holding
+// non-test .go files, skipping testdata and hidden directories) and
+// returns them as one Unit, sorted by import path.
+func (l *Loader) LoadModule() (*Unit, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.ModDir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.ModDir && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		names, err := sourceFiles(path)
+		if err != nil {
+			return err
+		}
+		if len(names) > 0 {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	u := &Unit{Fset: l.Fset}
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(l.ModDir, dir)
+		if err != nil {
+			return nil, err
+		}
+		path := l.ModPath
+		if rel != "." {
+			path = l.ModPath + "/" + filepath.ToSlash(rel)
+		}
+		p, err := l.LoadDir(dir, path)
+		if err != nil {
+			return nil, err
+		}
+		u.Pkgs = append(u.Pkgs, p)
+	}
+	sort.Slice(u.Pkgs, func(i, j int) bool { return u.Pkgs[i].Path < u.Pkgs[j].Path })
+	return u, nil
+}
+
+// sourceFiles lists the buildable non-test .go files of dir.
+func sourceFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}

@@ -1,0 +1,479 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// ObsConventions enforces the observability rules of DESIGN.md §8 at the
+// two places they can be broken: registration and labeling.
+//
+// Registration: at every `Registry.New*` call site outside the registry's
+// own package, the metric name must be a compile-time string constant
+// matching the `<subsystem>_<noun>_<unit-or-total>` scheme — counters end
+// in `_total`, gauges and histograms must not — and label names must be
+// constant lowercase identifiers. A computed metric name defeats both
+// grep and the exposition contract.
+//
+// Labeling: arguments to `*Vec.With` and span names passed to `StartSpan`
+// must come from closed vocabularies, never from request or job data —
+// unbounded label values are a slow-motion memory leak in any Prometheus
+// setup. A value is accepted when it is a constant, the result of a
+// function annotated `//lint:labelsafe` (a normalizer with a code-bounded
+// range, e.g. routeLabel or statusClass), a concatenation of accepted
+// values, a local variable only ever assigned accepted values, or a
+// parameter that every module call site fills with accepted values.
+type ObsConventions struct{}
+
+// Name implements Analyzer.
+func (a *ObsConventions) Name() string { return "obsconventions" }
+
+// Doc implements Analyzer.
+func (a *ObsConventions) Doc() string {
+	return "metric names must be literal and well-formed; label values and span names must come from bounded vocabularies (DESIGN.md §8)"
+}
+
+var (
+	// metricNameRE: lowercase snake_case with at least two components.
+	metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)+$`)
+	// labelNameRE: one lowercase identifier.
+	labelNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+)
+
+type obsState struct {
+	unit   *Unit
+	report Reporter
+	// registryPkgs: packages defining a type named Registry with New*
+	// methods — their internal wrapper call sites are exempt.
+	registryPkgs map[*types.Package]bool
+	// labelsafe: functions annotated //lint:labelsafe.
+	labelsafe map[*types.Func]bool
+	// decls: module function declarations, for tracing idents and params.
+	decls map[*types.Func]declSite
+	// callers: every module call site of each function.
+	callers map[*types.Func][]callSite
+}
+
+type declSite struct {
+	decl *ast.FuncDecl
+	pkg  *Package
+}
+
+type callSite struct {
+	call *ast.CallExpr
+	pkg  *Package
+	// enclosing is the FuncDecl the call appears in (nil at package level).
+	enclosing *ast.FuncDecl
+}
+
+// Run implements Analyzer.
+func (a *ObsConventions) Run(u *Unit, report Reporter) {
+	s := &obsState{
+		unit: u, report: report,
+		registryPkgs: make(map[*types.Package]bool),
+		labelsafe:    make(map[*types.Func]bool),
+		decls:        make(map[*types.Func]declSite),
+		callers:      make(map[*types.Func][]callSite),
+	}
+	s.index()
+	for _, pkg := range u.Pkgs {
+		for _, f := range pkg.Files {
+			s.checkFile(pkg, f)
+		}
+	}
+}
+
+// index finds registry-defining packages, labelsafe annotations, and the
+// module-wide call-site map used for depth-1 parameter checks.
+func (s *obsState) index() {
+	for _, pkg := range s.unit.Pkgs {
+		scope := pkg.Types.Scope()
+		if obj, ok := scope.Lookup("Registry").(*types.TypeName); ok {
+			if named, ok := obj.Type().(*types.Named); ok {
+				for i := 0; i < named.NumMethods(); i++ {
+					if strings.HasPrefix(named.Method(i).Name(), "New") {
+						s.registryPkgs[pkg.Types] = true
+						break
+					}
+				}
+			}
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				s.decls[fn] = declSite{decl: fd, pkg: pkg}
+				if fd.Doc != nil {
+					for _, c := range fd.Doc.List {
+						if c.Text == labelsafeDirective || strings.HasPrefix(c.Text, labelsafeDirective+" ") {
+							s.labelsafe[fn] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	for _, pkg := range s.unit.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				var encl *ast.FuncDecl
+				if fd, ok := decl.(*ast.FuncDecl); ok {
+					encl = fd
+				}
+				ast.Inspect(decl, func(n ast.Node) bool {
+					if call, ok := n.(*ast.CallExpr); ok {
+						if fn := s.callee(pkg, call); fn != nil {
+							s.callers[fn] = append(s.callers[fn], callSite{call: call, pkg: pkg, enclosing: encl})
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+}
+
+// callee resolves a call expression to the *types.Func it invokes, if
+// static.
+func (s *obsState) callee(pkg *Package, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pkg.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		fn, _ := pkg.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// checkFile walks one file, validating registration and labeling sites.
+func (s *obsState) checkFile(pkg *Package, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			// Plain function call: StartSpan from a dot import would land
+			// here; the repo does not dot-import, so only selectors matter.
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "StartSpan" {
+				s.checkSpanCall(pkg, call, f)
+			}
+			return true
+		}
+		recvType := s.methodReceiverTypeName(pkg, sel)
+		switch {
+		case recvType == "Registry" && strings.HasPrefix(sel.Sel.Name, "New") && sel.Sel.Name != "NewRegistry":
+			if !s.registryPkgs[pkg.Types] {
+				s.checkRegistration(pkg, call, sel.Sel.Name)
+			}
+		case strings.HasSuffix(recvType, "Vec") && sel.Sel.Name == "With":
+			if !s.sameAsVecPackage(pkg, sel) {
+				for _, arg := range call.Args {
+					s.checkLabelValue(pkg, arg, f, 0)
+				}
+			}
+		case sel.Sel.Name == "StartSpan":
+			s.checkSpanCall(pkg, call, f)
+		}
+		return true
+	})
+}
+
+// methodReceiverTypeName returns the name of the named receiver type of a
+// method selector, or "".
+func (s *obsState) methodReceiverTypeName(pkg *Package, sel *ast.SelectorExpr) string {
+	selInfo, ok := pkg.Info.Selections[sel]
+	if !ok || selInfo.Kind() != types.MethodVal {
+		return ""
+	}
+	t := selInfo.Recv()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// sameAsVecPackage reports whether the call site lives in the package that
+// defines the Vec type — registry internals wiring With() through wrappers.
+func (s *obsState) sameAsVecPackage(pkg *Package, sel *ast.SelectorExpr) bool {
+	selInfo, ok := pkg.Info.Selections[sel]
+	if !ok {
+		return false
+	}
+	t := selInfo.Recv()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg() == pkg.Types
+}
+
+// checkRegistration validates a Registry.New* call: literal well-formed
+// metric name, type-appropriate suffix, constant label names.
+func (s *obsState) checkRegistration(pkg *Package, call *ast.CallExpr, method string) {
+	if len(call.Args) == 0 {
+		return
+	}
+	name, isConst := constString(pkg, call.Args[0])
+	if !isConst {
+		s.report(call.Args[0].Pos(), "metric name passed to %s must be a string literal, not a computed value", method)
+		return
+	}
+	if !metricNameRE.MatchString(name) {
+		s.report(call.Args[0].Pos(), "metric name %q does not match the <subsystem>_<noun>_<unit> scheme (DESIGN.md §8)", name)
+	}
+	isCounter := strings.Contains(method, "Counter")
+	hasTotal := strings.HasSuffix(name, "_total")
+	if isCounter && !hasTotal {
+		s.report(call.Args[0].Pos(), "counter %q must end in _total (DESIGN.md §8)", name)
+	}
+	if !isCounter && hasTotal {
+		s.report(call.Args[0].Pos(), "%s metric %q must not end in _total — that suffix is reserved for counters (DESIGN.md §8)", strings.ToLower(strings.TrimSuffix(strings.TrimPrefix(method, "New"), "Vec")), name)
+	}
+	// Label names: the variadic tail (histograms carry a buckets slice
+	// between help and labels).
+	firstLabel := 2
+	if strings.Contains(method, "Histogram") {
+		firstLabel = 3
+	}
+	for i := firstLabel; i < len(call.Args); i++ {
+		label, isConst := constString(pkg, call.Args[i])
+		if !isConst {
+			s.report(call.Args[i].Pos(), "label name passed to %s must be a string literal", method)
+			continue
+		}
+		if !labelNameRE.MatchString(label) {
+			s.report(call.Args[i].Pos(), "label name %q must be a lowercase identifier", label)
+		}
+	}
+}
+
+// checkSpanCall validates that the span name handed to StartSpan comes
+// from a bounded vocabulary.
+func (s *obsState) checkSpanCall(pkg *Package, call *ast.CallExpr, f *ast.File) {
+	for _, arg := range call.Args {
+		if tv, ok := pkg.Info.Types[arg]; ok {
+			if basic, ok := tv.Type.Underlying().(*types.Basic); ok && basic.Info()&types.IsString != 0 {
+				s.checkLabelValue(pkg, arg, f, 0)
+			}
+		}
+	}
+}
+
+// checkLabelValue reports unless expr provably draws from a bounded
+// vocabulary. depth limits the parameter-to-caller hop to one level.
+func (s *obsState) checkLabelValue(pkg *Package, expr ast.Expr, f *ast.File, depth int) {
+	if !s.boundedValue(pkg, expr, f, depth, make(map[types.Object]bool)) {
+		s.report(expr.Pos(), "label/span value %s is not provably bounded: use a constant or a //lint:labelsafe normalizer, never request or job data (DESIGN.md §8)", exprString(expr))
+	}
+}
+
+// boundedValue implements the acceptance rules described on the analyzer.
+func (s *obsState) boundedValue(pkg *Package, expr ast.Expr, f *ast.File, depth int, tracing map[types.Object]bool) bool {
+	expr = ast.Unparen(expr)
+	if _, isConst := constString(pkg, expr); isConst {
+		return true
+	}
+	switch e := expr.(type) {
+	case *ast.BinaryExpr:
+		return s.boundedValue(pkg, e.X, f, depth, tracing) && s.boundedValue(pkg, e.Y, f, depth, tracing)
+	case *ast.CallExpr:
+		if fn := s.callee(pkg, e); fn != nil && s.labelsafe[fn] {
+			return true
+		}
+		return false
+	case *ast.Ident:
+		obj := pkg.Info.Uses[e]
+		if obj == nil {
+			obj = pkg.Info.Defs[e]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok || tracing[v] {
+			return ok && tracing[v] // a cycle of assignments adds nothing new
+		}
+		tracing[v] = true
+		if s.isParam(pkg, v, f) {
+			return depth == 0 && s.allCallersBounded(pkg, v, f)
+		}
+		return s.assignmentsBounded(pkg, v, f, depth, tracing)
+	}
+	return false
+}
+
+// constString evaluates expr as a compile-time string constant.
+func constString(pkg *Package, expr ast.Expr) (string, bool) {
+	tv, ok := pkg.Info.Types[expr]
+	if !ok || tv.Value == nil {
+		return "", false
+	}
+	if basic, ok := tv.Type.Underlying().(*types.Basic); !ok || basic.Info()&types.IsString == 0 {
+		return "", false
+	}
+	if tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// isParam reports whether v is a parameter of the function enclosing its
+// use in file f.
+func (s *obsState) isParam(pkg *Package, v *types.Var, f *ast.File) bool {
+	fd := s.enclosingDecl(pkg, f, v.Pos())
+	if fd == nil || fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if pkg.Info.Defs[name] == v {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// enclosingDecl finds the FuncDecl in f containing pos.
+func (s *obsState) enclosingDecl(pkg *Package, f *ast.File, pos token.Pos) *ast.FuncDecl {
+	for _, decl := range f.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Pos() <= pos && pos <= fd.End() {
+			return fd
+		}
+	}
+	return nil
+}
+
+// allCallersBounded checks, depth-1, that every module call site of the
+// function owning parameter v passes a bounded value in v's position.
+func (s *obsState) allCallersBounded(pkg *Package, v *types.Var, f *ast.File) bool {
+	fd := s.enclosingDecl(pkg, f, v.Pos())
+	if fd == nil {
+		return false
+	}
+	fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	// Position of v among the parameters.
+	idx := -1
+	i := 0
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if pkg.Info.Defs[name] == v {
+				idx = i
+			}
+			i++
+		}
+	}
+	if idx < 0 {
+		return false
+	}
+	sites := s.callers[fn]
+	if len(sites) == 0 {
+		return false // no known caller: cannot bound the value
+	}
+	for _, site := range sites {
+		if idx >= len(site.call.Args) {
+			return false // variadic spread or short call: give up
+		}
+		siteFile := s.fileOf(site.pkg, site.call.Pos())
+		if siteFile == nil || !s.boundedValue(site.pkg, site.call.Args[idx], siteFile, 1, make(map[types.Object]bool)) {
+			return false
+		}
+	}
+	return true
+}
+
+// fileOf finds the *ast.File of pkg containing pos.
+func (s *obsState) fileOf(pkg *Package, pos token.Pos) *ast.File {
+	for _, f := range pkg.Files {
+		if f.Pos() <= pos && pos <= f.End() {
+			return f
+		}
+	}
+	return nil
+}
+
+// assignmentsBounded checks that every assignment to local variable v in
+// its enclosing function has a bounded right-hand side.
+func (s *obsState) assignmentsBounded(pkg *Package, v *types.Var, f *ast.File, depth int, tracing map[types.Object]bool) bool {
+	fd := s.enclosingDecl(pkg, f, v.Pos())
+	if fd == nil {
+		return false
+	}
+	found, allBounded := false, true
+	ast.Inspect(fd, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pkg.Info.Defs[id]
+				if obj == nil {
+					obj = pkg.Info.Uses[id]
+				}
+				if obj != v {
+					continue
+				}
+				found = true
+				if i < len(n.Rhs) && len(n.Lhs) == len(n.Rhs) {
+					if !s.boundedValue(pkg, n.Rhs[i], f, depth, tracing) {
+						allBounded = false
+					}
+				} else {
+					allBounded = false // multi-value unpacking: opaque
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if pkg.Info.Defs[name] != v {
+					continue
+				}
+				found = true
+				if i < len(n.Values) {
+					if !s.boundedValue(pkg, n.Values[i], f, depth, tracing) {
+						allBounded = false
+					}
+				} else if len(n.Values) != 0 {
+					allBounded = false
+				}
+				// Declared without a value: zero string, bounded.
+			}
+		case *ast.RangeStmt:
+			if id, ok := n.Key.(*ast.Ident); ok && pkg.Info.Defs[id] == v {
+				found, allBounded = true, false
+			}
+			if id, ok := n.Value.(*ast.Ident); ok && pkg.Info.Defs[id] == v {
+				// Ranging over a composite of constants would be bounded,
+				// but proving it is out of scope: treat as unbounded.
+				found, allBounded = true, false
+			}
+		}
+		return true
+	})
+	return found && allBounded
+}

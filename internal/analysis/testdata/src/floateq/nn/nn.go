@@ -1,0 +1,27 @@
+// Package nnfix is the floateq positive fixture; the test loads it under
+// an import path ending in internal/nn, inside the analyzer's default
+// scope.
+package nnfix
+
+import "math"
+
+// Close compares floats exactly: flagged.
+func Close(a, b float64) bool {
+	return a == b //want:floateq
+}
+
+// Nonzero compares a float difference against zero: flagged.
+func Nonzero(a, b float64) bool {
+	d := a - b
+	return d != 0 //want:floateq
+}
+
+// SameCount compares integers: exact comparison is fine.
+func SameCount(a, b int) bool {
+	return a == b
+}
+
+// Tolerant is the sanctioned pattern.
+func Tolerant(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9
+}

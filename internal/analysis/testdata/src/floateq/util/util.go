@@ -1,0 +1,10 @@
+// Package utilfix is the floateq scope fixture: the test loads it under
+// an import path outside the analyzer's package scope, so the exact
+// comparison below must NOT be flagged.
+package utilfix
+
+// ExactOutOfScope would be a finding inside the numeric core, but this
+// package is outside the configured scope.
+func ExactOutOfScope(a, b float64) bool {
+	return a == b
+}

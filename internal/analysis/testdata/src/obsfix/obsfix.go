@@ -1,0 +1,82 @@
+// Package obsfix is the obsconventions fixture: registration sites with
+// good and bad metric names, and labeling sites with bounded and
+// unbounded values.
+package obsfix
+
+import "fixture/obslib"
+
+// nameSuffix is a variable, not a constant: concatenating it defeats the
+// literal-name rule.
+var nameSuffix = "_total"
+
+var (
+	jobsScored = obslib.Default.NewCounterVec("jobs_scored_total",
+		"Jobs scored, by mode.", "mode")
+	queueDepth = obslib.Default.NewGauge("ingest_queue_depth",
+		"Rows waiting to be scored.")
+	scoreDur = obslib.Default.NewHistogramVec("batch_score_duration_seconds",
+		"Batch scoring latency.", []float64{0.1, 1}, "mode")
+
+	badComputed = obslib.Default.NewCounterVec("jobs"+nameSuffix, //want:obsconventions
+		"Computed name.", "mode")
+	badScheme = obslib.Default.NewGauge("queueDepth", //want:obsconventions
+		"Camel-case name.")
+	badCounterSuffix = obslib.Default.NewCounterVec("jobs_scored", //want:obsconventions
+		"Counter without _total.", "mode")
+	badGaugeSuffix = obslib.Default.NewGauge("queue_depth_total", //want:obsconventions
+		"Gauge with the counter suffix.")
+	badLabel = obslib.Default.NewCounterVec("rows_dropped_total",
+		"Upper-case label name.", "Reason") //want:obsconventions
+)
+
+// recordLiteral uses literal label values: bounded by construction.
+func recordLiteral() {
+	jobsScored.With("serial").Inc()
+	scoreDur.With("parallel").Observe(0.2)
+	queueDepth.Set(1)
+}
+
+// record's mode parameter is accepted because every module call site
+// fills it with a constant (the depth-1 caller check).
+func record(mode string) {
+	jobsScored.With(mode).Inc()
+}
+
+func recordAll() {
+	record("serial")
+	record("parallel")
+}
+
+// modeLabel is a normalizer with a closed range, declared label-safe.
+//
+//lint:labelsafe range is {"fast", "slow"}
+func modeLabel(fast bool) string {
+	if fast {
+		return "fast"
+	}
+	return "slow"
+}
+
+// recordNormalized routes an unbounded input through the normalizer.
+func recordNormalized(fast bool) {
+	jobsScored.With(modeLabel(fast)).Inc()
+}
+
+// recordRaw leaks request data into a label: path has no bounded caller
+// and no normalizer.
+func recordRaw(path string) {
+	jobsScored.With(path).Inc() //want:obsconventions
+}
+
+// spanLiteral and spanComposed carry bounded span names; spanRaw does not.
+func spanLiteral() {
+	obslib.StartSpan("train.epoch").End()
+}
+
+func spanComposed(fast bool) {
+	obslib.StartSpan("score " + modeLabel(fast)).End()
+}
+
+func spanRaw(job string) {
+	obslib.StartSpan("job " + job).End() //want:obsconventions
+}

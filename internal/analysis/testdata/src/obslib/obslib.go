@@ -1,0 +1,70 @@
+// Package obslib is a miniature metrics registry mirroring internal/obs,
+// so the obsconventions fixture exercises registration and labeling call
+// sites without depending on the real package. The analyzer matches by
+// type name (Registry, *Vec) and function name (StartSpan), so this
+// stand-in triggers the same checks.
+package obslib
+
+// Registry mirrors obs.Registry.
+type Registry struct{}
+
+// Default mirrors obs.Default.
+var Default = &Registry{}
+
+// Counter is an unlabeled counter.
+type Counter struct{}
+
+// Inc increments.
+func (c *Counter) Inc() {}
+
+// CounterVec is a labeled counter family.
+type CounterVec struct{}
+
+// With returns the series for the given label values.
+func (v *CounterVec) With(values ...string) *Counter { return &Counter{} }
+
+// NewCounterVec registers a labeled counter family.
+func (r *Registry) NewCounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{}
+}
+
+// NewCounter registers an unlabeled counter. The internal With call is
+// exempt: the call site is in the registry's own package.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	return r.NewCounterVec(name, help).With()
+}
+
+// Gauge is a settable value.
+type Gauge struct{}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) {}
+
+// NewGauge registers an unlabeled gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge { return &Gauge{} }
+
+// Histogram observes values into buckets.
+type Histogram struct{}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {}
+
+// HistogramVec is a labeled histogram family.
+type HistogramVec struct{}
+
+// With returns the series for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram { return &Histogram{} }
+
+// NewHistogramVec registers a labeled histogram family.
+func (r *Registry) NewHistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{}
+}
+
+// Span is one traced stage.
+type Span struct{}
+
+// End finishes the span.
+func (s *Span) End() {}
+
+// StartSpan begins a traced stage; the analyzer checks its name argument.
+func StartSpan(name string) *Span { return &Span{} }

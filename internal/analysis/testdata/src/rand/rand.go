@@ -1,0 +1,37 @@
+// Package randfix is the seededrand fixture: global math/rand draws are
+// flagged, explicit generators are the sanctioned path.
+package randfix
+
+import "math/rand"
+
+// Jitter draws from the implicitly seeded global generator: flagged.
+func Jitter() float64 {
+	return rand.Float64() //want:seededrand
+}
+
+// Pick also uses the global generator, through a different function.
+func Pick(n int) int {
+	return rand.Intn(n) //want:seededrand
+}
+
+// Shuffle mutates through the global generator's state.
+func Shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { //want:seededrand
+		xs[i], xs[j] = xs[j], xs[i]
+	})
+}
+
+// SeededJitter threads an explicitly seeded generator: rand.New and
+// rand.NewSource are the constructors the contract allows, and methods
+// on *rand.Rand are the sanctioned draw sites.
+func SeededJitter(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// SeededPerm shows a seeded generator covering the same API surface the
+// global one tempts with.
+func SeededPerm(seed int64, n int) []int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Perm(n)
+}

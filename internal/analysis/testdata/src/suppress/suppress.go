@@ -1,0 +1,36 @@
+// Package suppressfix exercises the //lint:ignore path: a well-formed
+// directive silences its diagnostic, a directive with no reason is itself
+// reported (and silences nothing), and a directive naming an unknown
+// analyzer is reported.
+package suppressfix
+
+// QuietAbove is suppressed by a directive on the preceding line.
+func QuietAbove(a, b float64) bool {
+	//lint:ignore floateq fixture: exercising the suppression path
+	return a == b
+}
+
+// QuietTrailing is suppressed by a trailing same-line directive.
+func QuietTrailing(a, b float64) bool {
+	return a != b //lint:ignore floateq fixture: trailing directive
+}
+
+// Loud is the unsuppressed control: still flagged.
+func Loud(a, b float64) bool {
+	return a == b
+}
+
+// BadDirective has no reason: the directive is reported and the
+// comparison below it stays flagged.
+func BadDirective(a, b float64) bool {
+	//lint:ignore floateq
+	return a == b
+}
+
+// UnknownAnalyzer names an analyzer the suite does not know: the
+// directive itself is a finding, and the integer comparison it decorates
+// was never a floateq finding to begin with.
+func UnknownAnalyzer(a, b int) bool {
+	//lint:ignore floatteq typo'd analyzer name
+	return a == b
+}

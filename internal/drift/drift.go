@@ -121,11 +121,13 @@ func KolmogorovSmirnov(a, b []float64) (stat, pValue float64) {
 	for i < len(as) && j < len(bs) {
 		// Advance past ties on both sides before measuring the ECDF gap,
 		// otherwise identical samples produce a spurious 1/n difference.
+		// Both slices are sorted and v is the minimum of the two heads, so
+		// "as[i] <= v" holds exactly for the ties — no float equality needed.
 		v := math.Min(as[i], bs[j])
-		for i < len(as) && as[i] == v {
+		for i < len(as) && as[i] <= v {
 			i++
 		}
-		for j < len(bs) && bs[j] == v {
+		for j < len(bs) && bs[j] <= v {
 			j++
 		}
 		fa := float64(i) / float64(len(as))

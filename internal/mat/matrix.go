@@ -186,6 +186,7 @@ func matMulRange(a, b, out *Matrix, lo, hi int) {
 		arow := a.Row(i)
 		orow := out.Row(i)
 		for k, av := range arow {
+			//lint:ignore floateq sparsity fast path: exact zero skips a row, any nonzero is correct either way
 			if av == 0 {
 				continue
 			}
@@ -223,6 +224,7 @@ func TMatMul(a, b *Matrix) *Matrix {
 		arow := a.Row(k)
 		brow := b.Row(k)
 		for i, av := range arow {
+			//lint:ignore floateq sparsity fast path: exact zero skips a row, any nonzero is correct either way
 			if av == 0 {
 				continue
 			}

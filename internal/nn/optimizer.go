@@ -25,11 +25,11 @@ func NewSGD(lr float64) *SGD { return &SGD{LR: lr} }
 
 // Step implements Optimizer.
 func (o *SGD) Step(params []*Param) {
-	if o.Momentum != 0 && o.velocity == nil {
+	if o.Momentum > 0 && o.velocity == nil {
 		o.velocity = make(map[*Param]*mat.Matrix)
 	}
 	for _, p := range params {
-		if o.Momentum != 0 {
+		if o.Momentum > 0 {
 			v, ok := o.velocity[p]
 			if !ok {
 				v = mat.New(p.Grad.Rows, p.Grad.Cols)

@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzSeriesLabels drives the registry's label handling with arbitrary
+// label values: seriesKey must be injective (distinct label tuples map to
+// distinct series — the join-with-separator shortcut collides on values
+// containing the separator byte unless escaped), counters for distinct
+// tuples must move independently, and the Prometheus exposition must
+// never panic.
+func FuzzSeriesLabels(f *testing.F) {
+	f.Add("serial", "2xx", "parallel", "5xx")
+	f.Add("a\x1f", "x", "a", "\x1fx")            // the separator-injection collision
+	f.Add(`tail\`, "\x1fx", `tail`, `\`+"\x1fx") // escaping must not create new collisions
+	f.Add("", "", "", "")
+	f.Add("with\nnewline", `with"quote`, `with\slash`, "")
+	f.Fuzz(func(t *testing.T, a1, a2, b1, b2 string) {
+		same := a1 == b1 && a2 == b2
+		ka := seriesKey([]string{a1, a2})
+		kb := seriesKey([]string{b1, b2})
+		if (ka == kb) != same {
+			t.Fatalf("seriesKey(%q,%q)=%q vs seriesKey(%q,%q)=%q: distinct tuples must have distinct keys",
+				a1, a2, ka, b1, b2, kb)
+		}
+
+		r := NewRegistry()
+		vec := r.NewCounterVec("fuzz_series_total", "Fuzz series.", "l1", "l2")
+		vec.With(a1, a2).Inc()
+		vec.With(b1, b2).Inc()
+		wantA := 1.0
+		if same {
+			wantA = 2.0
+		}
+		if got := vec.With(a1, a2).Value(); got != wantA {
+			t.Fatalf("counter (%q,%q) = %v, want %v", a1, a2, got, wantA)
+		}
+		if got := vec.With(b1, b2).Value(); !same && got != 1 {
+			t.Fatalf("counter (%q,%q) = %v, want 1", b1, b2, got)
+		}
+
+		var buf bytes.Buffer
+		r.WritePrometheus(&buf)
+		series := 0
+		for _, line := range strings.Split(buf.String(), "\n") {
+			if strings.HasPrefix(line, "fuzz_series_total{") {
+				series++
+			}
+		}
+		wantSeries := 2
+		if same {
+			wantSeries = 1
+		}
+		if series != wantSeries {
+			t.Fatalf("exposition has %d series, want %d:\n%s", series, wantSeries, buf.String())
+		}
+	})
+}

@@ -122,9 +122,36 @@ func (r *Registry) family(name, help, typ string, labels []string, buckets []flo
 	return f
 }
 
-// seriesKey joins label values with a separator that cannot appear in
-// route/class/reason vocabularies.
-func seriesKey(values []string) string { return strings.Join(values, "\x1f") }
+// seriesKey joins label values into an injective map key: the separator
+// and backslash are escaped inside values, so distinct label tuples can
+// never collide (("a\x1f","x") vs ("a","\x1fx")). The closed in-repo
+// vocabularies never contain either byte, so the hot path stays a plain
+// join.
+func seriesKey(values []string) string {
+	escape := false
+	for _, v := range values {
+		if strings.ContainsAny(v, "\x1f\\") {
+			escape = true
+			break
+		}
+	}
+	if !escape {
+		return strings.Join(values, "\x1f")
+	}
+	var b strings.Builder
+	for i, v := range values {
+		if i > 0 {
+			b.WriteByte('\x1f')
+		}
+		for j := 0; j < len(v); j++ {
+			if c := v[j]; c == '\\' || c == '\x1f' {
+				b.WriteByte('\\')
+			}
+			b.WriteByte(v[j])
+		}
+	}
+	return b.String()
+}
 
 // get returns the series for the given label values, creating it on first
 // use via make.

@@ -1,0 +1,45 @@
+package server
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeScoreRequest drives the server's untrusted JSON surface: no
+// input may panic the decoder, and every accepted request must satisfy
+// the invariants the handler relies on (non-empty rectangular batch
+// within the size cap) so matrixFromVectors cannot be made to panic from
+// the network.
+func FuzzDecodeScoreRequest(f *testing.F) {
+	f.Add([]byte(`{"vectors":[[1,2],[3,4]]}`))
+	f.Add([]byte(`{"vectors":[]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"vectors":[[1],[2,3]]}`))
+	f.Add([]byte(`{"vectors":[[1]]}{"vectors":[[2]]}`))
+	f.Add([]byte(`{"vectors":[[1]],"extra":true}`))
+	f.Add([]byte(`{"vectors":[[]]}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"vectors":[[1e308,-1e308,0.5]]}`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req, err := decodeScoreRequest(bytes.NewReader(body))
+		if err != nil {
+			return
+		}
+		if len(req.Vectors) == 0 || len(req.Vectors) > maxScoreVectors {
+			t.Fatalf("accepted batch of %d vectors", len(req.Vectors))
+		}
+		width := len(req.Vectors[0])
+		if width == 0 {
+			t.Fatal("accepted empty vectors")
+		}
+		for i, v := range req.Vectors {
+			if len(v) != width {
+				t.Fatalf("accepted ragged batch: vector %d has %d features, want %d", i, len(v), width)
+			}
+		}
+		m := matrixFromVectors(req.Vectors)
+		if m.Rows != len(req.Vectors) || m.Cols != width {
+			t.Fatalf("matrix %dx%d from %d vectors of width %d", m.Rows, m.Cols, len(req.Vectors), width)
+		}
+	})
+}

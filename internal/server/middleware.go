@@ -31,9 +31,11 @@ var apiAnalyses = map[string]bool{
 }
 
 // routeLabel maps a request path to its bounded-cardinality pattern.
+//
+//lint:labelsafe every return value comes from the closed route-pattern set above
 func routeLabel(path string) string {
 	switch path {
-	case "/api/health", "/api/jobs", "/api/drift", "/metrics", "/debug/vars":
+	case "/api/health", "/api/jobs", "/api/drift", "/api/score", "/metrics", "/debug/vars":
 		return path
 	}
 	if rest, ok := strings.CutPrefix(path, "/api/jobs/"); ok {
@@ -57,6 +59,8 @@ func routeLabel(path string) string {
 }
 
 // statusClass collapses a status code to its class label.
+//
+//lint:labelsafe range is {"1xx".."5xx", "other"} — six values
 func statusClass(code int) string {
 	if code < 100 || code > 599 {
 		return "other"

@@ -1,0 +1,110 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"prodigy/internal/mat"
+)
+
+// Request-body limits for /api/score: enough for a full node-day of
+// feature vectors, small enough that a hostile client cannot balloon the
+// decoder. Vectors beyond the cap are rejected, not truncated.
+const (
+	maxScoreVectors   = 4096
+	maxScoreBodyBytes = 8 << 20
+)
+
+// scoreRequest is the POST /api/score body: a batch of feature vectors in
+// the deployed model's full extracted-feature space (pair with
+// /api/health's features count and feature_names from the artifact).
+type scoreRequest struct {
+	Vectors [][]float64 `json:"vectors"`
+}
+
+// scoreResult is one vector's verdict.
+type scoreResult struct {
+	Score     float64 `json:"score"`
+	Anomalous bool    `json:"anomalous"`
+}
+
+// decodeScoreRequest parses and validates a score request body. It is the
+// server's untrusted-input JSON surface, deliberately split from the
+// handler so the fuzz target drives exactly what the network delivers:
+// unknown fields rejected, trailing data rejected, empty or ragged vector
+// batches rejected, batch size capped.
+func decodeScoreRequest(r io.Reader) (*scoreRequest, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var req scoreRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("invalid JSON: %w", err)
+	}
+	if dec.More() {
+		return nil, errors.New("trailing data after request object")
+	}
+	if len(req.Vectors) == 0 {
+		return nil, errors.New("vectors must contain at least one vector")
+	}
+	if len(req.Vectors) > maxScoreVectors {
+		return nil, fmt.Errorf("too many vectors: %d > %d", len(req.Vectors), maxScoreVectors)
+	}
+	width := len(req.Vectors[0])
+	if width == 0 {
+		return nil, errors.New("vectors must not be empty")
+	}
+	for i, v := range req.Vectors {
+		if len(v) != width {
+			return nil, fmt.Errorf("vector %d has %d features, vector 0 has %d", i, len(v), width)
+		}
+	}
+	return &req, nil
+}
+
+// matrixFromVectors packs validated request vectors into one scoring
+// batch.
+func matrixFromVectors(vectors [][]float64) *mat.Matrix {
+	rows, cols := len(vectors), len(vectors[0])
+	data := make([]float64, 0, rows*cols)
+	for _, v := range vectors {
+		data = append(data, v...)
+	}
+	return mat.NewFromData(rows, cols, data)
+}
+
+// handleScore scores a batch of raw feature vectors with the deployed
+// model: POST {"vectors": [[...], ...]} returns per-vector scores and
+// verdicts plus the threshold they were judged against.
+func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, r, http.StatusMethodNotAllowed, "POST a JSON body to /api/score")
+		return
+	}
+	if s.Prodigy == nil || !s.Prodigy.Trained() {
+		writeError(w, r, http.StatusServiceUnavailable, "no trained model deployed")
+		return
+	}
+	req, err := decodeScoreRequest(http.MaxBytesReader(w, r.Body, maxScoreBodyBytes))
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, "bad score request: %v", err)
+		return
+	}
+	want := len(s.Prodigy.FeatureNames())
+	if got := len(req.Vectors[0]); got != want {
+		writeError(w, r, http.StatusBadRequest,
+			"vectors have %d features, deployed model expects %d", got, want)
+		return
+	}
+	preds, scores := s.Prodigy.Detect(matrixFromVectors(req.Vectors))
+	results := make([]scoreResult, len(scores))
+	for i := range scores {
+		results[i] = scoreResult{Score: scores[i], Anomalous: preds[i] == 1}
+	}
+	writeJSON(w, map[string]interface{}{
+		"threshold": s.Prodigy.Threshold(),
+		"results":   results,
+	})
+}

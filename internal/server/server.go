@@ -64,6 +64,7 @@ func New(store *dsos.Store, p *core.Prodigy) *Server {
 	s.mux.HandleFunc("/api/jobs", s.handleJobs)
 	s.mux.HandleFunc("/api/jobs/", s.handleJob)
 	s.mux.HandleFunc("/api/drift", s.handleDrift)
+	s.mux.HandleFunc("/api/score", s.handleScore)
 	obs.PublishExpvar()
 	s.mux.Handle("/metrics", obs.Handler())
 	s.mux.Handle("/debug/vars", expvar.Handler())
