@@ -1,7 +1,8 @@
 # Development targets. `make check` is what CI runs on every push;
-# `make bench-json` backs the per-commit BENCH_scoring.json artifact.
+# `make bench-json` backs the per-commit BENCH_*.json artifacts and
+# `make bench-diff` gates a fresh emission against the committed ones.
 
-.PHONY: check build vet test race lint fmt-check fuzz bench bench-json
+.PHONY: check build vet test race lint fmt-check fuzz bench bench-json bench-diff
 
 build:
 	go build ./...
@@ -41,7 +42,22 @@ check: build vet fmt-check lint race
 bench: bench-json
 	go test -bench=. -benchmem -run=^$$ ./...
 
-# Scoring-path benchmarks emitted as BENCH_scoring.json — the perf
-# trajectory tracked across PRs (see DESIGN.md §8).
+# Benchmark snapshots — the perf trajectory tracked across PRs (see
+# DESIGN.md §8): scoring paths, raw mat kernels, training loops. Each
+# emitter is one gated test so a single file can be refreshed alone.
 bench-json:
 	BENCH_JSON=$(CURDIR)/BENCH_scoring.json go test -run '^TestEmitScoringBenchJSON$$' -count=1 .
+	BENCH_MATMUL_JSON=$(CURDIR)/BENCH_matmul.json go test -run '^TestEmitMatmulBenchJSON$$' -count=1 .
+	BENCH_TRAIN_JSON=$(CURDIR)/BENCH_train.json go test -run '^TestEmitTrainBenchJSON$$' -count=1 .
+
+# Fresh emission into bench-out/, diffed against the committed baselines:
+# >10% ns/op slowdown warns, >25% fails (cmd/benchdiff). CI's bench job
+# runs exactly this.
+bench-diff:
+	mkdir -p $(CURDIR)/bench-out
+	BENCH_JSON=$(CURDIR)/bench-out/BENCH_scoring.json go test -run '^TestEmitScoringBenchJSON$$' -count=1 .
+	BENCH_MATMUL_JSON=$(CURDIR)/bench-out/BENCH_matmul.json go test -run '^TestEmitMatmulBenchJSON$$' -count=1 .
+	BENCH_TRAIN_JSON=$(CURDIR)/bench-out/BENCH_train.json go test -run '^TestEmitTrainBenchJSON$$' -count=1 .
+	go run ./cmd/benchdiff -baseline BENCH_scoring.json -current bench-out/BENCH_scoring.json
+	go run ./cmd/benchdiff -baseline BENCH_matmul.json -current bench-out/BENCH_matmul.json
+	go run ./cmd/benchdiff -baseline BENCH_train.json -current bench-out/BENCH_train.json

@@ -8,13 +8,14 @@ import (
 	"time"
 )
 
-// BENCH_scoring.json emitter: `make bench` (and CI's bench job) sets
-// BENCH_JSON=<path> and runs this test, which re-runs the scoring-path
-// benchmarks through testing.Benchmark and writes one machine-readable
-// snapshot per commit. Appending these artifacts across PRs is the perf
-// trajectory every future optimisation reports against — in particular,
-// instrumentation overhead regressions show up here as a ns/op jump on
-// the batch-scoring entries.
+// BENCH_*.json emitters: `make bench-json` (and CI's bench job) sets
+// BENCH_JSON / BENCH_MATMUL_JSON / BENCH_TRAIN_JSON and runs these
+// tests, which re-run the named benchmarks through testing.Benchmark and
+// write one machine-readable snapshot per commit. Appending these
+// artifacts across PRs is the perf trajectory every future optimisation
+// reports against: the scoring file tracks serving throughput, the
+// matmul file the raw kernels, the train file the fit loops —
+// cmd/benchdiff compares two snapshots and gates CI on regressions.
 
 type benchEntry struct {
 	Name        string  `json:"name"`
@@ -36,25 +37,17 @@ type benchReport struct {
 	Benchmarks    []benchEntry `json:"benchmarks"`
 }
 
-// TestEmitScoringBenchJSON is skipped unless BENCH_JSON names an output
-// path, so `go test ./...` stays fast.
-func TestEmitScoringBenchJSON(t *testing.T) {
-	path := os.Getenv("BENCH_JSON")
-	if path == "" {
-		t.Skip("set BENCH_JSON=<path> to emit the scoring benchmark JSON")
-	}
-	benches := []struct {
-		name string
-		fn   func(*testing.B)
-	}{
-		// The scoring hot paths PR 1 parallelized, plus the end-to-end
-		// dashboard request — the surfaces an instrumentation or perf PR
-		// can regress.
-		{"VAEInference", BenchmarkVAEInference},
-		{"BatchScoresParallel", BenchmarkBatchScoresParallel},
-		{"EndToEndDetection", BenchmarkEndToEndDetection},
-		{"FeatureExtraction", BenchmarkFeatureExtraction},
-	}
+// namedBench pairs an artifact entry name with the benchmark that
+// produces it.
+type namedBench struct {
+	name string
+	fn   func(*testing.B)
+}
+
+// emitBenchJSON runs each benchmark with allocation tracking and writes
+// the report to path.
+func emitBenchJSON(t *testing.T, path string, benches []namedBench) {
+	t.Helper()
 	report := benchReport{
 		GeneratedUnix: time.Now().Unix(),
 		GoVersion:     runtime.Version(),
@@ -82,7 +75,7 @@ func TestEmitScoringBenchJSON(t *testing.T) {
 			entry.SamplesPerSec = v
 		}
 		report.Benchmarks = append(report.Benchmarks, entry)
-		t.Logf("%s: %.0f ns/op (%d iters)", b.name, entry.NsPerOp, entry.Iterations)
+		t.Logf("%s: %.0f ns/op, %d allocs/op (%d iters)", b.name, entry.NsPerOp, entry.AllocsPerOp, entry.Iterations)
 	}
 	blob, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -92,4 +85,54 @@ func TestEmitScoringBenchJSON(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("wrote %s", path)
+}
+
+// TestEmitScoringBenchJSON is skipped unless BENCH_JSON names an output
+// path, so `go test ./...` stays fast.
+func TestEmitScoringBenchJSON(t *testing.T) {
+	path := os.Getenv("BENCH_JSON")
+	if path == "" {
+		t.Skip("set BENCH_JSON=<path> to emit the scoring benchmark JSON")
+	}
+	emitBenchJSON(t, path, []namedBench{
+		// The scoring hot paths PR 1 parallelized and this PR made
+		// allocation-free, plus the end-to-end dashboard request — the
+		// surfaces an instrumentation or perf PR can regress.
+		{"VAEInference", BenchmarkVAEInference},
+		{"BatchScoresParallel", BenchmarkBatchScoresParallel},
+		{"EndToEndDetection", BenchmarkEndToEndDetection},
+		{"FeatureExtraction", BenchmarkFeatureExtraction},
+	})
+}
+
+// TestEmitMatmulBenchJSON (BENCH_MATMUL_JSON) snapshots the mat kernels:
+// allocating vs Into at the same shapes, plus the fused dense kernel.
+func TestEmitMatmulBenchJSON(t *testing.T) {
+	path := os.Getenv("BENCH_MATMUL_JSON")
+	if path == "" {
+		t.Skip("set BENCH_MATMUL_JSON=<path> to emit the matmul benchmark JSON")
+	}
+	emitBenchJSON(t, path, []namedBench{
+		{"MatMul128", BenchmarkKernelMatMul128},
+		{"MatMulInto128", BenchmarkKernelMatMulInto128},
+		{"MatMul256", BenchmarkKernelMatMul256},
+		{"MatMulInto256", BenchmarkKernelMatMulInto256},
+		{"MatMulTInto128", BenchmarkKernelMatMulTInto128},
+		{"TMatMulInto128", BenchmarkKernelTMatMulInto128},
+		{"MatMulBiasInto", BenchmarkKernelMatMulBiasInto},
+	})
+}
+
+// TestEmitTrainBenchJSON (BENCH_TRAIN_JSON) snapshots the training loops
+// whose minibatch workspaces this PR pooled.
+func TestEmitTrainBenchJSON(t *testing.T) {
+	path := os.Getenv("BENCH_TRAIN_JSON")
+	if path == "" {
+		t.Skip("set BENCH_TRAIN_JSON=<path> to emit the training benchmark JSON")
+	}
+	emitBenchJSON(t, path, []namedBench{
+		{"MLPTrainEpoch", BenchmarkMLPTrainEpoch},
+		{"VAETrainEpoch", BenchmarkVAETrainEpoch},
+		{"USADTrainEpoch", BenchmarkUSADTrainEpoch},
+	})
 }

@@ -1,0 +1,123 @@
+package prodigy
+
+import (
+	"math/rand"
+	"testing"
+
+	"prodigy/internal/baselines/usad"
+	"prodigy/internal/mat"
+	"prodigy/internal/nn"
+)
+
+// Kernel and training micro-benchmarks backing BENCH_matmul.json and
+// BENCH_train.json (see bench_json_test.go). The allocating/Into pairs
+// measured at the same shapes are the PR-over-PR record of what
+// destination passing buys: the Into rows should hold ns/op while
+// dropping to 0 allocs/op.
+
+func benchMatMulPair(b *testing.B, n int, into bool) {
+	rng := rand.New(rand.NewSource(1))
+	x := mat.Randn(n, n, 1, rng)
+	y := mat.Randn(n, n, 1, rng)
+	dst := mat.New(n, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if into {
+			mat.MatMulInto(dst, x, y)
+		} else {
+			mat.MatMul(x, y)
+		}
+	}
+	reportMadds(b, n)
+}
+
+// reportMadds converts n×n×n multiply-adds into a throughput metric.
+func reportMadds(b *testing.B, n int) {
+	b.ReportMetric(float64(n)*float64(n)*float64(n)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mmadds/s")
+}
+
+func BenchmarkKernelMatMul128(b *testing.B)     { benchMatMulPair(b, 128, false) }
+func BenchmarkKernelMatMulInto128(b *testing.B) { benchMatMulPair(b, 128, true) }
+func BenchmarkKernelMatMul256(b *testing.B)     { benchMatMulPair(b, 256, false) }
+func BenchmarkKernelMatMulInto256(b *testing.B) { benchMatMulPair(b, 256, true) }
+
+func BenchmarkKernelMatMulTInto128(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := mat.Randn(128, 128, 1, rng)
+	y := mat.Randn(128, 128, 1, rng)
+	dst := mat.New(128, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mat.MatMulTInto(dst, x, y)
+	}
+	reportMadds(b, 128)
+}
+
+func BenchmarkKernelTMatMulInto128(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := mat.Randn(128, 128, 1, rng)
+	y := mat.Randn(128, 128, 1, rng)
+	dst := mat.New(128, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mat.TMatMulInto(dst, x, y)
+	}
+	reportMadds(b, 128)
+}
+
+// BenchmarkKernelMatMulBiasInto measures the fused dense-layer kernel at
+// the shape Dense.ApplyInto runs per minibatch (64×100 through 100→64).
+func BenchmarkKernelMatMulBiasInto(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := mat.Randn(64, 100, 1, rng)
+	w := mat.Randn(100, 64, 1, rng)
+	bias := make([]float64, 64)
+	dst := mat.New(64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mat.MatMulBiasInto(dst, x, w, bias)
+	}
+}
+
+// BenchmarkMLPTrainEpoch measures one epoch of plain autoencoder training
+// on 256×100 features at batch size 64 — the nn.Train loop whose minibatch
+// buffers are reused across the epoch.
+func BenchmarkMLPTrainEpoch(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := mat.Randn(256, 100, 1, rng)
+	net, err := nn.NewMLP([]int{100, 64, 32, 64, 100}, "relu", "", rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := nn.NewAdam(1e-3)
+	cfg := nn.TrainConfig{Epochs: 1, BatchSize: 64, ClipNorm: 5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nn.Train(net, x, x, nn.MSELoss{}, opt, cfg, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUSADTrainEpoch measures one adversarial USAD epoch (two
+// autoencoders, three forward/backward passes per step) on 256×100.
+func BenchmarkUSADTrainEpoch(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := mat.Randn(256, 100, 1, rng)
+	cfg := usad.DefaultConfig(100)
+	cfg.HiddenSize = 64
+	cfg.LatentDim = 16
+	cfg.Epochs = 1
+	cfg.WarmupEpochs = 0
+	cfg.BatchSize = 64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u, err := usad.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := u.Fit(x, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

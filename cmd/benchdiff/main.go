@@ -1,0 +1,133 @@
+// Command benchdiff compares two BENCH_*.json snapshots (the artifacts
+// bench_json_test.go emits) and gates CI on performance regressions:
+//
+//	benchdiff -baseline BENCH_scoring.json -current bench-out/BENCH_scoring.json
+//
+// Per benchmark present in both files it reports the ns/op delta. A
+// slowdown above -warn (default 10%) prints a warning, above -fail
+// (default 25%) an error and a non-zero exit; an allocs/op increase is
+// always a warning — the zero-allocation contract is pinned exactly by
+// testing.AllocsPerRun tests, so here a drift only needs visibility.
+// Benchmarks present on only one side are listed but never fail the run,
+// so adding or renaming benchmarks doesn't wedge CI. Output uses GitHub
+// workflow commands (::warning::/::error::) when GITHUB_ACTIONS=true so
+// findings surface as annotations on the PR.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type benchEntry struct {
+	Name          string  `json:"name"`
+	Iterations    int     `json:"iterations"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	AllocsPerOp   int64   `json:"allocs_per_op"`
+	BytesPerOp    int64   `json:"bytes_per_op"`
+	SamplesPerSec float64 `json:"samples_per_s,omitempty"`
+}
+
+type benchReport struct {
+	GeneratedUnix int64        `json:"generated_unix"`
+	GoVersion     string       `json:"go_version"`
+	CPUs          int          `json:"cpus"`
+	Benchmarks    []benchEntry `json:"benchmarks"`
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "committed baseline BENCH_*.json")
+	current := flag.String("current", "", "freshly emitted BENCH_*.json")
+	warn := flag.Float64("warn", 10, "ns/op slowdown percentage that warns")
+	fail := flag.Float64("fail", 25, "ns/op slowdown percentage that fails")
+	flag.Parse()
+	if *baseline == "" || *current == "" {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff -baseline <old.json> -current <new.json> [-warn 10] [-fail 25]")
+		os.Exit(2)
+	}
+	base, err := load(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := load(*current)
+	if err != nil {
+		fatal(err)
+	}
+	if diff(base, cur, *warn, *fail) {
+		os.Exit(1)
+	}
+}
+
+func load(path string) (*benchReport, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r benchReport
+	if err := json.Unmarshal(blob, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// diff prints the comparison and reports whether any benchmark crossed
+// the failure threshold.
+func diff(base, cur *benchReport, warnPct, failPct float64) bool {
+	baseBy := make(map[string]benchEntry, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseBy[b.Name] = b
+	}
+	if base.CPUs != cur.CPUs {
+		emit("warning", "baseline ran on %d CPUs, current on %d: deltas are not like-for-like", base.CPUs, cur.CPUs)
+	}
+	failed := false
+	seen := make(map[string]bool, len(cur.Benchmarks))
+	for _, c := range cur.Benchmarks {
+		seen[c.Name] = true
+		b, ok := baseBy[c.Name]
+		if !ok {
+			fmt.Printf("%-24s new benchmark: %.0f ns/op, %d allocs/op\n", c.Name, c.NsPerOp, c.AllocsPerOp)
+			continue
+		}
+		if b.NsPerOp <= 0 {
+			continue
+		}
+		pct := (c.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+		fmt.Printf("%-24s %12.0f -> %12.0f ns/op  %+6.1f%%  allocs %d -> %d\n",
+			c.Name, b.NsPerOp, c.NsPerOp, pct, b.AllocsPerOp, c.AllocsPerOp)
+		switch {
+		case pct > failPct:
+			emit("error", "%s regressed %.1f%% (%.0f -> %.0f ns/op), over the %.0f%% failure threshold", c.Name, pct, b.NsPerOp, c.NsPerOp, failPct)
+			failed = true
+		case pct > warnPct:
+			emit("warning", "%s regressed %.1f%% (%.0f -> %.0f ns/op)", c.Name, pct, b.NsPerOp, c.NsPerOp)
+		}
+		if c.AllocsPerOp > b.AllocsPerOp {
+			emit("warning", "%s allocations grew %d -> %d allocs/op", c.Name, b.AllocsPerOp, c.AllocsPerOp)
+		}
+	}
+	for _, b := range base.Benchmarks {
+		if !seen[b.Name] {
+			fmt.Printf("%-24s missing from current run (was %.0f ns/op)\n", b.Name, b.NsPerOp)
+		}
+	}
+	return failed
+}
+
+// emit prints a GitHub annotation under Actions and a plain prefixed line
+// elsewhere.
+func emit(level, format string, args ...interface{}) {
+	msg := fmt.Sprintf(format, args...)
+	if os.Getenv("GITHUB_ACTIONS") == "true" {
+		fmt.Printf("::%s::%s\n", level, msg)
+		return
+	}
+	fmt.Printf("%s: %s\n", level, msg)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(2)
+}

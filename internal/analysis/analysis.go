@@ -1,10 +1,11 @@
 // Package analysis is prodigy-lint: a static-analysis suite, written
 // purely against the standard library (go/parser, go/ast, go/types,
 // go/importer), that turns the repository's prose contracts into
-// machine-checked ones (DESIGN.md §9). Four analyzers enforce the
-// concurrency contract (statelessinfer), the observability naming and
-// cardinality rules (obsconventions), experiment reproducibility
-// (seededrand) and numeric hygiene (floateq).
+// machine-checked ones (DESIGN.md §9). Five analyzers enforce the
+// concurrency contract (statelessinfer), the hot-path memory discipline
+// (hotalloc), the observability naming and cardinality rules
+// (obsconventions), experiment reproducibility (seededrand) and numeric
+// hygiene (floateq).
 //
 // A finding can be suppressed at the offending line (same line or the
 // line directly above) with an explanation:
@@ -163,6 +164,7 @@ const labelsafeDirective = "//lint:labelsafe"
 func DefaultAnalyzers() []Analyzer {
 	return []Analyzer{
 		&StatelessInfer{Roots: DefaultStatelessRoots()},
+		&HotAlloc{Roots: DefaultHotPathRoots()},
 		&ObsConventions{},
 		&SeededRand{},
 		&FloatEq{Packages: DefaultFloatEqPackages()},

@@ -105,6 +105,15 @@ func TestStatelessInfer(t *testing.T) {
 	checkAgainstMarkers(t, u, diags)
 }
 
+func TestHotAlloc(t *testing.T) {
+	u := loadFixtures(t,
+		[2]string{"fixture/hotalloc/mat", "hotalloc/mat"},
+		[2]string{"fixture/hotalloc/model", "hotalloc/model"},
+	)
+	diags := Lint(u, &HotAlloc{Roots: DefaultHotPathRoots(), MatPath: "fixture/hotalloc/mat"})
+	checkAgainstMarkers(t, u, diags)
+}
+
 func TestObsConventions(t *testing.T) {
 	u := loadFixtures(t,
 		[2]string{"fixture/obslib", "obslib"},

@@ -35,13 +35,6 @@ type StatelessInfer struct {
 	Roots []RootSpec
 }
 
-// RootSpec names one stateless root: a concrete method or an interface
-// method (matched by the defining type's name, module-wide).
-type RootSpec struct {
-	Type   string
-	Method string
-}
-
 // DefaultStatelessRoots covers the DESIGN.md §7 stateless bullets: the
 // shared-model forward passes and the dsos query paths the serving layer
 // calls on every request.
@@ -71,67 +64,21 @@ func (a *StatelessInfer) Doc() string {
 // beyond the bitset width are conservatively untracked.
 const maxSlots = 63
 
-type funcSummary struct {
-	decl *ast.FuncDecl
-	pkg  *Package
-	// mut: input slots the function may write through.
-	// ret: input slots the function's results may alias.
-	mut, ret uint64
-	// writesGlobal: the function assigns a package-level variable.
-	writesGlobal bool
-}
-
+// siState layers the taint-trace machinery over the shared call-graph
+// index (callgraph.go).
 type siState struct {
-	a        *StatelessInfer
-	unit     *Unit
-	report   Reporter
-	funcs    map[*types.Func]*funcSummary
-	named    []*types.Named // all module named types, for interface resolution
-	implMemo map[implKey][]*types.Func
-}
-
-type implKey struct {
-	iface  *types.Interface
-	method string
+	a      *StatelessInfer
+	unit   *Unit
+	report Reporter
+	*callGraph
 }
 
 // Run implements Analyzer.
 func (a *StatelessInfer) Run(u *Unit, report Reporter) {
-	s := &siState{a: a, unit: u, report: report,
-		funcs:    make(map[*types.Func]*funcSummary),
-		implMemo: make(map[implKey][]*types.Func)}
-	s.index()
+	s := &siState{a: a, unit: u, report: report, callGraph: newCallGraph(u)}
 	s.fixpoint()
-	for _, root := range s.roots() {
+	for _, root := range s.resolveRoots(a.Roots) {
 		s.trace(root)
-	}
-}
-
-// index maps every module function object to its declaration and collects
-// named types for interface-implementation resolution.
-func (s *siState) index() {
-	for _, pkg := range s.unit.Pkgs {
-		for _, f := range pkg.Files {
-			for _, decl := range f.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if !ok || fd.Body == nil {
-					continue
-				}
-				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
-				if !ok {
-					continue
-				}
-				s.funcs[obj] = &funcSummary{decl: fd, pkg: pkg}
-			}
-		}
-		scope := pkg.Types.Scope()
-		for _, name := range scope.Names() {
-			if tn, ok := scope.Lookup(name).(*types.TypeName); ok {
-				if named, ok := tn.Type().(*types.Named); ok {
-					s.named = append(s.named, named)
-				}
-			}
-		}
 	}
 }
 
@@ -161,65 +108,6 @@ func (s *siState) fixpoint() {
 			return
 		}
 	}
-}
-
-// roots resolves the configured RootSpecs to concrete module methods.
-func (s *siState) roots() []*types.Func {
-	var out []*types.Func
-	seen := make(map[*types.Func]bool)
-	add := func(fn *types.Func) {
-		if fn != nil && !seen[fn] {
-			if _, ok := s.funcs[fn]; ok {
-				seen[fn] = true
-				out = append(out, fn)
-			}
-		}
-	}
-	for _, spec := range s.a.Roots {
-		for _, named := range s.named {
-			if named.Obj().Name() != spec.Type {
-				continue
-			}
-			if iface, ok := named.Underlying().(*types.Interface); ok {
-				for _, impl := range s.implementations(iface, spec.Method) {
-					add(impl)
-				}
-				continue
-			}
-			add(lookupMethod(named, spec.Method))
-		}
-	}
-	return out
-}
-
-// lookupMethod finds method name on T or *T.
-func lookupMethod(named *types.Named, name string) *types.Func {
-	obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(named), false, named.Obj().Pkg(), name)
-	fn, _ := obj.(*types.Func)
-	return fn
-}
-
-// implementations lists the module methods satisfying an interface method.
-func (s *siState) implementations(iface *types.Interface, method string) []*types.Func {
-	key := implKey{iface, method}
-	if out, ok := s.implMemo[key]; ok {
-		return out
-	}
-	var out []*types.Func
-	for _, named := range s.named {
-		if types.IsInterface(named) {
-			continue
-		}
-		if types.Implements(named, iface) || types.Implements(types.NewPointer(named), iface) {
-			if fn := lookupMethod(named, method); fn != nil {
-				if _, ok := s.funcs[fn]; ok {
-					out = append(out, fn)
-				}
-			}
-		}
-	}
-	s.implMemo[key] = out
-	return out
 }
 
 // traceCtx is one BFS work item: analyze fn with the given tainted input

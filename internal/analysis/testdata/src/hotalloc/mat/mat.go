@@ -1,0 +1,64 @@
+// Package mat is a miniature stand-in for prodigy/internal/mat: just
+// enough API surface to exercise hotalloc's allocating/Into distinction
+// and the workspace escape hatch.
+package mat
+
+// Matrix mirrors the production layout.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// Workspace is the sanctioned buffer source on hot paths.
+type Workspace struct{ inUse []*Matrix }
+
+// GetWorkspace and Release stand in for the pooled pair.
+func GetWorkspace() *Workspace { return &Workspace{} }
+
+// Release returns a workspace to the (pretend) pool.
+func Release(w *Workspace) {}
+
+// Get hands out a buffer; allocation inside the workspace is sanctioned.
+func (w *Workspace) Get(r, c int) *Matrix {
+	m := &Matrix{Rows: r, Cols: c, Data: make([]float64, r*c)}
+	w.inUse = append(w.inUse, m)
+	return m
+}
+
+// Reset reclaims every outstanding buffer.
+func (w *Workspace) Reset() { w.inUse = w.inUse[:0] }
+
+// New is the allocating constructor the denylist starts with.
+func New(r, c int) *Matrix {
+	return &Matrix{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// MatMul is an allocating kernel.
+func MatMul(a, b *Matrix) *Matrix { return New(a.Rows, b.Cols) }
+
+// MatMulInto is its destination-passing form.
+func MatMulInto(dst, a, b *Matrix) *Matrix { return dst }
+
+// Clone is an allocating method.
+func (m *Matrix) Clone() *Matrix {
+	out := New(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Apply is an allocating method whose name collides with nn.Layer.Apply.
+func (m *Matrix) Apply(f func(float64) float64) *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i] = f(v)
+	}
+	return out
+}
+
+// ApplyInto is the destination-passing form.
+func (m *Matrix) ApplyInto(dst *Matrix, f func(float64) float64) *Matrix {
+	for i, v := range m.Data {
+		dst.Data[i] = f(v)
+	}
+	return dst
+}

@@ -1,0 +1,85 @@
+// Package model exercises the hotalloc analyzer: allocating mat calls
+// reachable from the stateless roots (directly, through helpers, or
+// through interface dispatch) are findings; the same calls on cold paths
+// are not; suppressed compat wrappers are boundaries.
+package model
+
+import "fixture/hotalloc/mat"
+
+// Layer matches the production root spec {Layer, Apply} / {Layer, ApplyInto}.
+type Layer interface {
+	Apply(x *mat.Matrix) *mat.Matrix
+	ApplyInto(x *mat.Matrix, ws *mat.Workspace) *mat.Matrix
+}
+
+// Dense is the clean implementation: workspace buffers plus a suppressed
+// compat wrapper.
+type Dense struct{ w *mat.Matrix }
+
+// Apply is the allocating compat form; its Clone is sanctioned and the
+// wrapper is a boundary, so Clone's internal mat.New is never reached.
+func (d *Dense) Apply(x *mat.Matrix) *mat.Matrix {
+	ws := mat.GetWorkspace()
+	defer mat.Release(ws)
+	//lint:ignore hotalloc compat wrapper hands the caller a fresh copy
+	return d.ApplyInto(x, ws).Clone()
+}
+
+// ApplyInto stays on workspace buffers: no findings.
+func (d *Dense) ApplyInto(x *mat.Matrix, ws *mat.Workspace) *mat.Matrix {
+	out := ws.Get(x.Rows, d.w.Cols)
+	return mat.MatMulInto(out, x, d.w)
+}
+
+// Slow allocates on the hot path, directly and through a helper.
+type Slow struct{ w *mat.Matrix }
+
+func (s *Slow) Apply(x *mat.Matrix) *mat.Matrix {
+	return mat.MatMul(x, s.w) //want:hotalloc
+}
+
+func (s *Slow) ApplyInto(x *mat.Matrix, ws *mat.Workspace) *mat.Matrix {
+	return s.helper(x)
+}
+
+// helper is only reachable through Slow.ApplyInto: findings must follow
+// the call graph, not just root bodies. The mat.Matrix.Apply hit also
+// proves the denylist matches by receiver package, not bare name.
+func (s *Slow) helper(x *mat.Matrix) *mat.Matrix {
+	y := x.Apply(square) //want:hotalloc
+	return y.Clone()     //want:hotalloc
+}
+
+func square(v float64) float64 { return v * v }
+
+// Network matches the root spec {Network, Infer}.
+type Network struct{ layers []Layer }
+
+// Infer dispatches through the Layer interface, pulling every
+// implementation — including Slow — into the hot graph.
+func (n *Network) Infer(x *mat.Matrix) *mat.Matrix {
+	n.audit()
+	cur := x
+	for _, l := range n.layers {
+		cur = l.Apply(cur)
+	}
+	return cur
+}
+
+// Namesake has a Clone colliding with mat.Matrix.Clone by name only; it
+// must not be flagged even though audit is hot-reachable.
+type Namesake struct{}
+
+// Clone allocates, but not from the mat package.
+func (Namesake) Clone() *Namesake { return &Namesake{} }
+
+func (n *Network) audit() *Namesake {
+	var v Namesake
+	return v.Clone()
+}
+
+// Fit is a cold path: training code may allocate freely.
+func Fit(x *mat.Matrix) *mat.Matrix {
+	scratch := mat.New(x.Rows, x.Cols)
+	return mat.MatMul(scratch, x)
+}

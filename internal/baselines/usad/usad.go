@@ -125,6 +125,12 @@ func (u *USAD) Fit(x *mat.Matrix, progress func(epoch int, l1, l2 float64)) erro
 	for i := range idx {
 		idx[i] = i
 	}
+	// Fit-lifetime buffers: one minibatch matrix refilled per batch, one
+	// workspace recycled per step, both parameter slices collected once —
+	// steady-state steps then run without heap allocation.
+	ws := mat.NewWorkspace()
+	xb := &mat.Matrix{}
+	p1, p2 := u.ae1.Params(), u.ae2.Params()
 	warmup := u.Cfg.WarmupEpochs
 	if warmup < 0 {
 		warmup = 0
@@ -153,8 +159,8 @@ func (u *USAD) Fit(x *mat.Matrix, progress func(epoch int, l1, l2 float64)) erro
 			if end > len(idx) {
 				end = len(idx)
 			}
-			xb := x.SelectRows(idx[start:end])
-			l1, l2 := u.trainStep(xb, a, b, opt1, opt2)
+			x.SelectRowsInto(xb, idx[start:end])
+			l1, l2 := u.trainStep(xb, a, b, opt1, opt2, ws, p1, p2)
 			sum1 += l1
 			sum2 += l2
 			batches++
@@ -170,57 +176,59 @@ func (u *USAD) Fit(x *mat.Matrix, progress func(epoch int, l1, l2 float64)) erro
 }
 
 // trainStep performs the two-phase USAD update on one minibatch and returns
-// the two loss values.
-func (u *USAD) trainStep(xb *mat.Matrix, a, b float64, opt1, opt2 nn.Optimizer) (l1, l2 float64) {
+// the two loss values. Temporaries come from ws (reset on return), so a
+// warm step performs no heap allocation.
+func (u *USAD) trainStep(xb *mat.Matrix, a, b float64, opt1, opt2 nn.Optimizer, ws *mat.Workspace, p1, p2 []*nn.Param) (l1, l2 float64) {
+	defer ws.Reset()
 	mse := nn.MSELoss{}
-
-	// --- Phase 1: update AE1 with L1 = a·MSE(x, AE1(x)) + b·MSE(x, AE2(AE1(x))).
-	zeroAll := func(n *nn.Network) {
-		for _, p := range n.Params() {
+	zeroAll := func(ps []*nn.Param) {
+		for _, p := range ps {
 			p.ZeroGrad()
 		}
 	}
-	zeroAll(u.ae1)
-	zeroAll(u.ae2)
+
+	// --- Phase 1: update AE1 with L1 = a·MSE(x, AE1(x)) + b·MSE(x, AE2(AE1(x))).
+	zeroAll(p1)
+	zeroAll(p2)
 
 	// Term 1: direct reconstruction.
-	w1 := u.ae1.Forward(xb)
-	lossDirect, grad := mse.Compute(w1, xb)
+	w1 := u.ae1.ForwardInto(xb, ws)
+	lossDirect, grad := mse.ComputeInto(w1, xb, ws)
 	grad.Scale(a)
-	u.ae1.Backward(grad)
+	u.ae1.BackwardInto(grad, ws)
 
 	// Term 2: adversarial — gradient flows through frozen AE2 into AE1.
-	w1 = u.ae1.Forward(xb) // refresh caches for the second backward
-	w2 := u.ae2.Forward(w1)
-	lossAdv, grad2 := mse.Compute(w2, xb)
+	w1 = u.ae1.ForwardInto(xb, ws) // refresh caches for the second backward
+	w2 := u.ae2.ForwardInto(w1, ws)
+	lossAdv, grad2 := mse.ComputeInto(w2, xb, ws)
 	grad2.Scale(b)
-	gw1 := u.ae2.Backward(grad2)
-	u.ae1.Backward(gw1)
-	zeroAll(u.ae2) // AE2 is frozen in phase 1
-	nn.ClipGradients(u.ae1.Params(), 5)
-	opt1.Step(u.ae1.Params())
+	gw1 := u.ae2.BackwardInto(grad2, ws)
+	u.ae1.BackwardInto(gw1, ws)
+	zeroAll(p2) // AE2 is frozen in phase 1
+	nn.ClipGradients(p1, 5)
+	opt1.Step(p1)
 	l1 = a*lossDirect + b*lossAdv
 
 	// --- Phase 2: update AE2 with L2 = a·MSE(x, AE2(x)) − b·MSE(x, AE2(AE1(x))).
-	zeroAll(u.ae1)
-	zeroAll(u.ae2)
+	zeroAll(p1)
+	zeroAll(p2)
 
 	// Term 1: direct reconstruction.
-	v2 := u.ae2.Forward(xb)
-	lossDirect2, gradD := mse.Compute(v2, xb)
+	v2 := u.ae2.ForwardInto(xb, ws)
+	lossDirect2, gradD := mse.ComputeInto(v2, xb, ws)
 	gradD.Scale(a)
-	u.ae2.Backward(gradD)
+	u.ae2.BackwardInto(gradD, ws)
 
 	// Term 2: adversarial — AE2 maximizes the error on AE1's output (AE1
 	// frozen, gradient stops at AE2's input).
-	w1 = u.ae1.Forward(xb)
-	w2 = u.ae2.Forward(w1)
-	lossAdv2, gradA := mse.Compute(w2, xb)
+	w1 = u.ae1.ForwardInto(xb, ws)
+	w2 = u.ae2.ForwardInto(w1, ws)
+	lossAdv2, gradA := mse.ComputeInto(w2, xb, ws)
 	gradA.Scale(-b)
-	u.ae2.Backward(gradA)
-	zeroAll(u.ae1)
-	nn.ClipGradients(u.ae2.Params(), 5)
-	opt2.Step(u.ae2.Params())
+	u.ae2.BackwardInto(gradA, ws)
+	zeroAll(p1)
+	nn.ClipGradients(p2, 5)
+	opt2.Step(p2)
 	l2 = a*lossDirect2 - b*lossAdv2
 	return l1, l2
 }
@@ -228,11 +236,14 @@ func (u *USAD) trainStep(xb *mat.Matrix, a, b float64, opt1, opt2 nn.Optimizer) 
 // Scores returns the per-sample anomaly score
 // α·MSE(x, AE1(x)) + β·MSE(x, AE2(AE1(x))). The pass is stateless, so
 // concurrent scoring through one shared USAD is race-free (training via
-// Fit remains single-goroutine).
+// Fit remains single-goroutine): matrix buffers come from a pooled
+// workspace held only for the duration of the call.
 func (u *USAD) Scores(x *mat.Matrix) []float64 {
-	w1 := u.ae1.Infer(x)
+	ws := mat.GetWorkspace()
+	defer mat.Release(ws)
+	w1 := u.ae1.InferInto(x, ws)
 	direct := nn.RowMSE(w1, x)
-	w2 := u.ae2.Infer(w1)
+	w2 := u.ae2.InferInto(w1, ws)
 	adv := nn.RowMSE(w2, x)
 	out := make([]float64, x.Rows)
 	for i := range out {

@@ -179,4 +179,12 @@ func Select(x *mat.Matrix, y []int, names []string, k int) (*Selection, error) {
 }
 
 // Apply returns the sub-matrix of x restricted to the selected columns.
+//
+//lint:ignore hotalloc compat wrapper returns a fresh caller-owned matrix
 func (s *Selection) Apply(x *mat.Matrix) *mat.Matrix { return x.SelectCols(s.Indices) }
+
+// ApplyInto is Apply writing into a caller-supplied destination — the
+// allocation-free form used by the batch-scoring hot path.
+func (s *Selection) ApplyInto(dst, x *mat.Matrix) *mat.Matrix {
+	return x.SelectColsInto(dst, s.Indices)
+}

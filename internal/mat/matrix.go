@@ -12,8 +12,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"runtime"
-	"sync"
 )
 
 // Matrix is a dense, row-major matrix of float64 values.
@@ -63,11 +61,7 @@ func FromRows(rows [][]float64) *Matrix {
 
 // Randn returns a matrix with entries drawn from N(0, std²) using rng.
 func Randn(rows, cols int, std float64, rng *rand.Rand) *Matrix {
-	m := New(rows, cols)
-	for i := range m.Data {
-		m.Data[i] = rng.NormFloat64() * std
-	}
-	return m
+	return RandnInto(New(rows, cols), std, rng)
 }
 
 // At returns the element at row i, column j.
@@ -141,121 +135,32 @@ func (m *Matrix) String() string {
 	return s + "]"
 }
 
-// parallelThreshold is the number of scalar multiply-adds below which MatMul
-// stays single-threaded; goroutine fan-out costs more than it saves on small
-// products.
+// parallelThreshold is the number of scalar multiply-adds below which the
+// matmul kernels stay single-threaded; goroutine fan-out costs more than it
+// saves on small products.
 const parallelThreshold = 64 * 64 * 64
 
 // MatMul returns a×b. It panics if the inner dimensions disagree. Large
-// products are computed with one goroutine per row-block.
-func MatMul(a, b *Matrix) *Matrix {
-	if a.Cols != b.Rows {
-		panic(fmt.Sprintf("mat: MatMul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
-	}
-	out := New(a.Rows, b.Cols)
-	work := a.Rows * a.Cols * b.Cols
-	if work < parallelThreshold {
-		matMulRange(a, b, out, 0, a.Rows)
-		return out
-	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > a.Rows {
-		workers = a.Rows
-	}
-	var wg sync.WaitGroup
-	chunk := (a.Rows + workers - 1) / workers
-	for start := 0; start < a.Rows; start += chunk {
-		end := start + chunk
-		if end > a.Rows {
-			end = a.Rows
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			matMulRange(a, b, out, lo, hi)
-		}(start, end)
-	}
-	wg.Wait()
-	return out
-}
+// products are computed with one goroutine per row-block. This is the
+// allocating convenience wrapper over MatMulInto.
+func MatMul(a, b *Matrix) *Matrix { return MatMulInto(&Matrix{}, a, b) }
 
-// matMulRange computes rows [lo, hi) of out = a×b using an ikj loop order
-// that streams through b row-by-row for cache locality.
-func matMulRange(a, b, out *Matrix, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		arow := a.Row(i)
-		orow := out.Row(i)
-		for k, av := range arow {
-			//lint:ignore floateq sparsity fast path: exact zero skips a row, any nonzero is correct either way
-			if av == 0 {
-				continue
-			}
-			brow := b.Row(k)
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
-}
+// MatMulT returns a×bᵀ without materializing the transpose. Allocating
+// wrapper over MatMulTInto.
+func MatMulT(a, b *Matrix) *Matrix { return MatMulTInto(&Matrix{}, a, b) }
 
-// MatMulT returns a×bᵀ without materializing the transpose.
-func MatMulT(a, b *Matrix) *Matrix {
-	if a.Cols != b.Cols {
-		panic(fmt.Sprintf("mat: MatMulT shape mismatch %dx%d · (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
-	}
-	out := New(a.Rows, b.Rows)
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		orow := out.Row(i)
-		for j := 0; j < b.Rows; j++ {
-			orow[j] = Dot(arow, b.Row(j))
-		}
-	}
-	return out
-}
-
-// TMatMul returns aᵀ×b without materializing the transpose.
-func TMatMul(a, b *Matrix) *Matrix {
-	if a.Rows != b.Rows {
-		panic(fmt.Sprintf("mat: TMatMul shape mismatch (%dx%d)ᵀ · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
-	}
-	out := New(a.Cols, b.Cols)
-	for k := 0; k < a.Rows; k++ {
-		arow := a.Row(k)
-		brow := b.Row(k)
-		for i, av := range arow {
-			//lint:ignore floateq sparsity fast path: exact zero skips a row, any nonzero is correct either way
-			if av == 0 {
-				continue
-			}
-			orow := out.Row(i)
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
-	return out
-}
+// TMatMul returns aᵀ×b without materializing the transpose. Allocating
+// wrapper over TMatMulInto.
+func TMatMul(a, b *Matrix) *Matrix { return TMatMulInto(&Matrix{}, a, b) }
 
 // Add returns a+b element-wise.
-func Add(a, b *Matrix) *Matrix { return zipNew(a, b, func(x, y float64) float64 { return x + y }) }
+func Add(a, b *Matrix) *Matrix { return AddInto(&Matrix{}, a, b) }
 
 // Sub returns a−b element-wise.
-func Sub(a, b *Matrix) *Matrix { return zipNew(a, b, func(x, y float64) float64 { return x - y }) }
+func Sub(a, b *Matrix) *Matrix { return SubInto(&Matrix{}, a, b) }
 
 // Mul returns the element-wise (Hadamard) product a∘b.
-func Mul(a, b *Matrix) *Matrix { return zipNew(a, b, func(x, y float64) float64 { return x * y }) }
-
-func zipNew(a, b *Matrix, f func(x, y float64) float64) *Matrix {
-	if !a.SameShape(b) {
-		panic(fmt.Sprintf("mat: shape mismatch %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
-	}
-	out := New(a.Rows, a.Cols)
-	for i, v := range a.Data {
-		out.Data[i] = f(v, b.Data[i])
-	}
-	return out
-}
+func Mul(a, b *Matrix) *Matrix { return MulInto(&Matrix{}, a, b) }
 
 // AddInPlace adds b into a.
 func AddInPlace(a, b *Matrix) {
@@ -277,11 +182,7 @@ func (m *Matrix) Scale(s float64) *Matrix {
 
 // Apply returns a new matrix with f applied to every element.
 func (m *Matrix) Apply(f func(float64) float64) *Matrix {
-	out := New(m.Rows, m.Cols)
-	for i, v := range m.Data {
-		out.Data[i] = f(v)
-	}
-	return out
+	return m.ApplyInto(&Matrix{}, f)
 }
 
 // ApplyInPlace applies f to every element of m.
@@ -294,18 +195,7 @@ func (m *Matrix) ApplyInPlace(f func(float64) float64) {
 // AddRowVector adds vector v (length Cols) to every row of m, returning a
 // new matrix. This is the broadcast used for bias addition.
 func (m *Matrix) AddRowVector(v []float64) *Matrix {
-	if len(v) != m.Cols {
-		panic(fmt.Sprintf("mat: AddRowVector length %d != cols %d", len(v), m.Cols))
-	}
-	out := New(m.Rows, m.Cols)
-	for i := 0; i < m.Rows; i++ {
-		row := m.Row(i)
-		orow := out.Row(i)
-		for j, x := range row {
-			orow[j] = x + v[j]
-		}
-	}
-	return out
+	return m.AddRowVectorInto(&Matrix{}, v)
 }
 
 // SumRows returns the column-wise sum of m: a vector of length Cols.
@@ -343,25 +233,13 @@ func (m *Matrix) MaxAbs() float64 {
 // SelectRows returns a new matrix containing the rows of m at the given
 // indices, in order.
 func (m *Matrix) SelectRows(idx []int) *Matrix {
-	out := New(len(idx), m.Cols)
-	for i, r := range idx {
-		copy(out.Row(i), m.Row(r))
-	}
-	return out
+	return m.SelectRowsInto(&Matrix{}, idx)
 }
 
 // SelectCols returns a new matrix containing the columns of m at the given
 // indices, in order.
 func (m *Matrix) SelectCols(idx []int) *Matrix {
-	out := New(m.Rows, len(idx))
-	for i := 0; i < m.Rows; i++ {
-		row := m.Row(i)
-		orow := out.Row(i)
-		for k, c := range idx {
-			orow[k] = row[c]
-		}
-	}
-	return out
+	return m.SelectColsInto(&Matrix{}, idx)
 }
 
 // VStack concatenates matrices vertically. All inputs must share Cols.

@@ -1,0 +1,126 @@
+package mat
+
+import "sync"
+
+// Workspace is a per-goroutine arena of reusable matrix buffers for the
+// hot paths (steady-state inference, training minibatches). Get hands out
+// a matrix whose backing array comes from a size-bucketed free list; Put
+// returns it for reuse; Reset reclaims everything at once at a natural
+// boundary (end of a forward/backward pass, end of a scoring batch).
+//
+// Ownership contract (DESIGN.md §7 and §10): workspaces are caller-owned.
+// A model must never store a workspace — or a matrix obtained from one —
+// on itself; buffers live for the duration of one call chain and return to
+// the workspace that issued them. A Workspace is NOT safe for concurrent
+// use; concurrent scorers each take their own from the package pool via
+// GetWorkspace/Release.
+//
+// Buffers are handed out dirty: contents are unspecified and callers must
+// fully overwrite them (every Into kernel does).
+type Workspace struct {
+	// free holds reclaimed buffers bucketed by ceil-log2 of capacity, so a
+	// Get(rows, cols) request is served by the smallest bucket whose
+	// buffers certainly fit. Buffers are allocated with capacity rounded
+	// up to the bucket size, which keeps reuse exact across the mixed
+	// shapes of a layer stack.
+	free [wsBuckets][]*Matrix
+	// inUse tracks live checkouts so Reset can reclaim buffers the caller
+	// didn't individually Put (and so Put can verify provenance).
+	inUse []*Matrix
+}
+
+// wsBuckets covers capacities up to 2^(wsBuckets-1) floats (2^35 ≈ 256 GiB
+// as a theoretical ceiling; practically unbounded). Requests beyond the
+// last bucket would be a programming error and panic in bucketFor.
+const wsBuckets = 36
+
+// NewWorkspace returns an empty workspace. Prefer GetWorkspace/Release in
+// request-scoped code so buffers persist across calls; NewWorkspace is for
+// loops that own the workspace for their whole lifetime (an epoch, a
+// benchmark).
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+func bucketFor(n int) int {
+	b := 0
+	for 1<<b < n {
+		b++
+		if b >= wsBuckets {
+			panic("mat: workspace request too large")
+		}
+	}
+	return b
+}
+
+// Get returns a rows×cols matrix backed by a reused buffer when one is
+// available and a fresh allocation otherwise. Contents are unspecified.
+func (w *Workspace) Get(rows, cols int) *Matrix {
+	n := rows * cols
+	var m *Matrix
+	if n > 0 {
+		b := bucketFor(n)
+		if fl := w.free[b]; len(fl) > 0 {
+			m = fl[len(fl)-1]
+			w.free[b] = fl[:len(fl)-1]
+		}
+	}
+	if m == nil {
+		cap := n
+		if n > 0 {
+			cap = 1 << bucketFor(n)
+		}
+		m = &Matrix{Data: make([]float64, n, cap)}
+	} else {
+		m.Data = m.Data[:n]
+	}
+	m.Rows, m.Cols = rows, cols
+	w.inUse = append(w.inUse, m)
+	return m
+}
+
+// Put returns a matrix obtained from Get to the free lists. Matrices the
+// workspace didn't issue (or already reclaimed) are ignored, so a Put
+// followed by Reset never double-frees. The in-use list is scanned newest
+// first: hot paths release in LIFO order, making Put O(1) in practice.
+func (w *Workspace) Put(m *Matrix) {
+	for i := len(w.inUse) - 1; i >= 0; i-- {
+		if w.inUse[i] == m {
+			w.inUse = append(w.inUse[:i], w.inUse[i+1:]...)
+			w.reclaim(m)
+			return
+		}
+	}
+}
+
+// Reset reclaims every outstanding buffer. Any matrix previously returned
+// by Get is invalid after Reset — its backing array will be reissued.
+func (w *Workspace) Reset() {
+	for _, m := range w.inUse {
+		w.reclaim(m)
+	}
+	w.inUse = w.inUse[:0]
+}
+
+func (w *Workspace) reclaim(m *Matrix) {
+	c := cap(m.Data)
+	if c == 0 {
+		return
+	}
+	// Ensure the bucket invariant (cap == 1<<b) even for matrices whose
+	// backing array an Into kernel grew past the issued capacity.
+	b := bucketFor(c)
+	if 1<<b != c {
+		return // odd-sized stray; let the GC take it
+	}
+	w.free[b] = append(w.free[b], m)
+}
+
+var wsPool = sync.Pool{New: func() any { return NewWorkspace() }}
+
+// GetWorkspace takes a workspace from the package pool. Pair with Release.
+func GetWorkspace() *Workspace { return wsPool.Get().(*Workspace) }
+
+// Release resets w and returns it to the package pool.
+func Release(w *Workspace) {
+	w.Reset()
+	wsPool.Put(w)
+}

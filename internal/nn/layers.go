@@ -38,10 +38,21 @@ func (p *Param) ZeroGrad() {
 // accumulating parameter gradients. Apply computes the same function as
 // Forward without caching anything on the layer: it must not write any
 // layer field, so it is safe to call from many goroutines at once.
+//
+// The *Into variants are the allocation-free forms: outputs are drawn from
+// the caller-owned workspace ws, so steady-state loops reuse buffers
+// instead of growing the heap. Returned matrices are valid until the
+// caller resets or releases ws — they are workspace property, never to be
+// retained past that (DESIGN.md §10). ApplyInto carries the same
+// statelessness guarantee as Apply; ForwardInto/BackwardInto cache
+// activations like Forward/Backward and stay single-goroutine.
 type Layer interface {
 	Forward(x *mat.Matrix) *mat.Matrix
 	Backward(gradOut *mat.Matrix) *mat.Matrix
 	Apply(x *mat.Matrix) *mat.Matrix
+	ApplyInto(x *mat.Matrix, ws *mat.Workspace) *mat.Matrix
+	ForwardInto(x *mat.Matrix, ws *mat.Workspace) *mat.Matrix
+	BackwardInto(gradOut *mat.Matrix, ws *mat.Workspace) *mat.Matrix
 	Params() []*Param
 }
 
@@ -77,23 +88,50 @@ func (d *Dense) Forward(x *mat.Matrix) *mat.Matrix {
 	return d.Apply(x)
 }
 
+// ForwardInto implements Layer: Forward with the output drawn from ws.
+func (d *Dense) ForwardInto(x *mat.Matrix, ws *mat.Workspace) *mat.Matrix {
+	d.input = x
+	return d.ApplyInto(x, ws)
+}
+
 // Apply implements Layer: the same affine map as Forward with no caching.
+// Allocating wrapper over ApplyInto; hot paths call ApplyInto directly.
 func (d *Dense) Apply(x *mat.Matrix) *mat.Matrix {
-	return mat.MatMul(x, d.W.Value).AddRowVector(d.B.Value.Data)
+	ws := mat.GetWorkspace()
+	defer mat.Release(ws)
+	//lint:ignore hotalloc compat wrapper materializes a caller-owned copy of the workspace result
+	return d.ApplyInto(x, ws).Clone()
+}
+
+// ApplyInto implements Layer: out = x·W + b in one fused kernel, written
+// into a workspace buffer. Stateless like Apply.
+func (d *Dense) ApplyInto(x *mat.Matrix, ws *mat.Workspace) *mat.Matrix {
+	out := ws.Get(x.Rows, d.Out())
+	return mat.MatMulBiasInto(out, x, d.W.Value, d.B.Value.Data)
 }
 
 // Backward implements Layer.
 func (d *Dense) Backward(gradOut *mat.Matrix) *mat.Matrix {
+	d.backwardParams(gradOut)
+	return mat.MatMulT(gradOut, d.W.Value)
+}
+
+// BackwardInto implements Layer: Backward with dx drawn from ws and no
+// temporaries — parameter gradients accumulate in place.
+func (d *Dense) BackwardInto(gradOut *mat.Matrix, ws *mat.Workspace) *mat.Matrix {
+	d.backwardParams(gradOut)
+	dx := ws.Get(gradOut.Rows, d.In())
+	return mat.MatMulTInto(dx, gradOut, d.W.Value)
+}
+
+// backwardParams accumulates dW = xᵀ·gradOut and db = column sums of
+// gradOut directly into the parameter gradients.
+func (d *Dense) backwardParams(gradOut *mat.Matrix) {
 	if d.input == nil {
 		panic("nn: Dense.Backward before Forward")
 	}
-	// dW = xᵀ·gradOut, db = column sums of gradOut, dx = gradOut·Wᵀ.
-	mat.AddInPlace(d.W.Grad, mat.TMatMul(d.input, gradOut))
-	bg := gradOut.SumRows()
-	for i := range bg {
-		d.B.Grad.Data[i] += bg[i]
-	}
-	return mat.MatMulT(gradOut, d.W.Value)
+	mat.TMatMulAccInto(d.W.Grad, d.input, gradOut)
+	gradOut.SumRowsAccInto(d.B.Grad.Data)
 }
 
 // Params implements Layer.
@@ -109,7 +147,12 @@ type Activation struct {
 	// sigmoid/tanh this avoids recomputing the function; for ReLU the output
 	// carries enough sign information.
 	DFromOut func(out float64) float64
-	output   *mat.Matrix
+	// bulk, when set, applies F over a whole slice. The built-in
+	// activations provide it so the hot path calls math.Tanh (etc.)
+	// directly instead of through the per-element F indirection — same
+	// values, one call per batch instead of one per element.
+	bulk   func(dst, src []float64)
+	output *mat.Matrix
 }
 
 // Forward implements Layer.
@@ -118,15 +161,44 @@ func (a *Activation) Forward(x *mat.Matrix) *mat.Matrix {
 	return a.output
 }
 
+// ForwardInto implements Layer: Forward with the output drawn from ws. The
+// cached activation is workspace property, so Backward must run before the
+// caller resets ws.
+func (a *Activation) ForwardInto(x *mat.Matrix, ws *mat.Workspace) *mat.Matrix {
+	a.output = a.ApplyInto(x, ws)
+	return a.output
+}
+
 // Apply implements Layer: the element-wise map with no caching.
+//
+//lint:ignore hotalloc compat wrapper returns a fresh caller-owned matrix
 func (a *Activation) Apply(x *mat.Matrix) *mat.Matrix { return x.Apply(a.F) }
+
+// ApplyInto implements Layer: the element-wise map into a workspace
+// buffer. Stateless like Apply.
+func (a *Activation) ApplyInto(x *mat.Matrix, ws *mat.Workspace) *mat.Matrix {
+	out := ws.Get(x.Rows, x.Cols)
+	if a.bulk != nil {
+		a.bulk(out.Data, x.Data)
+		return out
+	}
+	return x.ApplyInto(out, a.F)
+}
 
 // Backward implements Layer.
 func (a *Activation) Backward(gradOut *mat.Matrix) *mat.Matrix {
+	return a.backwardTo(mat.New(gradOut.Rows, gradOut.Cols), gradOut)
+}
+
+// BackwardInto implements Layer: Backward with the gradient drawn from ws.
+func (a *Activation) BackwardInto(gradOut *mat.Matrix, ws *mat.Workspace) *mat.Matrix {
+	return a.backwardTo(ws.Get(gradOut.Rows, gradOut.Cols), gradOut)
+}
+
+func (a *Activation) backwardTo(out, gradOut *mat.Matrix) *mat.Matrix {
 	if a.output == nil {
 		panic("nn: Activation.Backward before Forward")
 	}
-	out := mat.New(gradOut.Rows, gradOut.Cols)
 	for i, g := range gradOut.Data {
 		out.Data[i] = g * a.DFromOut(a.output.Data[i])
 	}
@@ -152,6 +224,15 @@ func ReLU() *Activation {
 			}
 			return 0
 		},
+		bulk: func(dst, src []float64) {
+			for i, v := range src {
+				if v > 0 {
+					dst[i] = v
+				} else {
+					dst[i] = 0
+				}
+			}
+		},
 	}
 }
 
@@ -172,6 +253,15 @@ func LeakyReLU(alpha float64) *Activation {
 			}
 			return alpha
 		},
+		bulk: func(dst, src []float64) {
+			for i, v := range src {
+				if v > 0 {
+					dst[i] = v
+				} else {
+					dst[i] = alpha * v
+				}
+			}
+		},
 	}
 }
 
@@ -181,6 +271,11 @@ func Sigmoid() *Activation {
 		Name:     "sigmoid",
 		F:        func(x float64) float64 { return 1 / (1 + math.Exp(-x)) },
 		DFromOut: func(out float64) float64 { return out * (1 - out) },
+		bulk: func(dst, src []float64) {
+			for i, v := range src {
+				dst[i] = 1 / (1 + math.Exp(-v))
+			}
+		},
 	}
 }
 
@@ -190,6 +285,11 @@ func Tanh() *Activation {
 		Name:     "tanh",
 		F:        math.Tanh,
 		DFromOut: func(out float64) float64 { return 1 - out*out },
+		bulk: func(dst, src []float64) {
+			for i, v := range src {
+				dst[i] = math.Tanh(v)
+			}
+		},
 	}
 }
 

@@ -11,6 +11,9 @@ import (
 type Loss interface {
 	// Compute returns the mean loss over the batch and dLoss/dPred.
 	Compute(pred, target *mat.Matrix) (float64, *mat.Matrix)
+	// ComputeInto is Compute with the gradient drawn from ws, so a
+	// steady-state training loop allocates nothing per step.
+	ComputeInto(pred, target *mat.Matrix, ws *mat.Workspace) (float64, *mat.Matrix)
 	Name() string
 }
 
@@ -22,9 +25,17 @@ func (MSELoss) Name() string { return "mse" }
 
 // Compute implements Loss.
 func (MSELoss) Compute(pred, target *mat.Matrix) (float64, *mat.Matrix) {
+	return mseCompute(pred, target, mat.New(pred.Rows, pred.Cols))
+}
+
+// ComputeInto implements Loss.
+func (MSELoss) ComputeInto(pred, target *mat.Matrix, ws *mat.Workspace) (float64, *mat.Matrix) {
+	return mseCompute(pred, target, ws.Get(pred.Rows, pred.Cols))
+}
+
+func mseCompute(pred, target, grad *mat.Matrix) (float64, *mat.Matrix) {
 	checkSameShape(pred, target)
 	n := float64(len(pred.Data))
-	grad := mat.New(pred.Rows, pred.Cols)
 	loss := 0.0
 	for i, p := range pred.Data {
 		d := p - target.Data[i]
@@ -43,9 +54,17 @@ func (MAELoss) Name() string { return "mae" }
 
 // Compute implements Loss.
 func (MAELoss) Compute(pred, target *mat.Matrix) (float64, *mat.Matrix) {
+	return maeCompute(pred, target, mat.New(pred.Rows, pred.Cols))
+}
+
+// ComputeInto implements Loss.
+func (MAELoss) ComputeInto(pred, target *mat.Matrix, ws *mat.Workspace) (float64, *mat.Matrix) {
+	return maeCompute(pred, target, ws.Get(pred.Rows, pred.Cols))
+}
+
+func maeCompute(pred, target, grad *mat.Matrix) (float64, *mat.Matrix) {
 	checkSameShape(pred, target)
 	n := float64(len(pred.Data))
-	grad := mat.New(pred.Rows, pred.Cols)
 	loss := 0.0
 	for i, p := range pred.Data {
 		d := p - target.Data[i]
@@ -55,6 +74,8 @@ func (MAELoss) Compute(pred, target *mat.Matrix) (float64, *mat.Matrix) {
 			grad.Data[i] = 1 / n
 		case d < 0:
 			grad.Data[i] = -1 / n
+		default:
+			grad.Data[i] = 0 // workspace buffers arrive dirty
 		}
 	}
 	return loss / n, grad
@@ -69,10 +90,18 @@ func (BCELoss) Name() string { return "bce" }
 
 // Compute implements Loss.
 func (BCELoss) Compute(pred, target *mat.Matrix) (float64, *mat.Matrix) {
+	return bceCompute(pred, target, mat.New(pred.Rows, pred.Cols))
+}
+
+// ComputeInto implements Loss.
+func (BCELoss) ComputeInto(pred, target *mat.Matrix, ws *mat.Workspace) (float64, *mat.Matrix) {
+	return bceCompute(pred, target, ws.Get(pred.Rows, pred.Cols))
+}
+
+func bceCompute(pred, target, grad *mat.Matrix) (float64, *mat.Matrix) {
 	checkSameShape(pred, target)
 	const eps = 1e-7
 	n := float64(len(pred.Data))
-	grad := mat.New(pred.Rows, pred.Cols)
 	loss := 0.0
 	for i, p := range pred.Data {
 		p = mat.Clamp(p, eps, 1-eps)

@@ -49,15 +49,45 @@ func (n *Network) Forward(x *mat.Matrix) *mat.Matrix {
 	return x
 }
 
+// ForwardInto is Forward with all activations drawn from the caller-owned
+// workspace: a steady-state training step allocates nothing once ws is
+// warm. Cached activations are workspace property — run Backward(Into)
+// before resetting ws.
+func (n *Network) ForwardInto(x *mat.Matrix, ws *mat.Workspace) *mat.Matrix {
+	for _, l := range n.Layers {
+		x = l.ForwardInto(x, ws)
+	}
+	return x
+}
+
 // Infer runs the batch x through every layer without touching layer state:
 // activations thread through locals, nothing is cached, and no Backward is
 // possible afterwards. Safe for any number of concurrent callers sharing
 // this network, provided no goroutine is training it at the same time.
+// Allocating wrapper over InferInto; steady-state loops call InferInto
+// with a workspace they own.
 func (n *Network) Infer(x *mat.Matrix) *mat.Matrix {
+	ws := mat.GetWorkspace()
+	defer mat.Release(ws)
+	//lint:ignore hotalloc compat wrapper materializes a caller-owned copy of the workspace result
+	return n.InferInto(x, ws).Clone()
+}
+
+// InferInto is the zero-allocation form of Infer: every activation comes
+// from ws, intermediate buffers are recycled layer by layer, and the
+// returned matrix belongs to ws (valid until Reset/Release). It shares
+// Infer's statelessness contract, with each concurrent caller holding its
+// own workspace.
+func (n *Network) InferInto(x *mat.Matrix, ws *mat.Workspace) *mat.Matrix {
+	cur := x
 	for _, l := range n.Layers {
-		x = l.Apply(x)
+		next := l.ApplyInto(cur, ws)
+		if cur != x {
+			ws.Put(cur)
+		}
+		cur = next
 	}
-	return x
+	return cur
 }
 
 // Backward propagates the loss gradient through every layer in reverse,
@@ -66,6 +96,21 @@ func (n *Network) Infer(x *mat.Matrix) *mat.Matrix {
 func (n *Network) Backward(grad *mat.Matrix) *mat.Matrix {
 	for i := len(n.Layers) - 1; i >= 0; i-- {
 		grad = n.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// BackwardInto is Backward with all intermediate gradients drawn from ws,
+// recycled layer by layer. Parameter gradients accumulate in place as
+// always; only the flowing activation gradients touch the workspace.
+func (n *Network) BackwardInto(grad *mat.Matrix, ws *mat.Workspace) *mat.Matrix {
+	first := grad
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		next := n.Layers[i].BackwardInto(grad, ws)
+		if grad != first {
+			ws.Put(grad)
+		}
+		grad = next
 	}
 	return grad
 }

@@ -59,6 +59,14 @@ func Train(n *Network, x, y *mat.Matrix, loss Loss, opt Optimizer, cfg TrainConf
 	for i := range idx {
 		idx[i] = i
 	}
+	// One workspace and one pair of minibatch buffers live for the whole
+	// fit: SelectRowsInto refills them per batch (the short final batch
+	// just reshapes), and ws.Reset at the end of each step recycles every
+	// activation and gradient buffer, so steady-state steps do not touch
+	// the allocator. Params are hoisted for the same reason.
+	ws := mat.NewWorkspace()
+	xb, yb := &mat.Matrix{}, &mat.Matrix{}
+	params := n.Params()
 	finalLoss := 0.0
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		epochStart := time.Now()
@@ -70,15 +78,16 @@ func Train(n *Network, x, y *mat.Matrix, loss Loss, opt Optimizer, cfg TrainConf
 				end = len(idx)
 			}
 			batch := idx[start:end]
-			xb := x.SelectRows(batch)
-			yb := y.SelectRows(batch)
-			pred := n.Forward(xb)
-			l, grad := loss.Compute(pred, yb)
-			n.Backward(grad)
+			x.SelectRowsInto(xb, batch)
+			y.SelectRowsInto(yb, batch)
+			pred := n.ForwardInto(xb, ws)
+			l, grad := loss.ComputeInto(pred, yb, ws)
+			n.BackwardInto(grad, ws)
+			ws.Reset()
 			if cfg.ClipNorm > 0 {
-				ClipGradients(n.Params(), cfg.ClipNorm)
+				ClipGradients(params, cfg.ClipNorm)
 			}
-			opt.Step(n.Params())
+			opt.Step(params)
 			// Weight by batch size so a partial final batch does not skew
 			// the epoch mean: the reported loss is the true per-sample mean.
 			epochLoss += l * float64(len(batch))

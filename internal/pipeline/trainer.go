@@ -300,11 +300,16 @@ const parallelScoreMinRows = 128
 
 // Scores returns anomaly scores for full-feature-space vectors. Large
 // batches fan out across GOMAXPROCS workers — safe because Model.Scores is
-// stateless — so batch throughput scales with cores.
+// stateless — so batch throughput scales with cores. Selection and scaling
+// run through a pooled workspace, so repeated batch scoring reuses the
+// same buffers instead of allocating two full-batch matrices per call.
 func (d *AnomalyDetector) Scores(xFull *mat.Matrix) []float64 {
 	start := time.Now()
 	a := d.artifact
-	x := a.scaler.Transform(a.Selection.Apply(xFull))
+	ws := mat.GetWorkspace()
+	defer mat.Release(ws)
+	x := a.Selection.ApplyInto(ws.Get(xFull.Rows, len(a.Selection.Indices)), xFull)
+	a.scaler.TransformInto(x, x)
 	workers := runtime.GOMAXPROCS(0)
 	if x.Rows < parallelScoreMinRows || workers < 2 {
 		out := a.model.Scores(x)

@@ -19,6 +19,9 @@ type Scaler interface {
 	// Transform returns a scaled copy of x. It panics if called before Fit
 	// or if x has a different number of columns than the fitted data.
 	Transform(x *mat.Matrix) *mat.Matrix
+	// TransformInto is Transform writing into dst (reshaped as needed) —
+	// the allocation-free form for scoring hot paths. dst may alias x.
+	TransformInto(dst, x *mat.Matrix) *mat.Matrix
 	// Kind returns the scaler's registered name ("minmax", "standard", "robust").
 	Kind() string
 }
@@ -58,8 +61,13 @@ func (s *MinMax) Fit(x *mat.Matrix) {
 // beyond [0, 1]; anomaly detectors rely on that to see out-of-distribution
 // magnitudes.
 func (s *MinMax) Transform(x *mat.Matrix) *mat.Matrix {
+	return s.TransformInto(&mat.Matrix{}, x)
+}
+
+// TransformInto implements Scaler.
+func (s *MinMax) TransformInto(dst, x *mat.Matrix) *mat.Matrix {
 	s.check(x)
-	out := x.Clone()
+	out := mat.CopyInto(dst, x)
 	for i := 0; i < out.Rows; i++ {
 		row := out.Row(i)
 		for j := range row {
@@ -108,13 +116,18 @@ func (s *Standard) Fit(x *mat.Matrix) {
 
 // Transform implements Scaler.
 func (s *Standard) Transform(x *mat.Matrix) *mat.Matrix {
+	return s.TransformInto(&mat.Matrix{}, x)
+}
+
+// TransformInto implements Scaler.
+func (s *Standard) TransformInto(dst, x *mat.Matrix) *mat.Matrix {
 	if s.Means == nil {
 		panic("scale: Transform before Fit")
 	}
 	if x.Cols != len(s.Means) {
 		panic(fmt.Sprintf("scale: fitted on %d columns, got %d", len(s.Means), x.Cols))
 	}
-	out := x.Clone()
+	out := mat.CopyInto(dst, x)
 	for i := 0; i < out.Rows; i++ {
 		row := out.Row(i)
 		for j := range row {
@@ -158,13 +171,18 @@ func (s *Robust) Fit(x *mat.Matrix) {
 
 // Transform implements Scaler.
 func (s *Robust) Transform(x *mat.Matrix) *mat.Matrix {
+	return s.TransformInto(&mat.Matrix{}, x)
+}
+
+// TransformInto implements Scaler.
+func (s *Robust) TransformInto(dst, x *mat.Matrix) *mat.Matrix {
 	if s.Medians == nil {
 		panic("scale: Transform before Fit")
 	}
 	if x.Cols != len(s.Medians) {
 		panic(fmt.Sprintf("scale: fitted on %d columns, got %d", len(s.Medians), x.Cols))
 	}
-	out := x.Clone()
+	out := mat.CopyInto(dst, x)
 	for i := 0; i < out.Rows; i++ {
 		row := out.Row(i)
 		for j := range row {

@@ -144,18 +144,37 @@ func (v *VAE) Encode(x *mat.Matrix) (mu, logvar *mat.Matrix) {
 func (v *VAE) Decode(z *mat.Matrix) *mat.Matrix { return v.decoder.Infer(z) }
 
 // Reconstruct returns the deterministic reconstruction of x through the
-// posterior mean (no sampling), as used for anomaly scoring.
+// posterior mean (no sampling), as used for anomaly scoring. Allocating
+// wrapper over reconstructInto.
 func (v *VAE) Reconstruct(x *mat.Matrix) *mat.Matrix {
-	mu, _ := v.Encode(x)
-	return v.Decode(mu)
+	ws := mat.GetWorkspace()
+	defer mat.Release(ws)
+	//lint:ignore hotalloc compat wrapper materializes a caller-owned copy of the workspace result
+	return v.reconstructInto(x, ws).Clone()
+}
+
+// reconstructInto is the workspace form of Reconstruct. It skips the
+// logvar head entirely — the deterministic reconstruction only consumes
+// the posterior mean, so scoring pays for one head instead of two.
+func (v *VAE) reconstructInto(x *mat.Matrix, ws *mat.Workspace) *mat.Matrix {
+	h := v.encoder.InferInto(x, ws)
+	mu := v.muHead.ApplyInto(h, ws)
+	if h != x {
+		ws.Put(h)
+	}
+	out := v.decoder.InferInto(mu, ws)
+	return out
 }
 
 // Scores returns the per-sample reconstruction MAE of x (paper §3.3: "we
 // measure the reconstruction error using mean absolute error for each
 // sample"). Like Encode/Decode it mutates no model state, so concurrent
-// scoring through one shared VAE is race-free.
+// scoring through one shared VAE is race-free: the matrix buffers come
+// from a pooled workspace held only for the duration of the call.
 func (v *VAE) Scores(x *mat.Matrix) []float64 {
-	return nn.RowMAE(v.Reconstruct(x), x)
+	ws := mat.GetWorkspace()
+	defer mat.Release(ws)
+	return nn.RowMAE(v.reconstructInto(x, ws), x)
 }
 
 // Sample draws n new samples from the prior and decodes them — the
@@ -193,6 +212,12 @@ func (v *VAE) Fit(x *mat.Matrix, progress func(epoch int, loss, recon, kl float6
 	for i := range idx {
 		idx[i] = i
 	}
+	// Fit-lifetime buffers: one minibatch matrix refilled per batch, one
+	// workspace recycled per step, params collected once. Steady-state
+	// steps then run without heap allocation.
+	ws := mat.NewWorkspace()
+	xb := &mat.Matrix{}
+	params := v.params()
 	stats := &TrainStats{Epochs: v.Cfg.Epochs}
 	for epoch := 0; epoch < v.Cfg.Epochs; epoch++ {
 		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
@@ -203,8 +228,8 @@ func (v *VAE) Fit(x *mat.Matrix, progress func(epoch int, loss, recon, kl float6
 			if end > len(idx) {
 				end = len(idx)
 			}
-			xb := x.SelectRows(idx[start:end])
-			loss, recon, kl := v.trainStep(xb, opt, rng)
+			x.SelectRowsInto(xb, idx[start:end])
+			loss, recon, kl := v.trainStep(xb, opt, rng, ws, params)
 			epochLoss += loss
 			epochRecon += recon
 			epochKL += kl
@@ -223,31 +248,40 @@ func (v *VAE) Fit(x *mat.Matrix, progress func(epoch int, loss, recon, kl float6
 	return stats, nil
 }
 
-// trainStep runs one minibatch update and returns (total, recon, kl) losses.
-func (v *VAE) trainStep(xb *mat.Matrix, opt nn.Optimizer, rng *rand.Rand) (loss, recon, kl float64) {
+// trainStep runs one minibatch update and returns (total, recon, kl)
+// losses. Every temporary comes from ws, which is reset before return, so
+// a warm step performs no heap allocation.
+func (v *VAE) trainStep(xb *mat.Matrix, opt nn.Optimizer, rng *rand.Rand, ws *mat.Workspace, params []*nn.Param) (loss, recon, kl float64) {
+	defer ws.Reset()
 	batch := xb.Rows
-	v.zeroGrads()
+	for _, p := range params {
+		p.ZeroGrad()
+	}
 
 	// Forward.
-	h := v.encoder.Forward(xb)
-	mu := v.muHead.Forward(h)
-	logvar := v.logvarHead.Forward(h)
+	h := v.encoder.ForwardInto(xb, ws)
+	mu := v.muHead.ForwardInto(h, ws)
+	logvar := v.logvarHead.ForwardInto(h, ws)
 	// Clamp log-variance; gradients pass straight through inside the bound
-	// and are zeroed outside it.
-	clipped := make([]bool, len(logvar.Data))
+	// and are zeroed outside it. The mask is a float workspace matrix
+	// (1 = clipped) rather than a fresh []bool.
+	clipped := ws.Get(batch, v.Cfg.LatentDim)
 	for i, lv := range logvar.Data {
+		clipped.Data[i] = 0
 		if lv > logvarBound || lv < -logvarBound {
-			clipped[i] = true
+			clipped.Data[i] = 1
 			logvar.Data[i] = mat.Clamp(lv, -logvarBound, logvarBound)
 		}
 	}
-	std := logvar.Apply(func(lv float64) float64 { return math.Exp(0.5 * lv) })
-	eps := mat.Randn(batch, v.Cfg.LatentDim, 1, rng)
-	z := mat.Add(mu, mat.Mul(std, eps)) // reparameterization trick (eq. 4)
-	xr := v.decoder.Forward(z)
+	std := logvar.ApplyInto(ws.Get(batch, v.Cfg.LatentDim), func(lv float64) float64 { return math.Exp(0.5 * lv) })
+	eps := mat.RandnInto(ws.Get(batch, v.Cfg.LatentDim), 1, rng)
+	// Reparameterization trick (eq. 4): z = μ + σ⊙ε.
+	z := mat.MulInto(ws.Get(batch, v.Cfg.LatentDim), std, eps)
+	mat.AddInto(z, mu, z)
+	xr := v.decoder.ForwardInto(z, ws)
 
 	// Reconstruction term: mean squared error over all elements.
-	recon, gradXr := nn.MSELoss{}.Compute(xr, xb)
+	recon, gradXr := nn.MSELoss{}.ComputeInto(xr, xb, ws)
 
 	// KL divergence to N(0, I), averaged per sample and per input element so
 	// the two loss terms share a scale: KL = -1/2 Σ(1 + logvar - μ² - e^logvar).
@@ -260,11 +294,11 @@ func (v *VAE) trainStep(xb *mat.Matrix, opt nn.Optimizer, rng *rand.Rand) (loss,
 	loss = recon + v.Cfg.Beta*kl
 
 	// Backward through the decoder to z.
-	gradZ := v.decoder.Backward(gradXr)
+	gradZ := v.decoder.BackwardInto(gradXr, ws)
 
 	// Split gradZ into the μ and logvar paths, adding the KL gradients.
-	gradMu := mat.New(batch, v.Cfg.LatentDim)
-	gradLogvar := mat.New(batch, v.Cfg.LatentDim)
+	gradMu := ws.Get(batch, v.Cfg.LatentDim)
+	gradLogvar := ws.Get(batch, v.Cfg.LatentDim)
 	klScale := v.Cfg.Beta / norm
 	for i := range gradZ.Data {
 		gz := gradZ.Data[i]
@@ -273,18 +307,17 @@ func (v *VAE) trainStep(xb *mat.Matrix, opt nn.Optimizer, rng *rand.Rand) (loss,
 		gradMu.Data[i] = gz + klScale*m
 		// dz/dlogvar = ε·σ/2; dKL/dlogvar = -1/2(1 - e^logvar).
 		g := gz*eps.Data[i]*std.Data[i]*0.5 - klScale*0.5*(1-math.Exp(lv))
-		if clipped[i] {
+		if clipped.Data[i] > 0.5 {
 			g = 0
 		}
 		gradLogvar.Data[i] = g
 	}
 
 	// Backward through the two heads into the shared encoder trunk.
-	gh := v.muHead.Backward(gradMu)
-	mat.AddInPlace(gh, v.logvarHead.Backward(gradLogvar))
-	v.encoder.Backward(gh)
+	gh := v.muHead.BackwardInto(gradMu, ws)
+	mat.AddInPlace(gh, v.logvarHead.BackwardInto(gradLogvar, ws))
+	v.encoder.BackwardInto(gh, ws)
 
-	params := v.params()
 	if v.Cfg.ClipNorm > 0 {
 		nn.ClipGradients(params, v.Cfg.ClipNorm)
 	}
@@ -298,12 +331,6 @@ func (v *VAE) params() []*nn.Param {
 	ps = append(ps, v.logvarHead.Params()...)
 	ps = append(ps, v.decoder.Params()...)
 	return ps
-}
-
-func (v *VAE) zeroGrads() {
-	for _, p := range v.params() {
-		p.ZeroGrad()
-	}
 }
 
 // NumParams returns the total trainable parameter count.
