@@ -2,7 +2,7 @@
 # `make bench-json` backs the per-commit BENCH_*.json artifacts and
 # `make bench-diff` gates a fresh emission against the committed ones.
 
-.PHONY: check build vet test race lint fmt-check fuzz bench bench-json bench-diff
+.PHONY: check build vet test race lint fmt-check fuzz bench bench-json bench-train bench-diff
 
 build:
 	go build ./...
@@ -48,6 +48,11 @@ bench: bench-json
 bench-json:
 	BENCH_JSON=$(CURDIR)/BENCH_scoring.json go test -run '^TestEmitScoringBenchJSON$$' -count=1 .
 	BENCH_MATMUL_JSON=$(CURDIR)/BENCH_matmul.json go test -run '^TestEmitMatmulBenchJSON$$' -count=1 .
+	BENCH_TRAIN_JSON=$(CURDIR)/BENCH_train.json go test -run '^TestEmitTrainBenchJSON$$' -count=1 .
+
+# Refresh only the training-loop snapshot (W1 + W8 fan-outs) — the file
+# the data-parallel training work of DESIGN.md §11 reports against.
+bench-train:
 	BENCH_TRAIN_JSON=$(CURDIR)/BENCH_train.json go test -run '^TestEmitTrainBenchJSON$$' -count=1 .
 
 # Fresh emission into bench-out/, diffed against the committed baselines:

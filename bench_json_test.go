@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"testing"
 	"time"
+
+	"prodigy/internal/nn"
 )
 
 // BENCH_*.json emitters: `make bench-json` (and CI's bench job) sets
@@ -29,12 +31,20 @@ type benchEntry struct {
 }
 
 type benchReport struct {
-	GeneratedUnix int64        `json:"generated_unix"`
-	GoVersion     string       `json:"go_version"`
-	GOOS          string       `json:"goos"`
-	GOARCH        string       `json:"goarch"`
-	CPUs          int          `json:"cpus"`
-	Benchmarks    []benchEntry `json:"benchmarks"`
+	GeneratedUnix int64  `json:"generated_unix"`
+	GoVersion     string `json:"go_version"`
+	GOOS          string `json:"goos"`
+	GOARCH        string `json:"goarch"`
+	// CPUs (runtime.NumCPU) and GOMAXPROCS describe the machine the
+	// numbers came from; cmd/benchdiff warns when two snapshots disagree,
+	// since parallel-path results do not transfer across core counts.
+	CPUs       int `json:"cpus"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// TrainWorkers is the default data-parallel fan-out a zero-valued
+	// nn.TrainConfig resolves to on this machine (DESIGN.md §11); the W8
+	// train benchmarks pin their own count regardless.
+	TrainWorkers int          `json:"train_workers"`
+	Benchmarks   []benchEntry `json:"benchmarks"`
 }
 
 // namedBench pairs an artifact entry name with the benchmark that
@@ -54,6 +64,8 @@ func emitBenchJSON(t *testing.T, path string, benches []namedBench) {
 		GOOS:          runtime.GOOS,
 		GOARCH:        runtime.GOARCH,
 		CPUs:          runtime.NumCPU(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		TrainWorkers:  nn.TrainConfig{}.EffectiveWorkers(),
 	}
 	for _, b := range benches {
 		fn := b.fn
@@ -123,8 +135,11 @@ func TestEmitMatmulBenchJSON(t *testing.T) {
 	})
 }
 
-// TestEmitTrainBenchJSON (BENCH_TRAIN_JSON) snapshots the training loops
-// whose minibatch workspaces this PR pooled.
+// TestEmitTrainBenchJSON (BENCH_TRAIN_JSON) snapshots the training loops:
+// the single-worker numbers track the kernel and backward-pass work, the
+// W8 variants add the data-parallel fan-out of DESIGN.md §11 (which only
+// pays off with real cores — on a single-CPU runner they measure the
+// sharding overhead instead).
 func TestEmitTrainBenchJSON(t *testing.T) {
 	path := os.Getenv("BENCH_TRAIN_JSON")
 	if path == "" {
@@ -134,5 +149,8 @@ func TestEmitTrainBenchJSON(t *testing.T) {
 		{"MLPTrainEpoch", BenchmarkMLPTrainEpoch},
 		{"VAETrainEpoch", BenchmarkVAETrainEpoch},
 		{"USADTrainEpoch", BenchmarkUSADTrainEpoch},
+		{"MLPTrainEpochW8", BenchmarkMLPTrainEpochW8},
+		{"VAETrainEpochW8", BenchmarkVAETrainEpochW8},
+		{"USADTrainEpochW8", BenchmarkUSADTrainEpochW8},
 	})
 }

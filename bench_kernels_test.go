@@ -79,10 +79,12 @@ func BenchmarkKernelMatMulBiasInto(b *testing.B) {
 	}
 }
 
-// BenchmarkMLPTrainEpoch measures one epoch of plain autoencoder training
-// on 256×100 features at batch size 64 — the nn.Train loop whose minibatch
-// buffers are reused across the epoch.
-func BenchmarkMLPTrainEpoch(b *testing.B) {
+// benchMLPTrainEpoch measures one epoch of plain autoencoder training on
+// 256×100 features at batch size 64 — the nn.Train loop — at the given
+// data-parallel fan-out. Results are bit-identical across fan-outs
+// (DESIGN.md §11), so the W1/W8 pair isolates the parallel speedup from
+// the single-core kernel wins.
+func benchMLPTrainEpoch(b *testing.B, workers int) {
 	rng := rand.New(rand.NewSource(1))
 	x := mat.Randn(256, 100, 1, rng)
 	net, err := nn.NewMLP([]int{100, 64, 32, 64, 100}, "relu", "", rng)
@@ -90,7 +92,7 @@ func BenchmarkMLPTrainEpoch(b *testing.B) {
 		b.Fatal(err)
 	}
 	opt := nn.NewAdam(1e-3)
-	cfg := nn.TrainConfig{Epochs: 1, BatchSize: 64, ClipNorm: 5}
+	cfg := nn.TrainConfig{Epochs: 1, BatchSize: 64, ClipNorm: 5, Workers: workers}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := nn.Train(net, x, x, nn.MSELoss{}, opt, cfg, rng); err != nil {
@@ -99,9 +101,12 @@ func BenchmarkMLPTrainEpoch(b *testing.B) {
 	}
 }
 
-// BenchmarkUSADTrainEpoch measures one adversarial USAD epoch (two
+func BenchmarkMLPTrainEpoch(b *testing.B)   { benchMLPTrainEpoch(b, 1) }
+func BenchmarkMLPTrainEpochW8(b *testing.B) { benchMLPTrainEpoch(b, 8) }
+
+// benchUSADTrainEpoch measures one adversarial USAD epoch (two
 // autoencoders, three forward/backward passes per step) on 256×100.
-func BenchmarkUSADTrainEpoch(b *testing.B) {
+func benchUSADTrainEpoch(b *testing.B, workers int) {
 	rng := rand.New(rand.NewSource(1))
 	x := mat.Randn(256, 100, 1, rng)
 	cfg := usad.DefaultConfig(100)
@@ -110,6 +115,7 @@ func BenchmarkUSADTrainEpoch(b *testing.B) {
 	cfg.Epochs = 1
 	cfg.WarmupEpochs = 0
 	cfg.BatchSize = 64
+	cfg.Workers = workers
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		u, err := usad.New(cfg)
@@ -121,3 +127,6 @@ func BenchmarkUSADTrainEpoch(b *testing.B) {
 		}
 	}
 }
+
+func BenchmarkUSADTrainEpoch(b *testing.B)   { benchUSADTrainEpoch(b, 1) }
+func BenchmarkUSADTrainEpochW8(b *testing.B) { benchUSADTrainEpoch(b, 8) }

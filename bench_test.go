@@ -232,15 +232,16 @@ func featureName(i int) string {
 	return "metric_" + string(rune('a'+i%26)) + string(rune('0'+i/26%10)) + string(rune('0'+i/260))
 }
 
-// BenchmarkVAETrainEpoch measures one epoch of VAE training on 256×100
-// features at batch size 64.
-func BenchmarkVAETrainEpoch(b *testing.B) {
+// benchVAETrainEpoch measures one epoch of VAE training on 256×100
+// features at batch size 64 at the given data-parallel fan-out.
+func benchVAETrainEpoch(b *testing.B, workers int) {
 	rng := rand.New(rand.NewSource(1))
 	x := mat.Randn(256, 100, 1, rng)
 	cfg := vae.DefaultConfig(100)
 	cfg.HiddenDims = []int{64, 32}
 	cfg.Epochs = 1
 	cfg.BatchSize = 64
+	cfg.Workers = workers
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		v, err := vae.New(cfg)
@@ -252,6 +253,9 @@ func BenchmarkVAETrainEpoch(b *testing.B) {
 		}
 	}
 }
+
+func BenchmarkVAETrainEpoch(b *testing.B)   { benchVAETrainEpoch(b, 1) }
+func BenchmarkVAETrainEpochW8(b *testing.B) { benchVAETrainEpoch(b, 8) }
 
 // BenchmarkVAEInference measures batch scoring throughput: 1024 samples of
 // 100 features per iteration.

@@ -59,6 +59,7 @@ func main() {
 	logLevel := flag.String("log-level", "info", "log verbosity: error, warn, info or debug")
 	stream := flag.Bool("stream", true, "train a window model and replay extra jobs through the streaming detector")
 	streamJobs := flag.Int("stream-jobs", 2, "extra jobs replayed through the streaming detector")
+	trainWorkers := flag.Int("train-workers", 0, "data-parallel training workers per fit (0 = GOMAXPROCS); results are bit-identical for any value")
 	flag.Parse()
 
 	lvl, err := obs.ParseLevel(*logLevel)
@@ -133,10 +134,11 @@ func main() {
 	// serving model, which is deployed last.
 	var streamDet *online.Detector
 	if *stream {
-		streamDet = trainStreamingDetector(store, truthByJob, appByJob, campaignLike, *seed)
+		streamDet = trainStreamingDetector(store, truthByJob, appByJob, campaignLike, *seed, *trainWorkers)
 	}
 
 	cfg := experiments.ProdigyConfig(experiments.Quick, campaignLike, *seed)
+	cfg.Trainer.Workers = *trainWorkers
 	experiments.TopKFor(&cfg, ds.X.Cols)
 	p := core.New(cfg)
 	if err := p.Fit(ds, nil); err != nil {
@@ -213,7 +215,7 @@ func streamConfig() online.Config {
 // window-level model and wires the live detector over it. Failures only
 // log: streaming is an optional extra on top of the dashboard.
 func trainStreamingDetector(store *dsos.Store, truth map[int64]map[int][2]string, apps map[int64]string,
-	campaignLike experiments.CampaignConfig, seed int64) *online.Detector {
+	campaignLike experiments.CampaignConfig, seed int64, trainWorkers int) *online.Detector {
 	ocfg := streamConfig()
 	wds, err := online.BuildWindowDataset(store, truth, apps, ocfg)
 	if err != nil {
@@ -221,6 +223,7 @@ func trainStreamingDetector(store *dsos.Store, truth map[int64]map[int][2]string
 		return nil
 	}
 	cfg := experiments.ProdigyConfig(experiments.Quick, campaignLike, seed)
+	cfg.Trainer.Workers = trainWorkers
 	experiments.TopKFor(&cfg, wds.X.Cols)
 	wp := core.New(cfg)
 	if err := wp.Fit(wds, nil); err != nil {

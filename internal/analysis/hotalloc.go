@@ -35,13 +35,18 @@ type HotAlloc struct {
 const defaultMatPath = "prodigy/internal/mat"
 
 // DefaultHotPathRoots is the stateless-inference surface plus the Into
-// entry points the serving layer calls per request. Training loops are
-// deliberately absent: they own fit-lifetime workspaces and may allocate
-// during warmup (optimizer moments, bucket stocking).
+// entry points the serving layer calls per request, plus the per-shard
+// training hot path of DESIGN.md §11: the sharded backward passes and the
+// fixed-order gradient reduction run once per gradient shard per step and
+// must stay on workspace buffers and preallocated accumulators. Fit-loop
+// setup (NewSharder, optimizer moments) is deliberately absent: it
+// allocates once per fit, not per step.
 func DefaultHotPathRoots() []RootSpec {
 	return append(DefaultStatelessRoots(),
-		RootSpec{"Network", "InferInto"},
 		RootSpec{"Layer", "ApplyInto"},
+		RootSpec{"Network", "BackwardParamsInto"},
+		RootSpec{"Network", "BackwardInputInto"},
+		RootSpec{"Sharder", "Reduce"},
 	)
 }
 

@@ -35,12 +35,17 @@ type StatelessInfer struct {
 	Roots []RootSpec
 }
 
-// DefaultStatelessRoots covers the DESIGN.md §7 stateless bullets: the
+// DefaultStatelessRoots covers the DESIGN.md §7 stateless bullets — the
 // shared-model forward passes and the dsos query paths the serving layer
-// calls on every request.
+// calls on every request — plus Network.InferInto, which data-parallel
+// training (DESIGN.md §11) runs concurrently against a root network from
+// every shard worker while that root is being trained: it must stay as
+// stateless as the serving path, with all scratch in the caller's
+// workspace.
 func DefaultStatelessRoots() []RootSpec {
 	return []RootSpec{
 		{"Network", "Infer"},
+		{"Network", "InferInto"},
 		{"Layer", "Apply"},
 		{"VAE", "Encode"},
 		{"VAE", "Decode"},

@@ -83,3 +83,24 @@ func Fit(x *mat.Matrix) *mat.Matrix {
 	scratch := mat.New(x.Rows, x.Cols)
 	return mat.MatMul(scratch, x)
 }
+
+// Sharder matches the root spec {Sharder, Reduce}: the fixed-order
+// gradient reduction of DESIGN.md §11 runs once per training step and
+// must reuse its preallocated shard accumulators.
+type Sharder struct{ grads []*mat.Matrix }
+
+// Reduce sums the shards into dst: the Into kernel is sanctioned, a
+// per-step scratch matrix is a finding.
+func (s *Sharder) Reduce(dst *mat.Matrix) *mat.Matrix {
+	scratch := mat.New(dst.Rows, dst.Cols) //want:hotalloc
+	_ = scratch
+	return mat.ReduceTreeInto(dst, s.grads)
+}
+
+// BackwardParamsInto matches the sharded-backward root: it runs once per
+// gradient shard, so workspace buffers are fine and Clone is not.
+func (n *Network) BackwardParamsInto(grad *mat.Matrix, ws *mat.Workspace) {
+	g := grad.Clone() //want:hotalloc
+	_ = g
+	_ = ws.Get(grad.Rows, grad.Cols)
+}

@@ -73,3 +73,15 @@ func (s *Store) QuerySampler(i int) []float64 {
 	row[0] = 0 //want:statelessinfer
 	return row
 }
+
+// InferInto is the destination-passing inference root that data-parallel
+// training (DESIGN.md §11) calls concurrently from every shard worker
+// while the network trains; caching into the receiver is the same bug
+// class as Infer's.
+func (n *Network) InferInto(x, dst *Matrix) *Matrix {
+	n.cache = x //want:statelessinfer
+	for i, v := range x.Data {
+		dst.Data[i] = v * 2
+	}
+	return dst
+}

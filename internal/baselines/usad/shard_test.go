@@ -1,0 +1,52 @@
+package usad
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+// fitWorkers trains a fresh, identically-seeded USAD at the given worker
+// count and returns its serialized weights (JSON float64 encoding
+// round-trips exactly, so byte equality is bit equality).
+func fitWorkers(t *testing.T, workers int) []byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(37))
+	healthy, _ := clusterData(160, 0, 8, rng)
+	cfg := smallConfig(8)
+	cfg.Epochs = 6
+	cfg.WarmupEpochs = 3 // cover both the warmup (b=0) and adversarial phases
+	cfg.BatchSize = 160  // 10 gradient shards per step
+	cfg.Workers = workers
+	u, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Fit(healthy, nil); err != nil {
+		t.Fatal(err)
+	}
+	// The serialized model embeds the config; neutralize the knob under
+	// test so the byte comparison covers exactly the learned weights.
+	u.Cfg.Workers = 0
+	blob, err := json.Marshal(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+// TestFitDeterministicAcrossWorkers pins DESIGN.md §11 for USAD's
+// two-phase adversarial loop: both optimizer steps consume tree-reduced
+// shard gradients, so the trained weights are bit-identical for any
+// Workers value. Run under -race this also exercises the sharded
+// adversarial backward (frozen AE2 replicas, root AE1 inference) at an
+// 8-way fan-out.
+func TestFitDeterministicAcrossWorkers(t *testing.T) {
+	ref := fitWorkers(t, 1)
+	for _, workers := range []int{2, 8} {
+		if got := fitWorkers(t, workers); !bytes.Equal(got, ref) {
+			t.Fatalf("Workers=%d: serialized model differs from Workers=1 (weights must be bit-identical)", workers)
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"prodigy/internal/mat"
 	"prodigy/internal/nn"
@@ -36,6 +37,10 @@ type Config struct {
 	Alpha        float64 `json:"alpha"`
 	Beta         float64 `json:"beta"`
 	Seed         int64   `json:"seed"`
+	// Workers caps the data-parallel fan-out of each training step; 0 or
+	// negative means GOMAXPROCS. Trained weights are bit-identical for
+	// every value (DESIGN.md §11).
+	Workers int `json:"workers,omitempty"`
 }
 
 // DefaultConfig returns the paper-tuned configuration for the given input
@@ -125,17 +130,88 @@ func (u *USAD) Fit(x *mat.Matrix, progress func(epoch int, l1, l2 float64)) erro
 	for i := range idx {
 		idx[i] = i
 	}
-	// Fit-lifetime buffers: one minibatch matrix refilled per batch, one
-	// workspace recycled per step, both parameter slices collected once —
-	// steady-state steps then run without heap allocation.
-	ws := mat.NewWorkspace()
+	// Data-parallel fit (DESIGN.md §11): one sharder per phase, since the
+	// two phases step different parameter sets with an optimizer barrier
+	// between them. Phase 1 trains AE1 with AE2 frozen (its replicas only
+	// run forward passes and input-gradient backprop); phase 2 trains AE2
+	// and reads AE1 through the root's stateless InferInto, which needs no
+	// replica at all. All buffers are fit-lifetime and refilled in place —
+	// steady-state steps do not touch the allocator.
+	workers := nn.TrainConfig{Workers: u.Cfg.Workers}.EffectiveWorkers()
+	sh1 := nn.NewSharder(workers, bs, []*nn.Network{u.ae1}, []*nn.Network{u.ae2})
+	sh2 := nn.NewSharder(workers, bs, []*nn.Network{u.ae2}, nil)
 	xb := &mat.Matrix{}
+	xv1 := make([]*mat.Matrix, sh1.Workers())
+	for w := range xv1 {
+		xv1[w] = &mat.Matrix{}
+	}
+	xv2 := make([]*mat.Matrix, sh2.Workers())
+	for w := range xv2 {
+		xv2[w] = &mat.Matrix{}
+	}
+	d1Shard := make([]float64, sh1.MaxShards())
+	a1Shard := make([]float64, sh1.MaxShards())
+	d2Shard := make([]float64, sh2.MaxShards())
+	a2Shard := make([]float64, sh2.MaxShards())
+	mse := nn.MSELoss{}
+	rows := 0
+	a, b := 1.0, 0.0
+	// Phase 1: update AE1 with L1 = a·MSE(x, AE1(x)) + b·MSE(x, AE2(AE1(x))).
+	// One AE1 forward serves both loss terms: the direct gradient and the
+	// adversarial gradient (flowing through frozen AE2's input-only
+	// backward) are merged before a single AE1 backward pass, which also
+	// skips AE1's innermost dx product since its input is data. During
+	// warmup (b = 0) the adversarial half is skipped entirely.
+	step1 := func(w, shard, lo, hi int, train, frozen []*nn.Network, ws *mat.Workspace) {
+		srows := hi - lo
+		xs := mat.RowsView(xv1[w], xb, lo, hi)
+		ae1, ae2 := train[0], frozen[0]
+		scale := float64(srows) / float64(rows)
+		w1 := ae1.ForwardInto(xs, ws)
+		lossDirect, grad := mse.ComputeInto(w1, xs, ws)
+		grad.Scale(a * scale)
+		d1Shard[shard] = lossDirect * float64(srows)
+		a1Shard[shard] = 0
+		if b > 0 {
+			w2 := ae2.ForwardInto(w1, ws)
+			lossAdv, grad2 := mse.ComputeInto(w2, xs, ws)
+			grad2.Scale(b * scale)
+			a1Shard[shard] = lossAdv * float64(srows)
+			mat.AddInPlace(grad, ae2.BackwardInputInto(grad2, ws))
+		}
+		ae1.BackwardParamsInto(grad, ws)
+	}
+	// Phase 2: update AE2 with L2 = a·MSE(x, AE2(x)) − b·MSE(x, AE2(AE1(x))).
+	// AE1 is frozen and already stepped this batch (replicas share the
+	// root's values, so the phase-1 update is visible); the gradient stops
+	// at AE2's input, so both AE2 backwards are params-only.
+	step2 := func(w, shard, lo, hi int, train, _ []*nn.Network, ws *mat.Workspace) {
+		srows := hi - lo
+		xs := mat.RowsView(xv2[w], xb, lo, hi)
+		ae2 := train[0]
+		scale := float64(srows) / float64(rows)
+		v2 := ae2.ForwardInto(xs, ws)
+		lossDirect, gradD := mse.ComputeInto(v2, xs, ws)
+		gradD.Scale(a * scale)
+		d2Shard[shard] = lossDirect * float64(srows)
+		ae2.BackwardParamsInto(gradD, ws)
+		a2Shard[shard] = 0
+		if b > 0 {
+			w1 := u.ae1.InferInto(xs, ws)
+			w2 := ae2.ForwardInto(w1, ws)
+			lossAdv, gradA := mse.ComputeInto(w2, xs, ws)
+			gradA.Scale(-b * scale)
+			a2Shard[shard] = lossAdv * float64(srows)
+			ae2.BackwardParamsInto(gradA, ws)
+		}
+	}
 	p1, p2 := u.ae1.Params(), u.ae2.Params()
 	warmup := u.Cfg.WarmupEpochs
 	if warmup < 0 {
 		warmup = 0
 	}
 	for epoch := 1; epoch <= warmup+u.Cfg.Epochs; epoch++ {
+		epochStart := time.Now()
 		// Warmup: pure reconstruction (a=1, b=0); then the USAD schedule
 		// with n counting adversarial epochs. Unlike the original, the
 		// adversarial weight is capped at 1/2: with two fully separate
@@ -143,7 +219,7 @@ func (u *USAD) Fit(x *mat.Matrix, progress func(epoch int, l1, l2 float64)) erro
 		// objective into maximizing its own reconstruction error once AE1
 		// reconstructs well, which collapses both models. At b = a = 1/2
 		// the direct and adversarial pressures balance.
-		a, b := 1.0, 0.0
+		a, b = 1.0, 0.0
 		if epoch > warmup {
 			b = 1 - 1/float64(epoch-warmup)
 			if b > 0.5 {
@@ -160,77 +236,43 @@ func (u *USAD) Fit(x *mat.Matrix, progress func(epoch int, l1, l2 float64)) erro
 				end = len(idx)
 			}
 			x.SelectRowsInto(xb, idx[start:end])
-			l1, l2 := u.trainStep(xb, a, b, opt1, opt2, ws, p1, p2)
-			sum1 += l1
-			sum2 += l2
+			rows = end - start
+
+			// Phase 1 fan-out, then the optimizer barrier: phase 2 must see
+			// AE1's updated weights, exactly as in the serial schedule.
+			shards := sh1.Run(rows, step1)
+			sh1.Reduce(shards)
+			nn.ClipGradients(p1, 5)
+			opt1.Step(p1)
+
+			shards = sh2.Run(rows, step2)
+			sh2.Reduce(shards)
+			nn.ClipGradients(p2, 5)
+			opt2.Step(p2)
+
+			// Shard-ordered loss sums keep the reported numbers
+			// deterministic across worker counts too.
+			var d1, a1, d2, a2 float64
+			for s := 0; s < shards; s++ {
+				d1 += d1Shard[s]
+				a1 += a1Shard[s]
+				d2 += d2Shard[s]
+				a2 += a2Shard[s]
+			}
+			fr := float64(rows)
+			sum1 += a*d1/fr + b*a1/fr
+			sum2 += a*d2/fr - b*a2/fr
 			batches++
 		}
 		if math.IsNaN(sum1) || math.IsNaN(sum2) {
 			return fmt.Errorf("usad: training diverged at epoch %d", epoch)
 		}
+		nn.ObserveEpoch((sum1+sum2)/(2*float64(batches)), len(idx), time.Since(epochStart))
 		if progress != nil && (epoch%10 == 0 || epoch == warmup+u.Cfg.Epochs) {
 			progress(epoch, sum1/float64(batches), sum2/float64(batches))
 		}
 	}
 	return nil
-}
-
-// trainStep performs the two-phase USAD update on one minibatch and returns
-// the two loss values. Temporaries come from ws (reset on return), so a
-// warm step performs no heap allocation.
-func (u *USAD) trainStep(xb *mat.Matrix, a, b float64, opt1, opt2 nn.Optimizer, ws *mat.Workspace, p1, p2 []*nn.Param) (l1, l2 float64) {
-	defer ws.Reset()
-	mse := nn.MSELoss{}
-	zeroAll := func(ps []*nn.Param) {
-		for _, p := range ps {
-			p.ZeroGrad()
-		}
-	}
-
-	// --- Phase 1: update AE1 with L1 = a·MSE(x, AE1(x)) + b·MSE(x, AE2(AE1(x))).
-	zeroAll(p1)
-	zeroAll(p2)
-
-	// Term 1: direct reconstruction.
-	w1 := u.ae1.ForwardInto(xb, ws)
-	lossDirect, grad := mse.ComputeInto(w1, xb, ws)
-	grad.Scale(a)
-	u.ae1.BackwardInto(grad, ws)
-
-	// Term 2: adversarial — gradient flows through frozen AE2 into AE1.
-	w1 = u.ae1.ForwardInto(xb, ws) // refresh caches for the second backward
-	w2 := u.ae2.ForwardInto(w1, ws)
-	lossAdv, grad2 := mse.ComputeInto(w2, xb, ws)
-	grad2.Scale(b)
-	gw1 := u.ae2.BackwardInto(grad2, ws)
-	u.ae1.BackwardInto(gw1, ws)
-	zeroAll(p2) // AE2 is frozen in phase 1
-	nn.ClipGradients(p1, 5)
-	opt1.Step(p1)
-	l1 = a*lossDirect + b*lossAdv
-
-	// --- Phase 2: update AE2 with L2 = a·MSE(x, AE2(x)) − b·MSE(x, AE2(AE1(x))).
-	zeroAll(p1)
-	zeroAll(p2)
-
-	// Term 1: direct reconstruction.
-	v2 := u.ae2.ForwardInto(xb, ws)
-	lossDirect2, gradD := mse.ComputeInto(v2, xb, ws)
-	gradD.Scale(a)
-	u.ae2.BackwardInto(gradD, ws)
-
-	// Term 2: adversarial — AE2 maximizes the error on AE1's output (AE1
-	// frozen, gradient stops at AE2's input).
-	w1 = u.ae1.ForwardInto(xb, ws)
-	w2 = u.ae2.ForwardInto(w1, ws)
-	lossAdv2, gradA := mse.ComputeInto(w2, xb, ws)
-	gradA.Scale(-b)
-	u.ae2.BackwardInto(gradA, ws)
-	zeroAll(p1)
-	nn.ClipGradients(p2, 5)
-	opt2.Step(p2)
-	l2 = a*lossDirect2 - b*lossAdv2
-	return l1, l2
 }
 
 // Scores returns the per-sample anomaly score

@@ -5,6 +5,7 @@ import (
 	"io"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"prodigy/internal/baselines/iforest"
 	"prodigy/internal/baselines/lof"
@@ -105,26 +106,43 @@ func runFoldMethods(train, test *pipeline.Dataset, campaignCfg CampaignConfig, b
 		return nil, err
 	}
 
-	// --- Prodigy ---
+	// --- Prodigy and USAD --- trained concurrently: the two fits are
+	// independent models over the same read-only fold and selection, and
+	// each owns its replicas, sharder and workspaces (DESIGN.md §11), so
+	// results match the sequential schedule exactly. USAD trains
+	// healthy-only on the same selection, threshold swept below.
 	p := core.New(pCfg)
-	if err := p.FitWithSelection(train, nil, selection); err != nil {
-		return nil, err
-	}
-	// Threshold sweep per §5.4.4.
-	p.TuneThreshold(test)
-	out["Prodigy"] = p.Evaluate(test).MacroF1()
-
-	// --- USAD --- (healthy-only training, same selection, sweep threshold)
 	usadTrainer := &pipeline.ModelTrainer{
 		Cfg: pCfg.Trainer,
 		NewModel: func(in int) (pipeline.Model, error) {
 			return pipeline.NewUSADModel(USADConfig(budget, seed)(in))
 		},
 	}
-	usadArt, err := usadTrainer.Train(train, nil, selection)
-	if err != nil {
-		return nil, err
+	var (
+		wg      sync.WaitGroup
+		pErr    error
+		usadArt *pipeline.Artifact
+		usadErr error
+	)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		pErr = p.FitWithSelection(train, nil, selection)
+	}()
+	go func() {
+		defer wg.Done()
+		usadArt, usadErr = usadTrainer.Train(train, nil, selection)
+	}()
+	wg.Wait()
+	if pErr != nil {
+		return nil, pErr
 	}
+	if usadErr != nil {
+		return nil, usadErr
+	}
+	// Threshold sweep per §5.4.4.
+	p.TuneThreshold(test)
+	out["Prodigy"] = p.Evaluate(test).MacroF1()
 	usadDet, err := usadArt.Detector()
 	if err != nil {
 		return nil, err

@@ -26,11 +26,15 @@ import (
 //
 // Determinism: the tiled and parallel paths below never change the
 // floating-point reduction order of an output element based on the worker
-// count or tile offsets — per element, the k index always accumulates in
-// ascending order, each element is written by exactly one goroutine, and
-// partial-sum boundaries are fixed by the (compile-time) tile sizes alone.
-// Results are therefore bit-identical run to run and across GOMAXPROCS
-// settings, which the pipeline determinism regression test pins.
+// count or tile offsets — per element, the k index accumulates in
+// ascending order in fixed-size groups whose boundaries are anchored at
+// k = 0, each element is written by exactly one goroutine, and
+// partial-sum boundaries are fixed by the (compile-time) tile and unroll
+// sizes alone. Results are therefore bit-identical run to run and across
+// GOMAXPROCS settings, which the pipeline determinism regression test
+// pins. ReduceTreeInto extends the same anchoring to cross-shard
+// gradient sums: the pairwise tree shape depends only on the shard
+// count, never on how many workers produced the shards.
 
 // Cache tiling parameters for the matmul kernels. The inner loops walk the
 // B operand in kBlock-row × jBlock-column panels: one panel is
@@ -254,8 +258,14 @@ func MatMulTInto(dst, a, b *Matrix) *Matrix {
 
 // matMulTRange computes rows [lo, hi) of dst = a×bᵀ, tiled so a
 // rowBlock×dotBlock panel of b is reused across the block's output rows.
-// Each output element sums fixed dotBlock-aligned partial dots in
-// ascending k order, independent of [lo, hi).
+// Output rows are register-blocked four at a time: one pass over a b row
+// feeds four dot products at once, quartering the b-panel traffic that
+// bounds a one-row-at-a-time kernel, with the four independent
+// accumulator chains hiding FP-add latency. Each output element still
+// sums its k dimension in plain ascending order within fixed
+// dotBlock-aligned segments — the same order the sub-4 remainder rows
+// use — so results are a pure function of the operands, independent of
+// the [lo, hi) partition and therefore of the worker count.
 func matMulTRange(a, b, dst *Matrix, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		orow := dst.Row(i)
@@ -273,7 +283,30 @@ func matMulTRange(a, b, dst *Matrix, lo, hi int) {
 			if kend > a.Cols {
 				kend = a.Cols
 			}
-			for i := lo; i < hi; i++ {
+			n := kend - kb
+			i := lo
+			for ; i+3 < hi; i += 4 {
+				a0 := a.Row(i)[kb:kend][:n]
+				a1 := a.Row(i + 1)[kb:kend][:n]
+				a2 := a.Row(i + 2)[kb:kend][:n]
+				a3 := a.Row(i + 3)[kb:kend][:n]
+				o0, o1, o2, o3 := dst.Row(i), dst.Row(i+1), dst.Row(i+2), dst.Row(i+3)
+				for j := jb; j < jend; j++ {
+					brow := b.Row(j)[kb:kend][:n]
+					var s0, s1, s2, s3 float64
+					for k, bv := range brow {
+						s0 += a0[k] * bv
+						s1 += a1[k] * bv
+						s2 += a2[k] * bv
+						s3 += a3[k] * bv
+					}
+					o0[j] += s0
+					o1[j] += s1
+					o2[j] += s2
+					o3[j] += s3
+				}
+			}
+			for ; i < hi; i++ {
 				aseg := a.Row(i)[kb:kend]
 				orow := dst.Row(i)
 				for j := jb; j < jend; j++ {
@@ -329,25 +362,52 @@ func tMatMulAcc(dst, a, b *Matrix) {
 }
 
 // tMatMulAccRange accumulates dst rows [lo, hi) of aᵀ×b. The j dimension
-// is tiled so the (hi-lo)×jBlock destination panel stays hot across the
-// k sweep; per element, k accumulates in ascending order regardless of
-// the tile or worker partition.
+// is tiled so one b panel stays hot; within a tile each dst row streams
+// once per group of four samples (k), not once per sample — the k loop is
+// unrolled four wide, quartering the dst load/store traffic that
+// dominates a one-sample-at-a-time axpy. Groups are anchored at k = 0
+// regardless of the tile or worker partition, so per element the
+// accumulation order is fixed and results stay bitwise identical across
+// worker counts.
 func tMatMulAccRange(a, b, dst *Matrix, lo, hi int) {
 	for jb := 0; jb < b.Cols; jb += matmulJBlock {
 		jend := jb + matmulJBlock
 		if jend > b.Cols {
 			jend = b.Cols
 		}
-		for k := 0; k < a.Rows; k++ {
-			arow := a.Row(k)
-			brow := b.Row(k)[jb:jend]
-			for i := lo; i < hi; i++ {
-				av := arow[i]
-				//lint:ignore floateq sparsity fast path: exact zero skips a row, any nonzero is correct either way
+		n := jend - jb
+		for i := lo; i < hi; i++ {
+			orow := dst.Row(i)[jb:jend][:n]
+			k := 0
+			for ; k+3 < a.Rows; k += 4 {
+				ai := k*a.Cols + i
+				a0 := a.Data[ai]
+				a1 := a.Data[ai+a.Cols]
+				a2 := a.Data[ai+2*a.Cols]
+				a3 := a.Data[ai+3*a.Cols]
+				//lint:ignore floateq sparsity fast path: exact zeros skip four samples, any nonzero is correct either way
+				if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+					continue
+				}
+				bb := k * b.Cols
+				b0 := b.Data[bb+jb : bb+jend][:n]
+				bb += b.Cols
+				b1 := b.Data[bb+jb : bb+jend][:n]
+				bb += b.Cols
+				b2 := b.Data[bb+jb : bb+jend][:n]
+				bb += b.Cols
+				b3 := b.Data[bb+jb : bb+jend][:n]
+				for j := range orow {
+					orow[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
+				}
+			}
+			for ; k < a.Rows; k++ {
+				av := a.Data[k*a.Cols+i]
+				//lint:ignore floateq sparsity fast path: exact zero skips a sample, any nonzero is correct either way
 				if av == 0 {
 					continue
 				}
-				orow := dst.Row(i)[jb:jend]
+				brow := b.Row(k)[jb:jend][:n]
 				for j, bv := range brow {
 					orow[j] += av * bv
 				}
@@ -481,4 +541,42 @@ func RandnInto(dst *Matrix, std float64, rng *rand.Rand) *Matrix {
 		dst.Data[i] = rng.NormFloat64() * std
 	}
 	return dst
+}
+
+// RowsView points dst at rows [lo, hi) of src without copying: the view
+// shares src's backing array. Mutating the view mutates src, and the view
+// is invalidated by anything that reshapes src. Intended for slicing a
+// minibatch into gradient shards with caller-reused header structs, so
+// the fan-out allocates nothing.
+func RowsView(dst, src *Matrix, lo, hi int) *Matrix {
+	if lo < 0 || hi < lo || hi > src.Rows {
+		panic(fmt.Sprintf("mat: RowsView [%d, %d) of %d rows", lo, hi, src.Rows))
+	}
+	dst.Rows, dst.Cols = hi-lo, src.Cols
+	dst.Data = src.Data[lo*src.Cols : hi*src.Cols]
+	return dst
+}
+
+// ReduceTreeInto writes the element-wise sum of the shard matrices into
+// dst using a fixed-order pairwise tree: stride-1 neighbours combine
+// first, then stride 2, 4, … The association depends only on the shard
+// count — never on how many goroutines produced the shards — so
+// data-parallel gradient reductions are bitwise reproducible for any
+// worker fan-out (DESIGN.md §11). The reduction accumulates destructively
+// into shards[0], shards[2], … (shard buffers are per-step scratch) and
+// finally copies the tree root into dst. All shards must share one shape;
+// the kernel allocates nothing.
+func ReduceTreeInto(dst *Matrix, shards []*Matrix) *Matrix {
+	if len(shards) == 0 {
+		panic("mat: ReduceTreeInto of no shards")
+	}
+	for _, s := range shards {
+		checkSameShapeInto("ReduceTreeInto", shards[0], s)
+	}
+	for stride := 1; stride < len(shards); stride *= 2 {
+		for i := 0; i+stride < len(shards); i += 2 * stride {
+			AddInPlace(shards[i], shards[i+stride])
+		}
+	}
+	return CopyInto(dst, shards[0])
 }

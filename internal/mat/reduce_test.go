@@ -1,0 +1,85 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// treeSum mirrors ReduceTreeInto's association for one element: stride-1
+// neighbours first, then stride 2, 4, … — the reference the kernel must
+// match bit for bit.
+func treeSum(vals []float64) float64 {
+	vs := append([]float64(nil), vals...)
+	for stride := 1; stride < len(vs); stride *= 2 {
+		for i := 0; i+stride < len(vs); i += 2 * stride {
+			vs[i] += vs[i+stride]
+		}
+	}
+	return vs[0]
+}
+
+func TestReduceTreeIntoMatchesPairwiseTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, n := range []int{1, 2, 3, 5, 8, 9} {
+		shards := make([]*Matrix, n)
+		for i := range shards {
+			shards[i] = randMat(3, 4, rng)
+		}
+		// Element-wise reference from pristine copies (the kernel is
+		// destructive over the shard buffers).
+		want := New(3, 4)
+		for e := range want.Data {
+			vals := make([]float64, n)
+			for i, s := range shards {
+				vals[i] = s.Data[e]
+			}
+			want.Data[e] = treeSum(vals)
+		}
+		dst := New(3, 4)
+		ReduceTreeInto(dst, shards)
+		for e := range want.Data {
+			if dst.Data[e] != want.Data[e] {
+				t.Fatalf("n=%d elem %d: %v, want %v", n, e, dst.Data[e], want.Data[e])
+			}
+		}
+	}
+}
+
+func TestReduceTreeIntoPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for empty shard list")
+		}
+	}()
+	ReduceTreeInto(New(1, 1), nil)
+}
+
+func TestRowsView(t *testing.T) {
+	src := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}, {7, 8}})
+	v := &Matrix{}
+	got := RowsView(v, src, 1, 3)
+	if got != v {
+		t.Fatal("RowsView must return its dst header")
+	}
+	if v.Rows != 2 || v.Cols != 2 {
+		t.Fatalf("view shape %dx%d, want 2x2", v.Rows, v.Cols)
+	}
+	if v.Data[0] != 3 || v.Data[3] != 6 {
+		t.Fatalf("view data %v", v.Data)
+	}
+	// The view aliases src: writes flow through.
+	v.Data[0] = 99
+	if src.At(1, 0) != 99 {
+		t.Fatal("view does not alias source storage")
+	}
+	// Empty view is legal; out-of-range is not.
+	if e := RowsView(v, src, 2, 2); e.Rows != 0 {
+		t.Fatalf("empty view has %d rows", e.Rows)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range view")
+		}
+	}()
+	RowsView(v, src, 3, 5)
+}

@@ -124,6 +124,24 @@ func (d *Dense) BackwardInto(gradOut *mat.Matrix, ws *mat.Workspace) *mat.Matrix
 	return mat.MatMulTInto(dx, gradOut, d.W.Value)
 }
 
+// BackwardParamsOnly accumulates parameter gradients without computing the
+// input gradient. Network.BackwardParamsInto calls it on the innermost
+// parametric layer, whose input gradient (with respect to the data) nobody
+// consumes — skipping the largest dx matmul of the backward pass.
+func (d *Dense) BackwardParamsOnly(gradOut *mat.Matrix) {
+	d.backwardParams(gradOut)
+}
+
+// BackwardInputInto computes only the input gradient dx = gradOut·Wᵀ,
+// leaving parameter gradients untouched — the frozen-layer backward used
+// when gradients flow through this layer into an upstream model (USAD's
+// adversarial phase). Unlike BackwardInto it needs no cached input, so it
+// also composes with stateless forward passes.
+func (d *Dense) BackwardInputInto(gradOut *mat.Matrix, ws *mat.Workspace) *mat.Matrix {
+	dx := ws.Get(gradOut.Rows, d.In())
+	return mat.MatMulTInto(dx, gradOut, d.W.Value)
+}
+
 // backwardParams accumulates dW = xᵀ·gradOut and db = column sums of
 // gradOut directly into the parameter gradients.
 func (d *Dense) backwardParams(gradOut *mat.Matrix) {
@@ -151,7 +169,11 @@ type Activation struct {
 	// activations provide it so the hot path calls math.Tanh (etc.)
 	// directly instead of through the per-element F indirection — same
 	// values, one call per batch instead of one per element.
-	bulk   func(dst, src []float64)
+	bulk func(dst, src []float64)
+	// dbulk, when set, computes dst[i] = grad[i]·F′(out[i]) over whole
+	// slices — the backward analogue of bulk, removing the per-element
+	// DFromOut indirect call from the training hot path.
+	dbulk  func(dst, grad, out []float64)
 	output *mat.Matrix
 }
 
@@ -199,6 +221,10 @@ func (a *Activation) backwardTo(out, gradOut *mat.Matrix) *mat.Matrix {
 	if a.output == nil {
 		panic("nn: Activation.Backward before Forward")
 	}
+	if a.dbulk != nil {
+		a.dbulk(out.Data, gradOut.Data, a.output.Data)
+		return out
+	}
 	for i, g := range gradOut.Data {
 		out.Data[i] = g * a.DFromOut(a.output.Data[i])
 	}
@@ -233,6 +259,15 @@ func ReLU() *Activation {
 				}
 			}
 		},
+		dbulk: func(dst, grad, out []float64) {
+			for i, o := range out {
+				if o > 0 {
+					dst[i] = grad[i]
+				} else {
+					dst[i] = 0
+				}
+			}
+		},
 	}
 }
 
@@ -262,6 +297,15 @@ func LeakyReLU(alpha float64) *Activation {
 				}
 			}
 		},
+		dbulk: func(dst, grad, out []float64) {
+			for i, o := range out {
+				if o > 0 {
+					dst[i] = grad[i]
+				} else {
+					dst[i] = alpha * grad[i]
+				}
+			}
+		},
 	}
 }
 
@@ -276,6 +320,11 @@ func Sigmoid() *Activation {
 				dst[i] = 1 / (1 + math.Exp(-v))
 			}
 		},
+		dbulk: func(dst, grad, out []float64) {
+			for i, o := range out {
+				dst[i] = grad[i] * o * (1 - o)
+			}
+		},
 	}
 }
 
@@ -288,6 +337,11 @@ func Tanh() *Activation {
 		bulk: func(dst, src []float64) {
 			for i, v := range src {
 				dst[i] = math.Tanh(v)
+			}
+		},
+		dbulk: func(dst, grad, out []float64) {
+			for i, o := range out {
+				dst[i] = grad[i] * (1 - o*o)
 			}
 		},
 	}

@@ -115,6 +115,93 @@ func (n *Network) BackwardInto(grad *mat.Matrix, ws *mat.Workspace) *mat.Matrix 
 	return grad
 }
 
+// BackwardParamsInto is BackwardInto for callers that never consume the
+// input gradient (the network input is data, not an upstream activation):
+// it accumulates every parameter gradient but skips the dx product of the
+// innermost parametric layer — the single largest matrix multiply of a
+// full backward pass — and computes nothing below it.
+func (n *Network) BackwardParamsInto(grad *mat.Matrix, ws *mat.Workspace) {
+	stop := 0
+	for i, l := range n.Layers {
+		if len(l.Params()) > 0 {
+			stop = i
+			break
+		}
+	}
+	first := grad
+	for i := len(n.Layers) - 1; i >= stop; i-- {
+		if i == stop {
+			if d, ok := n.Layers[i].(*Dense); ok {
+				d.BackwardParamsOnly(grad)
+				if grad != first {
+					ws.Put(grad)
+				}
+				return
+			}
+		}
+		next := n.Layers[i].BackwardInto(grad, ws)
+		if grad != first {
+			ws.Put(grad)
+		}
+		grad = next
+	}
+	if grad != first {
+		ws.Put(grad)
+	}
+}
+
+// BackwardInputInto propagates grad through the network treating every
+// parameter as frozen: it returns d(loss)/d(input) without touching any
+// parameter gradient. Dense layers need no cached input on this path;
+// activations still read their cached forward output, so call it after a
+// ForwardInto through the same network instance.
+func (n *Network) BackwardInputInto(grad *mat.Matrix, ws *mat.Workspace) *mat.Matrix {
+	first := grad
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		var next *mat.Matrix
+		if d, ok := n.Layers[i].(*Dense); ok {
+			next = d.BackwardInputInto(grad, ws)
+		} else {
+			next = n.Layers[i].BackwardInto(grad, ws)
+		}
+		if grad != first {
+			ws.Put(grad)
+		}
+		grad = next
+	}
+	return grad
+}
+
+// TrainReplica returns a training replica for data-parallel SGD
+// (DESIGN.md §11): Dense layers share the root's parameter Values — a
+// root optimizer step is immediately visible to every replica — but own
+// fresh Grad matrices and private activation caches, so concurrent
+// forward/backward passes through different replicas never race. Replica
+// gradient matrices are scratch: the sharded train loop repoints them at
+// per-shard accumulators and reduces those into the root's Grad before
+// each optimizer step.
+func (n *Network) TrainReplica() *Network {
+	out := &Network{}
+	for _, l := range n.Layers {
+		switch v := l.(type) {
+		case *Dense:
+			out.Layers = append(out.Layers, &Dense{
+				W: &Param{Name: v.W.Name, Value: v.W.Value, Grad: mat.New(v.W.Grad.Rows, v.W.Grad.Cols)},
+				B: &Param{Name: v.B.Name, Value: v.B.Value, Grad: mat.New(v.B.Grad.Rows, v.B.Grad.Cols)},
+			})
+		case *Activation:
+			act, err := ActivationByName(v.Name)
+			if err != nil {
+				panic(err) // activations constructed by this package always round-trip
+			}
+			out.Layers = append(out.Layers, act)
+		default:
+			panic(fmt.Sprintf("nn: cannot replicate layer of type %T", l))
+		}
+	}
+	return out
+}
+
 // Params returns all trainable parameters in layer order.
 func (n *Network) Params() []*Param {
 	var ps []*Param

@@ -1,0 +1,187 @@
+package nn
+
+import (
+	"sync"
+
+	"prodigy/internal/mat"
+)
+
+// Data-parallel training (DESIGN.md §11). A minibatch is cut into
+// fixed-size gradient shards of gradShardRows rows; workers run whole
+// shards forward/backward through private network replicas, accumulating
+// into per-shard gradient buffers, and a fixed-order pairwise tree
+// reduction (mat.ReduceTreeInto) sums the shards into the root
+// parameters' Grad before the single optimizer step. Shard boundaries
+// depend only on the batch size — never on the worker count — so the set
+// of floating-point reductions performed is identical for any Workers
+// setting and the final weights are bit-identical (pinned by
+// TestTrainDeterministicAcrossWorkers).
+const gradShardRows = 16
+
+// numShards returns how many gradient shards a batch of rows splits into.
+func numShards(rows int) int { return (rows + gradShardRows - 1) / gradShardRows }
+
+// shardFn processes one gradient shard — rows [lo, hi) of the current
+// batch — through worker w's private replicas. train and frozen are the
+// worker's replica networks (frozen ones participate in forward passes
+// and input-gradient backprop but are never stepped), ws is the worker's
+// private workspace, and parameter gradients of the train replicas land
+// in shard sh's accumulators.
+type ShardFn func(w, sh, lo, hi int, train, frozen []*Network, ws *mat.Workspace)
+
+// sharder owns the replica fleet, per-worker workspaces and per-shard
+// gradient accumulators for one fit loop. It is not safe for concurrent
+// run calls; a fit loop owns its sharder the way it owns its workspace.
+type Sharder struct {
+	workers int
+	// rootParams are the parameters the optimizer steps, in network order.
+	rootParams []*Param
+	// replicas[w] / frozen[w] are worker w's private copies of the train
+	// and frozen networks: shared Values, private caches and gradients.
+	replicas [][]*Network
+	frozen   [][]*Network
+	// repParams[w] is replicas[w] flattened, aligned with rootParams;
+	// runShard repoints each Grad at the current shard's accumulator.
+	repParams [][]*Param
+	ws        []*mat.Workspace
+	// grads[p][sh] is shard sh's accumulator for rootParams[p].
+	grads [][]*mat.Matrix
+	// maxShards is the accumulator capacity: shards of the largest batch.
+	maxShards int
+}
+
+// newSharder builds the worker fleet for data-parallel training: one
+// replica of every train and frozen network per worker (sharing parameter
+// Values, owning caches and gradient headers), one workspace per worker,
+// and per-shard gradient accumulators sized for batches up to maxBatch
+// rows. All allocation happens here, once per fit — steady-state steps
+// reuse everything.
+func NewSharder(workers, maxBatch int, train, frozen []*Network) *Sharder {
+	s := &Sharder{maxShards: numShards(maxBatch)}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > s.maxShards {
+		workers = s.maxShards
+	}
+	s.workers = workers
+	for _, n := range train {
+		s.rootParams = append(s.rootParams, n.Params()...)
+	}
+	for w := 0; w < workers; w++ {
+		var reps, froz []*Network
+		var ps []*Param
+		for _, n := range train {
+			r := n.TrainReplica()
+			reps = append(reps, r)
+			ps = append(ps, r.Params()...)
+		}
+		for _, n := range frozen {
+			froz = append(froz, n.TrainReplica())
+		}
+		s.replicas = append(s.replicas, reps)
+		s.frozen = append(s.frozen, froz)
+		s.repParams = append(s.repParams, ps)
+		s.ws = append(s.ws, mat.NewWorkspace())
+	}
+	s.grads = make([][]*mat.Matrix, len(s.rootParams))
+	for p, rp := range s.rootParams {
+		s.grads[p] = make([]*mat.Matrix, s.maxShards)
+		for sh := 0; sh < s.maxShards; sh++ {
+			s.grads[p][sh] = mat.New(rp.Grad.Rows, rp.Grad.Cols)
+		}
+	}
+	return s
+}
+
+// run executes fn once per gradient shard of a rows-row batch, fanning
+// shards out across the worker fleet (each worker owns a contiguous shard
+// range), and returns the shard count. With one effective worker
+// everything runs inline on the calling goroutine — over the same shards,
+// buffers and reduction tree, so results match the parallel path bit for
+// bit.
+func (s *Sharder) Run(rows int, fn ShardFn) int {
+	shards := numShards(rows)
+	workers := s.workers
+	if workers > shards {
+		workers = shards
+	}
+	if workers <= 1 {
+		for sh := 0; sh < shards; sh++ {
+			s.runShard(0, sh, rows, fn)
+		}
+		return shards
+	}
+	chunk := (shards + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 1; w < workers; w++ {
+		lo := w * chunk
+		if lo >= shards {
+			break
+		}
+		hi := lo + chunk
+		if hi > shards {
+			hi = shards
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			trainBusyWorkers.Add(1)
+			defer trainBusyWorkers.Add(-1)
+			for sh := lo; sh < hi; sh++ {
+				s.runShard(w, sh, rows, fn)
+			}
+		}(w, lo, hi)
+	}
+	trainBusyWorkers.Add(1)
+	hi0 := chunk
+	if hi0 > shards {
+		hi0 = shards
+	}
+	for sh := 0; sh < hi0; sh++ {
+		s.runShard(0, sh, rows, fn)
+	}
+	trainBusyWorkers.Add(-1)
+	wg.Wait()
+	return shards
+}
+
+// runShard points worker w's replica gradients at shard sh's accumulators,
+// zeroes them, and runs fn over the shard's row range. The worker's
+// workspace is reset afterwards, so every shard starts from a warm, empty
+// arena. Workers mutate only their own replicas, their own workspace and
+// the accumulators of shards they own — nothing else, which is what keeps
+// the fan-out race-free.
+func (s *Sharder) runShard(w, sh, rows int, fn ShardFn) {
+	lo := sh * gradShardRows
+	hi := lo + gradShardRows
+	if hi > rows {
+		hi = rows
+	}
+	for p, param := range s.repParams[w] {
+		g := s.grads[p][sh]
+		for i := range g.Data {
+			g.Data[i] = 0
+		}
+		param.Grad = g
+	}
+	fn(w, sh, lo, hi, s.replicas[w], s.frozen[w], s.ws[w])
+	s.ws[w].Reset()
+}
+
+// Reduce sums shard gradients [0, shards) into the root parameters' Grad
+// with the fixed-order pairwise tree. The tree's association depends only
+// on the shard count, so any worker fan-out produces the same bits.
+func (s *Sharder) Reduce(shards int) {
+	for p, rp := range s.rootParams {
+		mat.ReduceTreeInto(rp.Grad, s.grads[p][:shards])
+	}
+}
+
+// Workers reports the effective worker count after capping at the shard
+// capacity.
+func (s *Sharder) Workers() int { return s.workers }
+
+// MaxShards reports the accumulator capacity in shards (the largest batch
+// the sharder was built for).
+func (s *Sharder) MaxShards() int { return s.maxShards }

@@ -14,6 +14,7 @@ package online
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -354,33 +355,73 @@ func BuildWindowDataset(store *dsos.Store, jobs map[int64]map[int][2]string, app
 		jobIDs = append(jobIDs, id)
 	}
 	sort.Slice(jobIDs, func(i, j int) bool { return jobIDs[i] < jobIDs[j] })
-	for _, jobID := range jobIDs {
-		tables, err := gen.JobTables(jobID)
-		if err != nil {
-			return nil, err
-		}
-		comps := store.Components(jobID)
-		for _, comp := range comps {
-			tb, ok := tables[comp]
-			if !ok || tb.Len() == 0 {
-				continue
-			}
-			meta := pipeline.SampleMeta{JobID: jobID, Component: comp, App: apps[jobID], Anomaly: "none", Label: pipeline.Healthy}
-			if truth, anom := jobs[jobID][comp]; anom {
-				meta.Anomaly = truth[0]
-				meta.Config = truth[1]
-				meta.Label = pipeline.Anomalous
-			}
-			last := tb.Timestamps[tb.Len()-1]
-			for start := tb.Timestamps[0]; start+cfg.Window <= last+1; start += cfg.Stride {
-				w := tb.Window(start, start+cfg.Window)
-				if w.Len() < int(cfg.Window)/2 {
+
+	// Per-job preprocessing and window extraction fan out across a bounded
+	// worker pool (this loop dominates online-retrain wall time); each
+	// worker fills its own per-job slot and the slots merge in sorted job
+	// order below, so the dataset rows come out exactly as the serial loop
+	// produced them.
+	perJob := make([][]windowSample, len(jobIDs))
+	errs := make([]error, len(jobIDs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(jobIDs) {
+		workers = len(jobIDs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				jobID := jobIDs[i]
+				tables, err := gen.JobTables(jobID)
+				if err != nil {
+					errs[i] = err
 					continue
 				}
-				m := meta
-				m.WindowStart = start
-				builder.add(m, w)
+				comps := store.Components(jobID)
+				for _, comp := range comps {
+					tb, ok := tables[comp]
+					if !ok || tb.Len() == 0 {
+						continue
+					}
+					meta := pipeline.SampleMeta{JobID: jobID, Component: comp, App: apps[jobID], Anomaly: "none", Label: pipeline.Healthy}
+					if truth, anom := jobs[jobID][comp]; anom {
+						meta.Anomaly = truth[0]
+						meta.Config = truth[1]
+						meta.Label = pipeline.Anomalous
+					}
+					last := tb.Timestamps[tb.Len()-1]
+					for start := tb.Timestamps[0]; start+cfg.Window <= last+1; start += cfg.Stride {
+						w := tb.Window(start, start+cfg.Window)
+						if w.Len() < int(cfg.Window)/2 {
+							continue
+						}
+						m := meta
+						m.WindowStart = start
+						names, vec := cfg.Catalog.ExtractTable(w)
+						perJob[i] = append(perJob[i], windowSample{meta: m, names: names, vec: vec})
+					}
+				}
 			}
+		}()
+	}
+	for i := range jobIDs {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	for i, samples := range perJob {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		for _, s := range samples {
+			builder.addVec(s.meta, s.names, s.vec)
 		}
 	}
 	return builder.build()
@@ -394,8 +435,21 @@ type windowAccumulator struct {
 	meta    []pipeline.SampleMeta
 }
 
+// windowSample is one extracted window row awaiting ordered assembly.
+type windowSample struct {
+	meta  pipeline.SampleMeta
+	names []string
+	vec   []float64
+}
+
 func (w *windowAccumulator) add(meta pipeline.SampleMeta, tb *timeseries.Table) {
 	names, vec := w.catalog.ExtractTable(tb)
+	w.addVec(meta, names, vec)
+}
+
+// addVec appends a pre-extracted vector; extraction can then run on any
+// goroutine while assembly stays ordered and single-goroutine.
+func (w *windowAccumulator) addVec(meta pipeline.SampleMeta, names []string, vec []float64) {
 	if w.names == nil {
 		w.names = names
 	}

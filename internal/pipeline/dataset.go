@@ -201,33 +201,69 @@ type task struct {
 }
 
 // collectTasks gathers the preprocessed per-node tables of every
-// registered job.
+// registered job. Per-job preprocessing (query, interpolation,
+// differencing, trimming) fans out across a bounded worker pool — it
+// dominates end-to-end dataset construction on large campaigns — while
+// the result keeps the deterministic (job registration, component) order
+// of the serial loop: workers fill per-spec slots that are concatenated
+// in spec order afterwards.
 func (b *DatasetBuilder) collectTasks() ([]task, error) {
 	b.mu.Lock()
 	specs := make([]jobSpec, len(b.specs))
 	copy(specs, b.specs)
 	b.mu.Unlock()
 
+	perSpec := make([][]task, len(specs))
+	errs := make([]error, len(specs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				spec := specs[i]
+				tables, err := b.Gen.JobTables(spec.jobID)
+				if err != nil {
+					errs[i] = fmt.Errorf("pipeline: job %d: %w", spec.jobID, err)
+					continue
+				}
+				comps := b.Gen.Store.Components(spec.jobID)
+				for _, comp := range comps {
+					tb, ok := tables[comp]
+					if !ok {
+						continue
+					}
+					meta := SampleMeta{JobID: spec.jobID, Component: comp, App: spec.app, Anomaly: "none", Label: Healthy}
+					if truth, anom := spec.anomalies[comp]; anom {
+						meta.Anomaly = truth.name
+						meta.Config = truth.config
+						meta.Label = Anomalous
+					}
+					perSpec[i] = append(perSpec[i], task{meta: meta, table: tb})
+				}
+			}
+		}()
+	}
+	for i := range specs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
 	var tasks []task
-	for _, spec := range specs {
-		tables, err := b.Gen.JobTables(spec.jobID)
-		if err != nil {
-			return nil, fmt.Errorf("pipeline: job %d: %w", spec.jobID, err)
+	for i, ts := range perSpec {
+		if errs[i] != nil {
+			return nil, errs[i]
 		}
-		comps := b.Gen.Store.Components(spec.jobID)
-		for _, comp := range comps {
-			tb, ok := tables[comp]
-			if !ok {
-				continue
-			}
-			meta := SampleMeta{JobID: spec.jobID, Component: comp, App: spec.app, Anomaly: "none", Label: Healthy}
-			if truth, anom := spec.anomalies[comp]; anom {
-				meta.Anomaly = truth.name
-				meta.Config = truth.config
-				meta.Label = Anomalous
-			}
-			tasks = append(tasks, task{meta: meta, table: tb})
-		}
+		tasks = append(tasks, ts...)
 	}
 	if len(tasks) == 0 {
 		return nil, fmt.Errorf("pipeline: no samples to build")

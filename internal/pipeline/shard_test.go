@@ -1,0 +1,148 @@
+package pipeline_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"prodigy/internal/pipeline"
+	"prodigy/internal/vae"
+)
+
+// vaeTrainer builds a small-VAE trainer with the given data-parallel
+// fan-out.
+func vaeTrainer(workers int) *pipeline.ModelTrainer {
+	return &pipeline.ModelTrainer{
+		Cfg: pipeline.TrainerConfig{TopK: 40, ThresholdPercentile: 99, ScalerKind: "minmax", Workers: workers},
+		NewModel: func(in int) (pipeline.Model, error) {
+			cfg := vae.DefaultConfig(in)
+			cfg.HiddenDims = []int{24}
+			cfg.LatentDim = 4
+			cfg.Epochs = 40
+			cfg.BatchSize = 16
+			cfg.LearningRate = 3e-3
+			return pipeline.NewVAEModel(cfg)
+		},
+	}
+}
+
+// TestTrainerWorkersBitIdentical pins the Workers threading through the
+// pipeline layer: TrainerConfig.Workers reaches the model config, and the
+// persisted artifact (weights and threshold alike) is byte-identical for
+// any fan-out.
+func TestTrainerWorkersBitIdentical(t *testing.T) {
+	ds, _ := tinyCampaign(t, 8)
+	var ref []byte
+	for _, workers := range []int{1, 4} {
+		art, err := vaeTrainer(workers).Train(ds, ds, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The knob must actually reach the model.
+		restored := &vae.VAE{}
+		if err := json.Unmarshal(art.Model, restored); err != nil {
+			t.Fatal(err)
+		}
+		if restored.Cfg.Workers != workers {
+			t.Fatalf("model config Workers = %d, want %d", restored.Cfg.Workers, workers)
+		}
+		// Neutralize the knob itself, then everything else must match bitwise.
+		restored.Cfg.Workers = 0
+		blob, err := json.Marshal(restored)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = blob
+			continue
+		}
+		if !bytes.Equal(blob, ref) {
+			t.Fatalf("Workers=%d: trained model differs from Workers=1", workers)
+		}
+	}
+}
+
+// TestTrainAllMatchesSerial checks the concurrent multi-model fit: the
+// artifacts TrainAll returns must equal those of serial Trainer.Train
+// calls, in job order.
+func TestTrainAllMatchesSerial(t *testing.T) {
+	ds, _ := tinyCampaign(t, 9)
+
+	serialVAE, err := vaeTrainer(0).Train(ds, ds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialUSAD, err := (&pipeline.ModelTrainer{
+		Cfg: pipeline.TrainerConfig{TopK: 30, ThresholdPercentile: 99, ScalerKind: "minmax"},
+		NewModel: func(in int) (pipeline.Model, error) {
+			return pipeline.NewUSADModel(usadSmall(in))
+		},
+	}).Train(ds, ds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	arts, err := pipeline.TrainAll([]pipeline.TrainJob{
+		{Trainer: vaeTrainer(0), Train: ds, Select: ds},
+		{Trainer: &pipeline.ModelTrainer{
+			Cfg: pipeline.TrainerConfig{TopK: 30, ThresholdPercentile: 99, ScalerKind: "minmax"},
+			NewModel: func(in int) (pipeline.Model, error) {
+				return pipeline.NewUSADModel(usadSmall(in))
+			},
+		}, Train: ds, Select: ds},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arts) != 2 {
+		t.Fatalf("%d artifacts", len(arts))
+	}
+	if arts[0].ModelKind != "vae" || arts[1].ModelKind != "usad" {
+		t.Fatalf("artifact order %s, %s", arts[0].ModelKind, arts[1].ModelKind)
+	}
+	if !bytes.Equal(arts[0].Model, serialVAE.Model) || arts[0].Threshold != serialVAE.Threshold {
+		t.Fatal("concurrent VAE artifact differs from serial")
+	}
+	if !bytes.Equal(arts[1].Model, serialUSAD.Model) || arts[1].Threshold != serialUSAD.Threshold {
+		t.Fatal("concurrent USAD artifact differs from serial")
+	}
+}
+
+// TestTrainAllPropagatesError checks that a failing job surfaces with its
+// index and fails the whole call.
+func TestTrainAllPropagatesError(t *testing.T) {
+	ds, _ := tinyCampaign(t, 10)
+	_, err := pipeline.TrainAll([]pipeline.TrainJob{
+		{Trainer: vaeTrainer(0), Train: ds, Select: ds},
+		{Trainer: &pipeline.ModelTrainer{}, Train: ds, Select: ds}, // nil NewModel
+	})
+	if err == nil {
+		t.Fatal("expected error from nil NewModel job")
+	}
+	if !strings.Contains(err.Error(), "job 1") {
+		t.Fatalf("error %q does not name the failing job", err)
+	}
+}
+
+// TestBuildDeterministicOrder pins the parallel dataset construction: two
+// identically-seeded campaigns must produce samples in the same (job
+// registration, component) order with identical vectors, regardless of how
+// the preprocessing pool interleaves.
+func TestBuildDeterministicOrder(t *testing.T) {
+	a, _ := tinyCampaign(t, 11)
+	b, _ := tinyCampaign(t, 11)
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Meta {
+		if a.Meta[i] != b.Meta[i] {
+			t.Fatalf("sample %d meta %+v vs %+v", i, a.Meta[i], b.Meta[i])
+		}
+	}
+	for i, v := range a.X.Data {
+		if b.X.Data[i] != v {
+			t.Fatalf("X[%d] = %v vs %v", i, b.X.Data[i], v)
+		}
+	}
+}

@@ -112,6 +112,11 @@ type TrainerConfig struct {
 	ThresholdPercentile float64
 	// ScalerKind is "minmax" (paper default), "standard" or "robust".
 	ScalerKind string
+	// Workers caps the data-parallel fan-out of model training (DESIGN.md
+	// §11); 0 leaves the model config's own setting (whose zero value
+	// means GOMAXPROCS). Trained weights are bit-identical for every
+	// value.
+	Workers int
 }
 
 // DefaultTrainerConfig returns the paper's settings.
@@ -189,6 +194,17 @@ func (t *ModelTrainer) Train(train *Dataset, selectData *Dataset, selection *fea
 	if err != nil {
 		return nil, err
 	}
+	// Thread the trainer's Workers knob into the model config regardless
+	// of how the NewModel closure was built, so callers set it in one
+	// place.
+	if t.Cfg.Workers != 0 {
+		switch m := model.(type) {
+		case *VAEModel:
+			m.Cfg.Workers = t.Cfg.Workers
+		case *USADModel:
+			m.Cfg.Workers = t.Cfg.Workers
+		}
+	}
 	if err := model.FitHealthy(xScaled); err != nil {
 		return nil, err
 	}
@@ -215,6 +231,40 @@ func (t *ModelTrainer) Train(train *Dataset, selectData *Dataset, selection *fea
 		model:               model,
 		scaler:              scaler,
 	}, nil
+}
+
+// TrainJob pairs a ModelTrainer with its datasets for TrainAll.
+type TrainJob struct {
+	Trainer *ModelTrainer
+	// Train and Select are the datasets passed to Trainer.Train; Selection,
+	// when non-nil, is reused instead of recomputing one from Select.
+	Train, Select *Dataset
+	Selection     *featsel.Selection
+}
+
+// TrainAll fits independent models concurrently — e.g. the Prodigy VAE
+// and the USAD baseline over the same fold — and returns their artifacts
+// in job order. Each ModelTrainer owns its model, sharder and workspaces,
+// so the fits share nothing but read-only datasets; per-model results are
+// identical to running the jobs serially. The first error wins.
+func TrainAll(jobs []TrainJob) ([]*Artifact, error) {
+	arts := make([]*Artifact, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j TrainJob) {
+			defer wg.Done()
+			arts[i], errs[i] = j.Trainer.Train(j.Train, j.Select, j.Selection)
+		}(i, j)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: concurrent train job %d: %w", i, err)
+		}
+	}
+	return arts, nil
 }
 
 // Detector returns an AnomalyDetector over this artifact.

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"prodigy/internal/mat"
 	"prodigy/internal/nn"
@@ -39,6 +40,10 @@ type Config struct {
 	// ClipNorm bounds the global gradient norm per step; 0 disables.
 	ClipNorm float64 `json:"clip_norm"`
 	Seed     int64   `json:"seed"`
+	// Workers caps the data-parallel fan-out of each training step; 0 or
+	// negative means GOMAXPROCS. Trained weights are bit-identical for
+	// every value (DESIGN.md §11).
+	Workers int `json:"workers,omitempty"`
 }
 
 // DefaultConfig returns the paper-tuned configuration for the given input
@@ -212,14 +217,108 @@ func (v *VAE) Fit(x *mat.Matrix, progress func(epoch int, loss, recon, kl float6
 	for i := range idx {
 		idx[i] = i
 	}
-	// Fit-lifetime buffers: one minibatch matrix refilled per batch, one
-	// workspace recycled per step, params collected once. Steady-state
-	// steps then run without heap allocation.
-	ws := mat.NewWorkspace()
+	// Data-parallel fit (DESIGN.md §11): the sharder owns per-worker
+	// replicas of all four sub-networks (the two heads wrapped as
+	// single-layer networks so they replicate like everything else),
+	// per-worker workspaces and per-shard gradient accumulators; the
+	// reduction order is fixed by the shard count, so the trained weights
+	// are bit-identical for any Workers value. The minibatch buffer,
+	// shard views and eps matrix below are fit-lifetime and refilled in
+	// place — steady-state steps do not touch the allocator.
+	muNet := &nn.Network{Layers: []nn.Layer{v.muHead}}
+	lvNet := &nn.Network{Layers: []nn.Layer{v.logvarHead}}
+	workers := nn.TrainConfig{Workers: v.Cfg.Workers}.EffectiveWorkers()
+	sh := nn.NewSharder(workers, bs, []*nn.Network{v.encoder, muNet, lvNet, v.decoder}, nil)
 	xb := &mat.Matrix{}
+	epsFull := mat.New(bs, v.Cfg.LatentDim)
+	epsB := &mat.Matrix{}
+	xv := make([]*mat.Matrix, sh.Workers())
+	ev := make([]*mat.Matrix, sh.Workers())
+	for w := range xv {
+		xv[w], ev[w] = &mat.Matrix{}, &mat.Matrix{}
+	}
+	reconShard := make([]float64, sh.MaxShards())
+	klShard := make([]float64, sh.MaxShards())
+	rows := 0
+	klScale := 0.0
+	// One shard closure for the whole fit; per-step state threads through
+	// the captured variables above.
+	step := func(w, shard, lo, hi int, train, _ []*nn.Network, ws *mat.Workspace) {
+		srows := hi - lo
+		xs := mat.RowsView(xv[w], xb, lo, hi)
+		eps := mat.RowsView(ev[w], epsB, lo, hi)
+		enc, muN, lvN, dec := train[0], train[1], train[2], train[3]
+
+		// Forward.
+		h := enc.ForwardInto(xs, ws)
+		mu := muN.ForwardInto(h, ws)
+		logvar := lvN.ForwardInto(h, ws)
+		// Clamp log-variance; gradients pass straight through inside the
+		// bound and are zeroed outside it. The mask is a float workspace
+		// matrix (1 = clipped) rather than a fresh []bool.
+		clipped := ws.Get(srows, v.Cfg.LatentDim)
+		for i, lv := range logvar.Data {
+			clipped.Data[i] = 0
+			if lv > logvarBound || lv < -logvarBound {
+				clipped.Data[i] = 1
+				logvar.Data[i] = mat.Clamp(lv, -logvarBound, logvarBound)
+			}
+		}
+		std := logvar.ApplyInto(ws.Get(srows, v.Cfg.LatentDim), func(lv float64) float64 { return math.Exp(0.5 * lv) })
+		// Reparameterization trick (eq. 4): z = μ + σ⊙ε, with ε drawn
+		// serially for the whole batch before the fan-out so the rng
+		// stream is independent of the worker count.
+		z := mat.MulInto(ws.Get(srows, v.Cfg.LatentDim), std, eps)
+		mat.AddInto(z, mu, z)
+		xr := dec.ForwardInto(z, ws)
+
+		// Reconstruction term: MSE normalized by the shard, rescaled so the
+		// summed shard gradients equal the batch-mean gradient. The factor
+		// depends only on the shard boundaries, never the worker count.
+		recon, gradXr := nn.MSELoss{}.ComputeInto(xr, xs, ws)
+		gradXr.Scale(float64(srows) / float64(rows))
+		reconShard[shard] = recon * float64(srows)
+
+		// KL divergence to N(0, I): raw elementwise sum here, normalized
+		// once per batch after the shard-ordered reduction.
+		kl := 0.0
+		for i := range mu.Data {
+			m, lv := mu.Data[i], logvar.Data[i]
+			kl += -0.5 * (1 + lv - m*m - math.Exp(lv))
+		}
+		klShard[shard] = kl
+
+		// Backward through the decoder to z.
+		gradZ := dec.BackwardInto(gradXr, ws)
+
+		// Split gradZ into the μ and logvar paths, adding the KL gradients
+		// (klScale carries the global batch normalization, so no further
+		// shard scaling is needed on the KL terms).
+		gradMu := ws.Get(srows, v.Cfg.LatentDim)
+		gradLogvar := ws.Get(srows, v.Cfg.LatentDim)
+		for i := range gradZ.Data {
+			gz := gradZ.Data[i]
+			m, lv := mu.Data[i], logvar.Data[i]
+			// dz/dμ = 1; dKL/dμ = μ.
+			gradMu.Data[i] = gz + klScale*m
+			// dz/dlogvar = ε·σ/2; dKL/dlogvar = -1/2(1 - e^logvar).
+			g := gz*eps.Data[i]*std.Data[i]*0.5 - klScale*0.5*(1-math.Exp(lv))
+			if clipped.Data[i] > 0.5 {
+				g = 0
+			}
+			gradLogvar.Data[i] = g
+		}
+
+		// Backward through the two heads into the shared encoder trunk; the
+		// encoder input is data, so its innermost dx product is skipped.
+		gh := muN.BackwardInto(gradMu, ws)
+		mat.AddInPlace(gh, lvN.BackwardInto(gradLogvar, ws))
+		enc.BackwardParamsInto(gh, ws)
+	}
 	params := v.params()
 	stats := &TrainStats{Epochs: v.Cfg.Epochs}
 	for epoch := 0; epoch < v.Cfg.Epochs; epoch++ {
+		epochStart := time.Now()
 		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 		var epochLoss, epochRecon, epochKL float64
 		batches := 0
@@ -229,8 +328,26 @@ func (v *VAE) Fit(x *mat.Matrix, progress func(epoch int, loss, recon, kl float6
 				end = len(idx)
 			}
 			x.SelectRowsInto(xb, idx[start:end])
-			loss, recon, kl := v.trainStep(xb, opt, rng, ws, params)
-			epochLoss += loss
+			rows = end - start
+			norm := float64(rows) * float64(v.Cfg.InputDim)
+			klScale = v.Cfg.Beta / norm
+			mat.RandnInto(mat.RowsView(epsB, epsFull, 0, rows), 1, rng)
+			shards := sh.Run(rows, step)
+			sh.Reduce(shards)
+			if v.Cfg.ClipNorm > 0 {
+				nn.ClipGradients(params, v.Cfg.ClipNorm)
+			}
+			opt.Step(params)
+			// Shard-ordered sums keep the reported losses deterministic
+			// across worker counts too.
+			var recon, kl float64
+			for s := 0; s < shards; s++ {
+				recon += reconShard[s]
+				kl += klShard[s]
+			}
+			recon /= float64(rows)
+			kl /= norm
+			epochLoss += recon + v.Cfg.Beta*kl
 			epochRecon += recon
 			epochKL += kl
 			batches++
@@ -238,6 +355,7 @@ func (v *VAE) Fit(x *mat.Matrix, progress func(epoch int, loss, recon, kl float6
 		stats.FinalLoss = epochLoss / float64(batches)
 		stats.FinalRecon = epochRecon / float64(batches)
 		stats.FinalKL = epochKL / float64(batches)
+		nn.ObserveEpoch(stats.FinalLoss, len(idx), time.Since(epochStart))
 		if math.IsNaN(stats.FinalLoss) {
 			return nil, fmt.Errorf("vae: training diverged at epoch %d", epoch)
 		}
@@ -246,83 +364,6 @@ func (v *VAE) Fit(x *mat.Matrix, progress func(epoch int, loss, recon, kl float6
 		}
 	}
 	return stats, nil
-}
-
-// trainStep runs one minibatch update and returns (total, recon, kl)
-// losses. Every temporary comes from ws, which is reset before return, so
-// a warm step performs no heap allocation.
-func (v *VAE) trainStep(xb *mat.Matrix, opt nn.Optimizer, rng *rand.Rand, ws *mat.Workspace, params []*nn.Param) (loss, recon, kl float64) {
-	defer ws.Reset()
-	batch := xb.Rows
-	for _, p := range params {
-		p.ZeroGrad()
-	}
-
-	// Forward.
-	h := v.encoder.ForwardInto(xb, ws)
-	mu := v.muHead.ForwardInto(h, ws)
-	logvar := v.logvarHead.ForwardInto(h, ws)
-	// Clamp log-variance; gradients pass straight through inside the bound
-	// and are zeroed outside it. The mask is a float workspace matrix
-	// (1 = clipped) rather than a fresh []bool.
-	clipped := ws.Get(batch, v.Cfg.LatentDim)
-	for i, lv := range logvar.Data {
-		clipped.Data[i] = 0
-		if lv > logvarBound || lv < -logvarBound {
-			clipped.Data[i] = 1
-			logvar.Data[i] = mat.Clamp(lv, -logvarBound, logvarBound)
-		}
-	}
-	std := logvar.ApplyInto(ws.Get(batch, v.Cfg.LatentDim), func(lv float64) float64 { return math.Exp(0.5 * lv) })
-	eps := mat.RandnInto(ws.Get(batch, v.Cfg.LatentDim), 1, rng)
-	// Reparameterization trick (eq. 4): z = μ + σ⊙ε.
-	z := mat.MulInto(ws.Get(batch, v.Cfg.LatentDim), std, eps)
-	mat.AddInto(z, mu, z)
-	xr := v.decoder.ForwardInto(z, ws)
-
-	// Reconstruction term: mean squared error over all elements.
-	recon, gradXr := nn.MSELoss{}.ComputeInto(xr, xb, ws)
-
-	// KL divergence to N(0, I), averaged per sample and per input element so
-	// the two loss terms share a scale: KL = -1/2 Σ(1 + logvar - μ² - e^logvar).
-	norm := float64(batch) * float64(v.Cfg.InputDim)
-	for i := range mu.Data {
-		m, lv := mu.Data[i], logvar.Data[i]
-		kl += -0.5 * (1 + lv - m*m - math.Exp(lv))
-	}
-	kl /= norm
-	loss = recon + v.Cfg.Beta*kl
-
-	// Backward through the decoder to z.
-	gradZ := v.decoder.BackwardInto(gradXr, ws)
-
-	// Split gradZ into the μ and logvar paths, adding the KL gradients.
-	gradMu := ws.Get(batch, v.Cfg.LatentDim)
-	gradLogvar := ws.Get(batch, v.Cfg.LatentDim)
-	klScale := v.Cfg.Beta / norm
-	for i := range gradZ.Data {
-		gz := gradZ.Data[i]
-		m, lv := mu.Data[i], logvar.Data[i]
-		// dz/dμ = 1; dKL/dμ = μ.
-		gradMu.Data[i] = gz + klScale*m
-		// dz/dlogvar = ε·σ/2; dKL/dlogvar = -1/2(1 - e^logvar).
-		g := gz*eps.Data[i]*std.Data[i]*0.5 - klScale*0.5*(1-math.Exp(lv))
-		if clipped.Data[i] > 0.5 {
-			g = 0
-		}
-		gradLogvar.Data[i] = g
-	}
-
-	// Backward through the two heads into the shared encoder trunk.
-	gh := v.muHead.BackwardInto(gradMu, ws)
-	mat.AddInPlace(gh, v.logvarHead.BackwardInto(gradLogvar, ws))
-	v.encoder.BackwardInto(gh, ws)
-
-	if v.Cfg.ClipNorm > 0 {
-		nn.ClipGradients(params, v.Cfg.ClipNorm)
-	}
-	opt.Step(params)
-	return loss, recon, kl
 }
 
 func (v *VAE) params() []*nn.Param {
