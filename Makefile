@@ -2,7 +2,7 @@
 # `make bench-json` backs the per-commit BENCH_*.json artifacts and
 # `make bench-diff` gates a fresh emission against the committed ones.
 
-.PHONY: check build vet test race lint fmt-check fuzz bench bench-json bench-train bench-diff
+.PHONY: check build vet test race lint fmt-check fuzz bench bench-json bench-train bench-features bench-diff
 
 build:
 	go build ./...
@@ -49,11 +49,17 @@ bench-json:
 	BENCH_JSON=$(CURDIR)/BENCH_scoring.json go test -run '^TestEmitScoringBenchJSON$$' -count=1 .
 	BENCH_MATMUL_JSON=$(CURDIR)/BENCH_matmul.json go test -run '^TestEmitMatmulBenchJSON$$' -count=1 .
 	BENCH_TRAIN_JSON=$(CURDIR)/BENCH_train.json go test -run '^TestEmitTrainBenchJSON$$' -count=1 .
+	BENCH_FEATURES_JSON=$(CURDIR)/BENCH_features.json go test -run '^TestEmitFeaturesBenchJSON$$' -count=1 .
 
 # Refresh only the training-loop snapshot (W1 + W8 fan-outs) — the file
 # the data-parallel training work of DESIGN.md §11 reports against.
 bench-train:
 	BENCH_TRAIN_JSON=$(CURDIR)/BENCH_train.json go test -run '^TestEmitTrainBenchJSON$$' -count=1 .
+
+# Refresh only the feature-extraction snapshot — the file the zero-alloc
+# extraction work of DESIGN.md §12 reports against.
+bench-features:
+	BENCH_FEATURES_JSON=$(CURDIR)/BENCH_features.json go test -run '^TestEmitFeaturesBenchJSON$$' -count=1 .
 
 # Fresh emission into bench-out/, diffed against the committed baselines:
 # >10% ns/op slowdown warns, >25% fails (cmd/benchdiff). CI's bench job
@@ -63,6 +69,8 @@ bench-diff:
 	BENCH_JSON=$(CURDIR)/bench-out/BENCH_scoring.json go test -run '^TestEmitScoringBenchJSON$$' -count=1 .
 	BENCH_MATMUL_JSON=$(CURDIR)/bench-out/BENCH_matmul.json go test -run '^TestEmitMatmulBenchJSON$$' -count=1 .
 	BENCH_TRAIN_JSON=$(CURDIR)/bench-out/BENCH_train.json go test -run '^TestEmitTrainBenchJSON$$' -count=1 .
+	BENCH_FEATURES_JSON=$(CURDIR)/bench-out/BENCH_features.json go test -run '^TestEmitFeaturesBenchJSON$$' -count=1 .
 	go run ./cmd/benchdiff -baseline BENCH_scoring.json -current bench-out/BENCH_scoring.json
 	go run ./cmd/benchdiff -baseline BENCH_matmul.json -current bench-out/BENCH_matmul.json
 	go run ./cmd/benchdiff -baseline BENCH_train.json -current bench-out/BENCH_train.json
+	go run ./cmd/benchdiff -baseline BENCH_features.json -current bench-out/BENCH_features.json

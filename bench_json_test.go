@@ -117,6 +117,22 @@ func TestEmitScoringBenchJSON(t *testing.T) {
 	})
 }
 
+// TestEmitFeaturesBenchJSON (BENCH_FEATURES_JSON) snapshots the feature
+// extraction stage: the steady-state Into path the dataset builder and
+// AnalyzeJob run per sample, the allocating convenience wrapper, and the
+// offline dataset build that fans extraction across samples.
+func TestEmitFeaturesBenchJSON(t *testing.T) {
+	path := os.Getenv("BENCH_FEATURES_JSON")
+	if path == "" {
+		t.Skip("set BENCH_FEATURES_JSON=<path> to emit the features benchmark JSON")
+	}
+	emitBenchJSON(t, path, []namedBench{
+		{"FeatureExtraction", BenchmarkFeatureExtraction},
+		{"FeatureExtractionNamed", BenchmarkFeatureExtractionNamed},
+		{"DatasetBuild", BenchmarkDatasetBuild},
+	})
+}
+
 // TestEmitMatmulBenchJSON (BENCH_MATMUL_JSON) snapshots the mat kernels:
 // allocating vs Into at the same shapes, plus the fused dense kernel.
 func TestEmitMatmulBenchJSON(t *testing.T) {

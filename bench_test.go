@@ -205,9 +205,9 @@ func BenchmarkAblationKMeans(b *testing.B) {
 
 // --- Micro-benchmarks of the pipeline stages ---
 
-// BenchmarkFeatureExtraction measures extracting the default catalog over
-// one node's telemetry table (106 metrics × 300 s).
-func BenchmarkFeatureExtraction(b *testing.B) {
+// benchFeatureTable builds the shared fixture for the feature-extraction
+// benchmarks: one node's telemetry table (106 metrics × 300 s).
+func benchFeatureTable() *timeseries.Table {
 	rng := rand.New(rand.NewSource(1))
 	ts := make([]int64, 300)
 	for i := range ts {
@@ -221,7 +221,32 @@ func BenchmarkFeatureExtraction(b *testing.B) {
 		}
 		tb.AddColumn(featureName(m), col)
 	}
+	return tb
+}
+
+// BenchmarkFeatureExtraction measures the steady-state hot path: the
+// default catalog writing into a preallocated vector via ExtractTableInto,
+// the form the dataset builder and AnalyzeJob run per sample. Zero
+// allocations after the workspace pool is warm.
+func BenchmarkFeatureExtraction(b *testing.B) {
+	tb := benchFeatureTable()
 	cat := features.Default()
+	dst := make([]float64, tb.NumMetrics()*cat.NumFeaturesPerSeries())
+	cat.ExtractTableInto(dst, tb) // warm the workspace pool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cat.ExtractTableInto(dst, tb)
+	}
+}
+
+// BenchmarkFeatureExtractionNamed measures the convenience wrapper that
+// additionally allocates the result vector and rebuilds the namespaced
+// name table every call — the cold-path cost the Into form avoids.
+func BenchmarkFeatureExtractionNamed(b *testing.B) {
+	tb := benchFeatureTable()
+	cat := features.Default()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cat.ExtractTable(tb)

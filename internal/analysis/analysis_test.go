@@ -109,6 +109,7 @@ func TestHotAlloc(t *testing.T) {
 	u := loadFixtures(t,
 		[2]string{"fixture/hotalloc/mat", "hotalloc/mat"},
 		[2]string{"fixture/hotalloc/model", "hotalloc/model"},
+		[2]string{"fixture/hotalloc/feat", "hotalloc/feat"},
 	)
 	diags := Lint(u, &HotAlloc{Roots: DefaultHotPathRoots(), MatPath: "fixture/hotalloc/mat"})
 	checkAgainstMarkers(t, u, diags)

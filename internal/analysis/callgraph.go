@@ -40,19 +40,21 @@ type implKey struct {
 
 // callGraph indexes one loaded Unit for call-graph traversal.
 type callGraph struct {
-	unit     *Unit
-	funcs    map[*types.Func]*funcSummary
-	named    []*types.Named // all module named types, for interface resolution
-	implMemo map[implKey][]*types.Func
+	unit       *Unit
+	funcs      map[*types.Func]*funcSummary
+	named      []*types.Named // all module named types, for interface resolution
+	implMemo   map[implKey][]*types.Func
+	fnImplMemo map[*types.Named][]*types.Func
 }
 
 // newCallGraph maps every module function object to its declaration and
 // collects named types for interface-implementation resolution.
 func newCallGraph(u *Unit) *callGraph {
 	g := &callGraph{
-		unit:     u,
-		funcs:    make(map[*types.Func]*funcSummary),
-		implMemo: make(map[implKey][]*types.Func),
+		unit:       u,
+		funcs:      make(map[*types.Func]*funcSummary),
+		implMemo:   make(map[implKey][]*types.Func),
+		fnImplMemo: make(map[*types.Named][]*types.Func),
 	}
 	for _, pkg := range u.Pkgs {
 		for _, f := range pkg.Files {
@@ -116,6 +118,43 @@ func lookupMethod(named *types.Named, name string) *types.Func {
 	obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(named), false, named.Obj().Pkg(), name)
 	fn, _ := obj.(*types.Func)
 	return fn
+}
+
+// funcTypeImpls lists the module's top-level functions whose signature is
+// identical to the named function type's underlying signature — the
+// possible targets of a call through a value of that type. This is how
+// registry dispatch (e.g. the feature catalog's SeriesFn extractors)
+// joins the call graph: the registered functions never appear in a
+// direct call expression, only as values invoked through the named type.
+// Files are walked in load order so the result is deterministic.
+func (g *callGraph) funcTypeImpls(named *types.Named) []*types.Func {
+	if out, ok := g.fnImplMemo[named]; ok {
+		return out
+	}
+	sig, ok := named.Underlying().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	var out []*types.Func
+	for _, pkg := range g.unit.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Recv != nil || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				if fsig, ok := fn.Type().(*types.Signature); ok && types.Identical(fsig, sig) {
+					out = append(out, fn)
+				}
+			}
+		}
+	}
+	g.fnImplMemo[named] = out
+	return out
 }
 
 // implementations lists the module methods satisfying an interface method.

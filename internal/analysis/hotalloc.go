@@ -41,12 +41,18 @@ const defaultMatPath = "prodigy/internal/mat"
 // must stay on workspace buffers and preallocated accumulators. Fit-loop
 // setup (NewSharder, optimizer moments) is deliberately absent: it
 // allocates once per fit, not per step.
+// The feature-extraction roots cover DESIGN.md §12: ExtractSeriesInto /
+// ExtractTableInto run per metric per sample and fan out through the
+// SeriesFn registry to every extractor, all of which must draw scratch
+// from the features.Workspace.
 func DefaultHotPathRoots() []RootSpec {
 	return append(DefaultStatelessRoots(),
 		RootSpec{"Layer", "ApplyInto"},
 		RootSpec{"Network", "BackwardParamsInto"},
 		RootSpec{"Network", "BackwardInputInto"},
 		RootSpec{"Sharder", "Reduce"},
+		RootSpec{"Catalog", "ExtractSeriesInto"},
+		RootSpec{"Catalog", "ExtractTableInto"},
 	)
 }
 
@@ -63,6 +69,10 @@ var hotAllocFuncs = map[string]bool{
 	"Sub":         true,
 	"Mul":         true,
 	"VStack":      true,
+	// Order statistics that copy-and-sort internally; hot paths sort a
+	// workspace buffer once and use the *Sorted forms.
+	"Percentile": true,
+	"Median":     true,
 }
 
 // hotAllocMethods are the allocating methods of mat types (fresh-value
@@ -167,6 +177,18 @@ func (h *haScan) callees(pkg *Package, call *ast.CallExpr) []*types.Func {
 		}
 		if fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
 			return []*types.Func{fn}
+		}
+	}
+	// Calls through a value of a module-defined named function type (a
+	// struct field or variable, e.g. Extractor.Fn of type SeriesFn) fan
+	// out to every module function with the identical signature — the
+	// registry-dispatch analogue of interface fan-out. Type conversions
+	// spell the same syntax, so only value expressions qualify.
+	if tv, ok := pkg.Info.Types[ast.Unparen(call.Fun)]; ok && !tv.IsType() {
+		if named, ok := tv.Type.(*types.Named); ok {
+			if _, isSig := named.Underlying().(*types.Signature); isSig {
+				return h.g.funcTypeImpls(named)
+			}
 		}
 	}
 	return nil

@@ -66,3 +66,21 @@ func (m *Matrix) ApplyInto(dst *Matrix, f func(float64) float64) *Matrix {
 // ReduceTreeInto sums shard matrices into dst in fixed pairwise order —
 // destination-passing, so sanctioned on hot paths.
 func ReduceTreeInto(dst *Matrix, shards []*Matrix) *Matrix { return dst }
+
+// Percentile copies and sorts internally: denylisted on hot paths.
+func Percentile(v []float64, p float64) float64 {
+	s := make([]float64, len(v))
+	copy(s, v)
+	return PercentileSorted(s, p)
+}
+
+// PercentileSorted reads pre-sorted data in place: sanctioned.
+func PercentileSorted(s []float64, p float64) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	return s[0]
+}
+
+// Median copies and sorts like Percentile: denylisted on hot paths.
+func Median(v []float64) float64 { return Percentile(v, 50) }

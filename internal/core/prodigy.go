@@ -247,19 +247,29 @@ func (p *Prodigy) AnalyzeJob(store *dsos.Store, jobID int64) ([]NodePrediction, 
 	}
 	_, sspan := obs.StartSpan(ctx, "extract_score")
 	defer sspan.End()
-	pipe := &pipeline.DataPipeline{Catalog: p.Cfg.catalog()}
+	cat := p.Cfg.catalog()
+	per := cat.NumFeaturesPerSeries()
+	// One feature row reused across every node of the job: extraction
+	// writes into it in place, and the 1×w matrix header wrapping it is
+	// built once.
+	vec := make([]float64, len(names))
+	row := mat.NewFromData(1, len(vec), vec)
+	ws := features.GetWorkspace()
+	defer features.PutWorkspace(ws)
 	var out []NodePrediction
 	for _, comp := range store.Components(jobID) {
 		tb, ok := tables[comp]
 		if !ok {
 			continue
 		}
-		_, vec := pipe.ExtractTable(tb)
-		if len(vec) != len(names) {
+		if n := tb.NumMetrics() * per; n != len(names) {
 			return nil, fmt.Errorf("core: job %d component %d yields %d features, model expects %d",
-				jobID, comp, len(vec), len(names))
+				jobID, comp, n, len(names))
 		}
-		preds, scores := det.Predict(mat.NewFromData(1, len(vec), vec))
+		for mi, m := range tb.Order {
+			cat.ExtractSeriesInto(vec[mi*per:(mi+1)*per], tb.Columns[m], ws)
+		}
+		preds, scores := det.Predict(row)
 		out = append(out, NodePrediction{
 			Component: comp,
 			Anomalous: preds[0] == 1,
@@ -308,12 +318,13 @@ func (p *Prodigy) JobNodeVector(store *dsos.Store, jobID int64, component int) (
 	if !ok {
 		return nil, fmt.Errorf("core: job %d has no data for component %d", jobID, component)
 	}
-	pipe := &pipeline.DataPipeline{Catalog: p.Cfg.catalog()}
-	_, vec := pipe.ExtractTable(tb)
-	if len(vec) != len(names) {
+	cat := p.Cfg.catalog()
+	if n := tb.NumMetrics() * cat.NumFeaturesPerSeries(); n != len(names) {
 		return nil, fmt.Errorf("core: job %d component %d yields %d features, model expects %d",
-			jobID, component, len(vec), len(names))
+			jobID, component, n, len(names))
 	}
+	vec := make([]float64, len(names))
+	cat.ExtractTableInto(vec, tb)
 	return vec, nil
 }
 

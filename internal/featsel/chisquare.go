@@ -48,8 +48,9 @@ func ChiSquare(x *mat.Matrix, y []int, names []string) ([]Score, error) {
 	}
 
 	scores := make([]Score, x.Cols)
+	col := make([]float64, x.Rows)
 	for j := 0; j < x.Cols; j++ {
-		col := x.Col(j)
+		x.ColInto(col, j)
 		// Shift to non-negative, as chi2 requires count-like values.
 		lo := mat.Min(col)
 		if lo < 0 {
@@ -111,8 +112,9 @@ func SelectTopK(scores []Score, k int) []int {
 // label dependence.
 func SelectTopKByVariance(x *mat.Matrix, k int) []int {
 	scores := make([]Score, x.Cols)
+	col := make([]float64, x.Rows)
 	for j := 0; j < x.Cols; j++ {
-		scores[j] = Score{Index: j, Chi2: mat.Variance(x.Col(j))}
+		scores[j] = Score{Index: j, Chi2: mat.Variance(x.ColInto(col, j))}
 	}
 	return SelectTopK(scores, k)
 }
@@ -124,8 +126,9 @@ func SelectTopKByVariance(x *mat.Matrix, k int) []int {
 // work), where no labels exist for Chi-square.
 func SelectTopKByKurtosis(x *mat.Matrix, k int) []int {
 	scores := make([]Score, x.Cols)
+	col := make([]float64, x.Rows)
 	for j := 0; j < x.Cols; j++ {
-		scores[j] = Score{Index: j, Chi2: kurtosis(x.Col(j))}
+		scores[j] = Score{Index: j, Chi2: kurtosis(x.ColInto(col, j))}
 	}
 	return SelectTopK(scores, k)
 }

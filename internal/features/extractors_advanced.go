@@ -2,7 +2,6 @@ package features
 
 import (
 	"math"
-	"sort"
 
 	"prodigy/internal/mat"
 )
@@ -13,90 +12,119 @@ import (
 // permutation entropy, autocorrelation, time-reversal asymmetry, CID
 // complexity, and Lempel-Ziv complexity.
 
+const (
+	acMaxLag     = 10
+	nonlinMaxLag = 3
+	entropyBins  = 10
+	permOrder    = 3
+	lzBins       = 4
+	apEnM        = 2
+	apEnRFrac    = 0.2
+)
+
+var peakSupports = []int{1, 3, 5}
+
 func init() {
-	register("autocorrelation", TierEfficient, func(x []float64) []Feature {
-		lags := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
-		out := make([]Feature, len(lags))
-		for i, lag := range lags {
-			out[i] = Feature{Name: fmtParam("autocorrelation", "lag", lag), Value: autocorrelation(x, lag)}
+	register("autocorrelation", TierEfficient, lagNames("autocorrelation", "lag", 1, acMaxLag), exAutocorrelation)
+	register("agg_autocorrelation_mean", TierEfficient, []string{"agg_autocorrelation_mean"}, exAggAutocorrelationMean)
+	register("c3", TierEfficient, lagNames("c3", "lag", 1, nonlinMaxLag), exC3)
+	register("time_reversal_asymmetry_statistic", TierEfficient, lagNames("time_reversal_asymmetry_statistic", "lag", 1, nonlinMaxLag), exTimeReversalAsymmetry)
+	register("cid_ce", TierEfficient, []string{"cid_ce"}, exCidCe)
+	register("binned_entropy", TierEfficient, []string{fmtParam("binned_entropy", "bins", entropyBins)}, exBinnedEntropy)
+	register("permutation_entropy", TierEfficient, []string{fmtParam("permutation_entropy", "order", permOrder)}, exPermutationEntropy)
+	register("benford_correlation", TierEfficient, []string{"benford_correlation"}, exBenfordCorrelation)
+	register("lempel_ziv_complexity", TierEfficient, []string{fmtParam("lempel_ziv_complexity", "bins", lzBins)}, exLempelZiv)
+	register("number_peaks", TierEfficient, peakNames(), exNumberPeaks)
+	register("approximate_entropy", TierFull, []string{fmtParam("approximate_entropy", "m", apEnM)}, exApproximateEntropy)
+	register("sample_entropy", TierFull, []string{"sample_entropy"}, exSampleEntropy)
+}
+
+func peakNames() []string {
+	out := make([]string, len(peakSupports))
+	for i, n := range peakSupports {
+		out[i] = fmtParam("number_peaks", "n", n)
+	}
+	return out
+}
+
+func exAutocorrelation(x, dst []float64, _ *Workspace) {
+	for lag := 1; lag <= acMaxLag; lag++ {
+		dst[lag-1] = autocorrelation(x, lag)
+	}
+}
+
+func exAggAutocorrelationMean(x, dst []float64, _ *Workspace) {
+	s, n := 0.0, 0
+	for lag := 1; lag <= acMaxLag; lag++ {
+		if lag < len(x) {
+			s += autocorrelation(x, lag)
+			n++
 		}
-		return out
-	})
-	register("agg_autocorrelation_mean", TierEfficient, func(x []float64) []Feature {
-		const maxLag = 10
-		s, n := 0.0, 0
-		for lag := 1; lag <= maxLag; lag++ {
-			if lag < len(x) {
-				s += autocorrelation(x, lag)
-				n++
-			}
+	}
+	if n == 0 {
+		return
+	}
+	dst[0] = s / float64(n)
+}
+
+func exC3(x, dst []float64, _ *Workspace) {
+	for lag := 1; lag <= nonlinMaxLag; lag++ {
+		dst[lag-1] = c3(x, lag)
+	}
+}
+
+func exTimeReversalAsymmetry(x, dst []float64, _ *Workspace) {
+	for lag := 1; lag <= nonlinMaxLag; lag++ {
+		dst[lag-1] = timeReversalAsymmetry(x, lag)
+	}
+}
+
+// exCidCe computes the complexity-invariant distance estimate, normalized
+// variant.
+func exCidCe(x, dst []float64, _ *Workspace) {
+	if len(x) < 2 {
+		return
+	}
+	sd := mat.Std(x)
+	s := 0.0
+	for i := 1; i < len(x); i++ {
+		d := x[i] - x[i-1]
+		if sd > 0 {
+			d /= sd
 		}
-		if n == 0 {
-			return one("agg_autocorrelation_mean", 0)
-		}
-		return one("agg_autocorrelation_mean", s/float64(n))
-	})
-	register("c3", TierEfficient, func(x []float64) []Feature {
-		lags := []int{1, 2, 3}
-		out := make([]Feature, len(lags))
-		for i, lag := range lags {
-			out[i] = Feature{Name: fmtParam("c3", "lag", lag), Value: c3(x, lag)}
-		}
-		return out
-	})
-	register("time_reversal_asymmetry_statistic", TierEfficient, func(x []float64) []Feature {
-		lags := []int{1, 2, 3}
-		out := make([]Feature, len(lags))
-		for i, lag := range lags {
-			out[i] = Feature{
-				Name:  fmtParam("time_reversal_asymmetry_statistic", "lag", lag),
-				Value: timeReversalAsymmetry(x, lag),
-			}
-		}
-		return out
-	})
-	register("cid_ce", TierEfficient, func(x []float64) []Feature {
-		// Complexity-invariant distance estimate, normalized variant.
-		if len(x) < 2 {
-			return one("cid_ce", 0)
-		}
-		sd := mat.Std(x)
-		s := 0.0
-		for i := 1; i < len(x); i++ {
-			d := x[i] - x[i-1]
-			if sd > 0 {
-				d /= sd
-			}
-			s += d * d
-		}
-		return one("cid_ce", math.Sqrt(s))
-	})
-	register("binned_entropy", TierEfficient, func(x []float64) []Feature {
-		return one(fmtParam("binned_entropy", "bins", 10), binnedEntropy(x, 10))
-	})
-	register("permutation_entropy", TierEfficient, func(x []float64) []Feature {
-		return one(fmtParam("permutation_entropy", "order", 3), permutationEntropy(x, 3))
-	})
-	register("benford_correlation", TierEfficient, func(x []float64) []Feature {
-		return one("benford_correlation", benfordCorrelation(x))
-	})
-	register("lempel_ziv_complexity", TierEfficient, func(x []float64) []Feature {
-		return one(fmtParam("lempel_ziv_complexity", "bins", 4), lempelZiv(x, 4))
-	})
-	register("number_peaks", TierEfficient, func(x []float64) []Feature {
-		supports := []int{1, 3, 5}
-		out := make([]Feature, len(supports))
-		for i, n := range supports {
-			out[i] = Feature{Name: fmtParam("number_peaks", "n", n), Value: numberPeaks(x, n)}
-		}
-		return out
-	})
-	register("approximate_entropy", TierFull, func(x []float64) []Feature {
-		return one(fmtParam("approximate_entropy", "m", 2), approximateEntropy(x, 2, 0.2))
-	})
-	register("sample_entropy", TierFull, func(x []float64) []Feature {
-		return one("sample_entropy", sampleEntropy(x, 2, 0.2))
-	})
+		s += d * d
+	}
+	dst[0] = math.Sqrt(s)
+}
+
+func exBinnedEntropy(x, dst []float64, ws *Workspace) {
+	dst[0] = binnedEntropy(x, entropyBins, ws)
+}
+
+func exPermutationEntropy(x, dst []float64, ws *Workspace) {
+	dst[0] = permutationEntropy(x, permOrder, ws)
+}
+
+func exBenfordCorrelation(x, dst []float64, _ *Workspace) {
+	dst[0] = benfordCorrelation(x)
+}
+
+func exLempelZiv(x, dst []float64, ws *Workspace) {
+	dst[0] = lempelZiv(x, lzBins, ws)
+}
+
+func exNumberPeaks(x, dst []float64, _ *Workspace) {
+	for i, n := range peakSupports {
+		dst[i] = numberPeaks(x, n)
+	}
+}
+
+func exApproximateEntropy(x, dst []float64, _ *Workspace) {
+	dst[0] = approximateEntropy(x, apEnM, apEnRFrac)
+}
+
+func exSampleEntropy(x, dst []float64, _ *Workspace) {
+	dst[0] = sampleEntropy(x, apEnM, apEnRFrac)
 }
 
 // autocorrelation returns the lag-k autocorrelation of x, or 0 when
@@ -147,7 +175,7 @@ func timeReversalAsymmetry(x []float64, lag int) float64 {
 
 // binnedEntropy returns the Shannon entropy (nats) of the histogram of x
 // with the given number of equal-width bins.
-func binnedEntropy(x []float64, bins int) float64 {
+func binnedEntropy(x []float64, bins int, ws *Workspace) float64 {
 	if len(x) == 0 || bins < 1 {
 		return 0
 	}
@@ -155,7 +183,7 @@ func binnedEntropy(x []float64, bins int) float64 {
 	if hi == lo {
 		return 0
 	}
-	counts := make([]int, bins)
+	counts := ws.intBuf(bins)
 	w := (hi - lo) / float64(bins)
 	for _, v := range x {
 		b := int((v - lo) / w)
@@ -177,29 +205,30 @@ func binnedEntropy(x []float64, bins int) float64 {
 
 // permutationEntropy returns the normalized permutation entropy of order d:
 // the entropy of the distribution of ordinal patterns of d consecutive
-// values, divided by log(d!).
-func permutationEntropy(x []float64, d int) float64 {
+// values, divided by log(d!). Ordinal codes are at most d^d, so a fixed
+// count array replaces the pattern map; accumulation in code order is
+// deterministic by construction.
+func permutationEntropy(x []float64, d int, ws *Workspace) float64 {
 	n := len(x)
 	if n < d || d < 2 {
 		return 0
 	}
-	counts := make(map[int]int)
+	nc := 1
+	for i := 0; i < d; i++ {
+		nc *= d
+	}
+	counts := ws.intBuf(nc)
 	total := 0
 	for i := 0; i+d <= n; i++ {
 		counts[ordinalPattern(x[i:i+d])]++
 		total++
 	}
-	// Sum in sorted order so the float accumulation is deterministic
-	// regardless of map iteration order.
-	cs := make([]int, 0, len(counts))
-	for _, c := range counts {
-		cs = append(cs, c)
-	}
-	sort.Ints(cs)
 	h := 0.0
-	for _, c := range cs {
-		p := float64(c) / float64(total)
-		h -= p * math.Log(p)
+	for _, c := range counts {
+		if c > 0 {
+			p := float64(c) / float64(total)
+			h -= p * math.Log(p)
+		}
 	}
 	// Normalize by log(d!).
 	fact := 1.0
@@ -295,13 +324,20 @@ func pearson(a, b []float64) float64 {
 
 // lempelZiv returns the Lempel-Ziv complexity of x discretized into the
 // given number of bins, normalized by n/log2(n).
-func lempelZiv(x []float64, bins int) float64 {
+//
+// The LZ76 parse only ever asks "was this phrase seen before?", where every
+// new phrase is a previously-seen phrase extended by one symbol. A trie
+// over the bins-ary alphabet answers that with one child lookup per symbol:
+// each trie node corresponds to exactly one seen phrase, so path existence
+// is seen-membership, replacing the map of phrase strings with two slices
+// from the workspace.
+func lempelZiv(x []float64, bins int, ws *Workspace) float64 {
 	n := len(x)
 	if n < 2 {
 		return 0
 	}
 	lo, hi := mat.Min(x), mat.Max(x)
-	sym := make([]byte, n)
+	sym := ws.byteBuf(n)
 	if hi > lo {
 		w := (hi - lo) / float64(bins)
 		for i, v := range x {
@@ -311,20 +347,37 @@ func lempelZiv(x []float64, bins int) float64 {
 			}
 			sym[i] = byte(b)
 		}
-	}
-	// Count distinct phrases in the LZ76 parsing.
-	seen := make(map[string]bool)
-	phrases := 0
-	start := 0
-	for i := 0; i < n; i++ {
-		sub := string(sym[start : i+1])
-		if !seen[sub] {
-			seen[sub] = true
-			phrases++
-			start = i + 1
+	} else {
+		for i := range sym {
+			sym[i] = 0
 		}
 	}
-	if start < n {
+	// Node k's children occupy trie[k*bins : (k+1)*bins]; 0 means absent
+	// (the root is never a child). node tracks the current phrase's path.
+	trie := ws.trie[:0]
+	for j := 0; j < bins; j++ {
+		trie = append(trie, 0)
+	}
+	phrases := 0
+	node := int32(0)
+	for i := 0; i < n; i++ {
+		s := int(sym[i])
+		child := trie[int(node)*bins+s]
+		if child != 0 {
+			node = child
+			continue
+		}
+		id := int32(len(trie) / bins)
+		trie[int(node)*bins+s] = id
+		for j := 0; j < bins; j++ {
+			trie = append(trie, 0)
+		}
+		phrases++
+		node = 0
+	}
+	ws.trie = trie
+	if node != 0 {
+		// Trailing partial phrase (already seen, never terminated).
 		phrases++
 	}
 	return float64(phrases) * math.Log2(float64(n)) / float64(n)

@@ -2,354 +2,443 @@ package features
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"prodigy/internal/mat"
 )
 
 // This file registers the descriptive-statistics extractors: the "min, max,
 // mean, etc." family the paper cites as the simple end of the TSFRESH
-// catalog. All are O(n) or O(n log n).
+// catalog. All are O(n) or O(n log n); the order-statistic family draws on
+// the workspace's per-series sorted cache so one catalog run sorts the
+// series once.
+
+var quantileQs = []float64{0.1, 0.2, 0.3, 0.4, 0.6, 0.7, 0.8, 0.9}
+
+var sigmaRs = []float64{1, 2, 3}
+
+const meanNAbsMaxN = 7
 
 func init() {
-	register("mean", TierMinimal, func(x []float64) []Feature {
-		return one("mean", mat.Mean(x))
-	})
-	register("median", TierMinimal, func(x []float64) []Feature {
-		if len(x) == 0 {
-			return one("median", 0)
+	register("mean", TierMinimal, []string{"mean"}, exMean)
+	register("median", TierMinimal, []string{"median"}, exMedian)
+	register("minimum", TierMinimal, []string{"minimum"}, exMinimum)
+	register("maximum", TierMinimal, []string{"maximum"}, exMaximum)
+	register("standard_deviation", TierMinimal, []string{"standard_deviation"}, exStandardDeviation)
+	register("variance", TierMinimal, []string{"variance"}, exVariance)
+	register("sum_values", TierMinimal, []string{"sum_values"}, exSumValues)
+	register("abs_energy", TierMinimal, []string{"abs_energy"}, exAbsEnergy)
+	register("root_mean_square", TierMinimal, []string{"root_mean_square"}, exRootMeanSquare)
+	register("absolute_maximum", TierMinimal, []string{"absolute_maximum"}, exAbsoluteMaximum)
+	register("mean_abs_change", TierMinimal, []string{"mean_abs_change"}, exMeanAbsChange)
+	register("mean_change", TierMinimal, []string{"mean_change"}, exMeanChange)
+	register("absolute_sum_of_changes", TierMinimal, []string{"absolute_sum_of_changes"}, exAbsoluteSumOfChanges)
+	register("mean_second_derivative_central", TierMinimal, []string{"mean_second_derivative_central"}, exMeanSecondDerivativeCentral)
+	register("skewness", TierMinimal, []string{"skewness"}, exSkewness)
+	register("kurtosis", TierMinimal, []string{"kurtosis"}, exKurtosis)
+	register("variation_coefficient", TierMinimal, []string{"variation_coefficient"}, exVariationCoefficient)
+	register("quantiles", TierMinimal, quantileNames(), exQuantiles)
+	register("interquartile_range", TierMinimal, []string{"interquartile_range"}, exInterquartileRange)
+	register("range", TierMinimal, []string{"range"}, exRange)
+	register("count_above_mean", TierMinimal, []string{"count_above_mean"}, exCountAboveMean)
+	register("count_below_mean", TierMinimal, []string{"count_below_mean"}, exCountBelowMean)
+	register("first_location_of_maximum", TierMinimal, []string{"first_location_of_maximum"}, exFirstLocationOfMaximum)
+	register("last_location_of_maximum", TierMinimal, []string{"last_location_of_maximum"}, exLastLocationOfMaximum)
+	register("first_location_of_minimum", TierMinimal, []string{"first_location_of_minimum"}, exFirstLocationOfMinimum)
+	register("last_location_of_minimum", TierMinimal, []string{"last_location_of_minimum"}, exLastLocationOfMinimum)
+	register("longest_strike_above_mean", TierMinimal, []string{"longest_strike_above_mean"}, exLongestStrikeAboveMean)
+	register("longest_strike_below_mean", TierMinimal, []string{"longest_strike_below_mean"}, exLongestStrikeBelowMean)
+	register("number_crossing_mean", TierMinimal, []string{"number_crossing_mean"}, exNumberCrossingMean)
+	register("ratio_beyond_r_sigma", TierMinimal, sigmaNames(), exRatioBeyondRSigma)
+	register("large_standard_deviation", TierMinimal, []string{"large_standard_deviation"}, exLargeStandardDeviation)
+	register("symmetry_looking", TierMinimal, []string{"symmetry_looking"}, exSymmetryLooking)
+	register("has_duplicate_max", TierMinimal, []string{"has_duplicate_max"}, exHasDuplicateMax)
+	register("has_duplicate_min", TierMinimal, []string{"has_duplicate_min"}, exHasDuplicateMin)
+	register("percentage_of_reoccurring_datapoints", TierMinimal, []string{"percentage_of_reoccurring_datapoints"}, exPercentageOfReoccurringDatapoints)
+	register("mean_n_absolute_max", TierMinimal, []string{fmtParam("mean_n_absolute_max", "n", meanNAbsMaxN)}, exMeanNAbsoluteMax)
+	register("first_value", TierMinimal, []string{"first_value"}, exFirstValue)
+	register("last_value", TierMinimal, []string{"last_value"}, exLastValue)
+	register("count_above_zero", TierMinimal, []string{"count_above_zero"}, exCountAboveZero)
+	register("variance_larger_than_standard_deviation", TierMinimal, []string{"variance_larger_than_standard_deviation"}, exVarianceLargerThanStd)
+}
+
+func quantileNames() []string {
+	out := make([]string, len(quantileQs))
+	for i, q := range quantileQs {
+		out[i] = fmtParam("quantile", "q", q)
+	}
+	return out
+}
+
+func sigmaNames() []string {
+	out := make([]string, len(sigmaRs))
+	for i, r := range sigmaRs {
+		out[i] = fmtParam("ratio_beyond_r_sigma", "r", r)
+	}
+	return out
+}
+
+func exMean(x, dst []float64, _ *Workspace) { dst[0] = mat.Mean(x) }
+
+func exMedian(x, dst []float64, ws *Workspace) {
+	if len(x) == 0 {
+		return
+	}
+	dst[0] = mat.MedianSorted(ws.sortedCopy(x))
+}
+
+func exMinimum(x, dst []float64, _ *Workspace) {
+	if len(x) == 0 {
+		return
+	}
+	dst[0] = mat.Min(x)
+}
+
+func exMaximum(x, dst []float64, _ *Workspace) {
+	if len(x) == 0 {
+		return
+	}
+	dst[0] = mat.Max(x)
+}
+
+func exStandardDeviation(x, dst []float64, _ *Workspace) { dst[0] = mat.Std(x) }
+
+func exVariance(x, dst []float64, _ *Workspace) { dst[0] = mat.Variance(x) }
+
+func exSumValues(x, dst []float64, _ *Workspace) {
+	s := 0.0
+	for _, v := range x {
+		s += v
+	}
+	dst[0] = s
+}
+
+func exAbsEnergy(x, dst []float64, _ *Workspace) {
+	s := 0.0
+	for _, v := range x {
+		s += v * v
+	}
+	dst[0] = s
+}
+
+func exRootMeanSquare(x, dst []float64, _ *Workspace) {
+	if len(x) == 0 {
+		return
+	}
+	s := 0.0
+	for _, v := range x {
+		s += v * v
+	}
+	dst[0] = math.Sqrt(s / float64(len(x)))
+}
+
+func exAbsoluteMaximum(x, dst []float64, _ *Workspace) {
+	m := 0.0
+	for _, v := range x {
+		if a := math.Abs(v); a > m {
+			m = a
 		}
-		return one("median", mat.Median(x))
-	})
-	register("minimum", TierMinimal, func(x []float64) []Feature {
-		if len(x) == 0 {
-			return one("minimum", 0)
+	}
+	dst[0] = m
+}
+
+func exMeanAbsChange(x, dst []float64, _ *Workspace) {
+	if len(x) < 2 {
+		return
+	}
+	s := 0.0
+	for i := 1; i < len(x); i++ {
+		s += math.Abs(x[i] - x[i-1])
+	}
+	dst[0] = s / float64(len(x)-1)
+}
+
+func exMeanChange(x, dst []float64, _ *Workspace) {
+	if len(x) < 2 {
+		return
+	}
+	// Telescoping sum: (x[n-1] - x[0]) / (n-1).
+	dst[0] = (x[len(x)-1] - x[0]) / float64(len(x)-1)
+}
+
+func exAbsoluteSumOfChanges(x, dst []float64, _ *Workspace) {
+	s := 0.0
+	for i := 1; i < len(x); i++ {
+		s += math.Abs(x[i] - x[i-1])
+	}
+	dst[0] = s
+}
+
+func exMeanSecondDerivativeCentral(x, dst []float64, _ *Workspace) {
+	if len(x) < 3 {
+		return
+	}
+	s := 0.0
+	for i := 1; i < len(x)-1; i++ {
+		s += (x[i+1] - 2*x[i] + x[i-1]) / 2
+	}
+	dst[0] = s / float64(len(x)-2)
+}
+
+func exSkewness(x, dst []float64, _ *Workspace) { dst[0] = skewness(x) }
+
+func exKurtosis(x, dst []float64, _ *Workspace) { dst[0] = kurtosis(x) }
+
+func exVariationCoefficient(x, dst []float64, _ *Workspace) {
+	m := mat.Mean(x)
+	if m == 0 {
+		return
+	}
+	dst[0] = mat.Std(x) / m
+}
+
+func exQuantiles(x, dst []float64, ws *Workspace) {
+	if len(x) == 0 {
+		return
+	}
+	s := ws.sortedCopy(x)
+	for i, q := range quantileQs {
+		dst[i] = mat.PercentileSorted(s, q*100)
+	}
+}
+
+func exInterquartileRange(x, dst []float64, ws *Workspace) {
+	if len(x) == 0 {
+		return
+	}
+	s := ws.sortedCopy(x)
+	dst[0] = mat.PercentileSorted(s, 75) - mat.PercentileSorted(s, 25)
+}
+
+func exRange(x, dst []float64, _ *Workspace) {
+	if len(x) == 0 {
+		return
+	}
+	dst[0] = mat.Max(x) - mat.Min(x)
+}
+
+func exCountAboveMean(x, dst []float64, _ *Workspace) {
+	m := mat.Mean(x)
+	n := 0
+	for _, v := range x {
+		if v > m {
+			n++
 		}
-		return one("minimum", mat.Min(x))
-	})
-	register("maximum", TierMinimal, func(x []float64) []Feature {
-		if len(x) == 0 {
-			return one("maximum", 0)
+	}
+	dst[0] = float64(n)
+}
+
+func exCountBelowMean(x, dst []float64, _ *Workspace) {
+	m := mat.Mean(x)
+	n := 0
+	for _, v := range x {
+		if v < m {
+			n++
 		}
-		return one("maximum", mat.Max(x))
-	})
-	register("standard_deviation", TierMinimal, func(x []float64) []Feature {
-		return one("standard_deviation", mat.Std(x))
-	})
-	register("variance", TierMinimal, func(x []float64) []Feature {
-		return one("variance", mat.Variance(x))
-	})
-	register("sum_values", TierMinimal, func(x []float64) []Feature {
-		s := 0.0
+	}
+	dst[0] = float64(n)
+}
+
+func exFirstLocationOfMaximum(x, dst []float64, _ *Workspace) {
+	if len(x) == 0 {
+		return
+	}
+	dst[0] = float64(mat.ArgMax(x)) / float64(len(x))
+}
+
+func exLastLocationOfMaximum(x, dst []float64, _ *Workspace) {
+	if len(x) == 0 {
+		return
+	}
+	best := 0
+	for i, v := range x {
+		if v >= x[best] {
+			best = i
+		}
+	}
+	dst[0] = float64(best+1) / float64(len(x))
+}
+
+func exFirstLocationOfMinimum(x, dst []float64, _ *Workspace) {
+	if len(x) == 0 {
+		return
+	}
+	dst[0] = float64(mat.ArgMin(x)) / float64(len(x))
+}
+
+func exLastLocationOfMinimum(x, dst []float64, _ *Workspace) {
+	if len(x) == 0 {
+		return
+	}
+	best := 0
+	for i, v := range x {
+		if v <= x[best] {
+			best = i
+		}
+	}
+	dst[0] = float64(best+1) / float64(len(x))
+}
+
+func exLongestStrikeAboveMean(x, dst []float64, _ *Workspace) {
+	dst[0] = longestStrike(x, true)
+}
+
+func exLongestStrikeBelowMean(x, dst []float64, _ *Workspace) {
+	dst[0] = longestStrike(x, false)
+}
+
+func exNumberCrossingMean(x, dst []float64, _ *Workspace) {
+	m := mat.Mean(x)
+	n := 0
+	for i := 1; i < len(x); i++ {
+		if (x[i-1] > m) != (x[i] > m) {
+			n++
+		}
+	}
+	dst[0] = float64(n)
+}
+
+func exRatioBeyondRSigma(x, dst []float64, _ *Workspace) {
+	if len(x) == 0 {
+		return
+	}
+	m, sd := mat.Mean(x), mat.Std(x)
+	if sd == 0 {
+		return
+	}
+	for i, r := range sigmaRs {
+		cnt := 0
 		for _, v := range x {
-			s += v
-		}
-		return one("sum_values", s)
-	})
-	register("abs_energy", TierMinimal, func(x []float64) []Feature {
-		s := 0.0
-		for _, v := range x {
-			s += v * v
-		}
-		return one("abs_energy", s)
-	})
-	register("root_mean_square", TierMinimal, func(x []float64) []Feature {
-		if len(x) == 0 {
-			return one("root_mean_square", 0)
-		}
-		s := 0.0
-		for _, v := range x {
-			s += v * v
-		}
-		return one("root_mean_square", math.Sqrt(s/float64(len(x))))
-	})
-	register("absolute_maximum", TierMinimal, func(x []float64) []Feature {
-		m := 0.0
-		for _, v := range x {
-			if a := math.Abs(v); a > m {
-				m = a
+			if math.Abs(v-m) > r*sd {
+				cnt++
 			}
 		}
-		return one("absolute_maximum", m)
-	})
-	register("mean_abs_change", TierMinimal, func(x []float64) []Feature {
-		if len(x) < 2 {
-			return one("mean_abs_change", 0)
+		dst[i] = float64(cnt) / float64(len(x))
+	}
+}
+
+func exLargeStandardDeviation(x, dst []float64, _ *Workspace) {
+	if len(x) == 0 {
+		return
+	}
+	r := mat.Max(x) - mat.Min(x)
+	if r > 0 && mat.Std(x) > 0.25*r {
+		dst[0] = 1
+	}
+}
+
+func exSymmetryLooking(x, dst []float64, ws *Workspace) {
+	if len(x) == 0 {
+		return
+	}
+	r := mat.Max(x) - mat.Min(x)
+	med := mat.MedianSorted(ws.sortedCopy(x))
+	if math.Abs(mat.Mean(x)-med) < 0.1*r || r == 0 {
+		dst[0] = 1
+	}
+}
+
+func exHasDuplicateMax(x, dst []float64, _ *Workspace) {
+	if len(x) == 0 {
+		return
+	}
+	m := mat.Max(x)
+	n := 0
+	for _, v := range x {
+		if v == m {
+			n++
 		}
-		s := 0.0
-		for i := 1; i < len(x); i++ {
-			s += math.Abs(x[i] - x[i-1])
+	}
+	if n > 1 {
+		dst[0] = 1
+	}
+}
+
+func exHasDuplicateMin(x, dst []float64, _ *Workspace) {
+	if len(x) == 0 {
+		return
+	}
+	m := mat.Min(x)
+	n := 0
+	for _, v := range x {
+		if v == m {
+			n++
 		}
-		return one("mean_abs_change", s/float64(len(x)-1))
-	})
-	register("mean_change", TierMinimal, func(x []float64) []Feature {
-		if len(x) < 2 {
-			return one("mean_change", 0)
+	}
+	if n > 1 {
+		dst[0] = 1
+	}
+}
+
+func exPercentageOfReoccurringDatapoints(x, dst []float64, ws *Workspace) {
+	if len(x) == 0 {
+		return
+	}
+	// Equal values are adjacent in the sorted copy, so a run scan replaces
+	// the value-count map of the naive implementation.
+	s := ws.sortedCopy(x)
+	re := 0
+	for i := 0; i < len(s); {
+		j := i + 1
+		for j < len(s) && s[j] == s[i] {
+			j++
 		}
-		// Telescoping sum: (x[n-1] - x[0]) / (n-1).
-		return one("mean_change", (x[len(x)-1]-x[0])/float64(len(x)-1))
-	})
-	register("absolute_sum_of_changes", TierMinimal, func(x []float64) []Feature {
-		s := 0.0
-		for i := 1; i < len(x); i++ {
-			s += math.Abs(x[i] - x[i-1])
+		if j-i > 1 {
+			re += j - i
 		}
-		return one("absolute_sum_of_changes", s)
-	})
-	register("mean_second_derivative_central", TierMinimal, func(x []float64) []Feature {
-		if len(x) < 3 {
-			return one("mean_second_derivative_central", 0)
+		i = j
+	}
+	dst[0] = float64(re) / float64(len(x))
+}
+
+func exMeanNAbsoluteMax(x, dst []float64, ws *Workspace) {
+	if len(x) == 0 {
+		return
+	}
+	abs := ws.floatA(len(x))
+	for i, v := range x {
+		abs[i] = math.Abs(v)
+	}
+	slices.Sort(abs)
+	k := meanNAbsMaxN
+	if k > len(abs) {
+		k = len(abs)
+	}
+	s := 0.0
+	for i := len(abs) - 1; i >= len(abs)-k; i-- {
+		s += abs[i]
+	}
+	dst[0] = s / float64(k)
+}
+
+func exFirstValue(x, dst []float64, _ *Workspace) {
+	if len(x) == 0 {
+		return
+	}
+	dst[0] = x[0]
+}
+
+func exLastValue(x, dst []float64, _ *Workspace) {
+	if len(x) == 0 {
+		return
+	}
+	dst[0] = x[len(x)-1]
+}
+
+func exCountAboveZero(x, dst []float64, _ *Workspace) {
+	n := 0
+	for _, v := range x {
+		if v > 0 {
+			n++
 		}
-		s := 0.0
-		for i := 1; i < len(x)-1; i++ {
-			s += (x[i+1] - 2*x[i] + x[i-1]) / 2
-		}
-		return one("mean_second_derivative_central", s/float64(len(x)-2))
-	})
-	register("skewness", TierMinimal, func(x []float64) []Feature {
-		return one("skewness", skewness(x))
-	})
-	register("kurtosis", TierMinimal, func(x []float64) []Feature {
-		return one("kurtosis", kurtosis(x))
-	})
-	register("variation_coefficient", TierMinimal, func(x []float64) []Feature {
-		m := mat.Mean(x)
-		if m == 0 {
-			return one("variation_coefficient", 0)
-		}
-		return one("variation_coefficient", mat.Std(x)/m)
-	})
-	register("quantiles", TierMinimal, func(x []float64) []Feature {
-		qs := []float64{0.1, 0.2, 0.3, 0.4, 0.6, 0.7, 0.8, 0.9}
-		out := make([]Feature, len(qs))
-		for i, q := range qs {
-			v := 0.0
-			if len(x) > 0 {
-				v = mat.Percentile(x, q*100)
-			}
-			out[i] = Feature{Name: fmtParam("quantile", "q", q), Value: v}
-		}
-		return out
-	})
-	register("interquartile_range", TierMinimal, func(x []float64) []Feature {
-		if len(x) == 0 {
-			return one("interquartile_range", 0)
-		}
-		return one("interquartile_range", mat.Percentile(x, 75)-mat.Percentile(x, 25))
-	})
-	register("range", TierMinimal, func(x []float64) []Feature {
-		if len(x) == 0 {
-			return one("range", 0)
-		}
-		return one("range", mat.Max(x)-mat.Min(x))
-	})
-	register("count_above_mean", TierMinimal, func(x []float64) []Feature {
-		m := mat.Mean(x)
-		n := 0
-		for _, v := range x {
-			if v > m {
-				n++
-			}
-		}
-		return one("count_above_mean", float64(n))
-	})
-	register("count_below_mean", TierMinimal, func(x []float64) []Feature {
-		m := mat.Mean(x)
-		n := 0
-		for _, v := range x {
-			if v < m {
-				n++
-			}
-		}
-		return one("count_below_mean", float64(n))
-	})
-	register("first_location_of_maximum", TierMinimal, func(x []float64) []Feature {
-		if len(x) == 0 {
-			return one("first_location_of_maximum", 0)
-		}
-		return one("first_location_of_maximum", float64(mat.ArgMax(x))/float64(len(x)))
-	})
-	register("last_location_of_maximum", TierMinimal, func(x []float64) []Feature {
-		if len(x) == 0 {
-			return one("last_location_of_maximum", 0)
-		}
-		best := 0
-		for i, v := range x {
-			if v >= x[best] {
-				best = i
-			}
-		}
-		return one("last_location_of_maximum", float64(best+1)/float64(len(x)))
-	})
-	register("first_location_of_minimum", TierMinimal, func(x []float64) []Feature {
-		if len(x) == 0 {
-			return one("first_location_of_minimum", 0)
-		}
-		return one("first_location_of_minimum", float64(mat.ArgMin(x))/float64(len(x)))
-	})
-	register("last_location_of_minimum", TierMinimal, func(x []float64) []Feature {
-		if len(x) == 0 {
-			return one("last_location_of_minimum", 0)
-		}
-		best := 0
-		for i, v := range x {
-			if v <= x[best] {
-				best = i
-			}
-		}
-		return one("last_location_of_minimum", float64(best+1)/float64(len(x)))
-	})
-	register("longest_strike_above_mean", TierMinimal, func(x []float64) []Feature {
-		return one("longest_strike_above_mean", longestStrike(x, true))
-	})
-	register("longest_strike_below_mean", TierMinimal, func(x []float64) []Feature {
-		return one("longest_strike_below_mean", longestStrike(x, false))
-	})
-	register("number_crossing_mean", TierMinimal, func(x []float64) []Feature {
-		m := mat.Mean(x)
-		n := 0
-		for i := 1; i < len(x); i++ {
-			if (x[i-1] > m) != (x[i] > m) {
-				n++
-			}
-		}
-		return one("number_crossing_mean", float64(n))
-	})
-	register("ratio_beyond_r_sigma", TierMinimal, func(x []float64) []Feature {
-		rs := []float64{1, 2, 3}
-		out := make([]Feature, len(rs))
-		m, sd := mat.Mean(x), mat.Std(x)
-		for i, r := range rs {
-			cnt := 0
-			for _, v := range x {
-				if math.Abs(v-m) > r*sd {
-					cnt++
-				}
-			}
-			ratio := 0.0
-			if len(x) > 0 && sd > 0 {
-				ratio = float64(cnt) / float64(len(x))
-			}
-			out[i] = Feature{Name: fmtParam("ratio_beyond_r_sigma", "r", r), Value: ratio}
-		}
-		return out
-	})
-	register("large_standard_deviation", TierMinimal, func(x []float64) []Feature {
-		if len(x) == 0 {
-			return one("large_standard_deviation", 0)
-		}
-		r := mat.Max(x) - mat.Min(x)
-		v := 0.0
-		if r > 0 && mat.Std(x) > 0.25*r {
-			v = 1
-		}
-		return one("large_standard_deviation", v)
-	})
-	register("symmetry_looking", TierMinimal, func(x []float64) []Feature {
-		if len(x) == 0 {
-			return one("symmetry_looking", 0)
-		}
-		r := mat.Max(x) - mat.Min(x)
-		v := 0.0
-		if math.Abs(mat.Mean(x)-mat.Median(x)) < 0.1*r || r == 0 {
-			v = 1
-		}
-		return one("symmetry_looking", v)
-	})
-	register("has_duplicate_max", TierMinimal, func(x []float64) []Feature {
-		if len(x) == 0 {
-			return one("has_duplicate_max", 0)
-		}
-		m := mat.Max(x)
-		n := 0
-		for _, v := range x {
-			if v == m {
-				n++
-			}
-		}
-		v := 0.0
-		if n > 1 {
-			v = 1
-		}
-		return one("has_duplicate_max", v)
-	})
-	register("has_duplicate_min", TierMinimal, func(x []float64) []Feature {
-		if len(x) == 0 {
-			return one("has_duplicate_min", 0)
-		}
-		m := mat.Min(x)
-		n := 0
-		for _, v := range x {
-			if v == m {
-				n++
-			}
-		}
-		v := 0.0
-		if n > 1 {
-			v = 1
-		}
-		return one("has_duplicate_min", v)
-	})
-	register("percentage_of_reoccurring_datapoints", TierMinimal, func(x []float64) []Feature {
-		if len(x) == 0 {
-			return one("percentage_of_reoccurring_datapoints", 0)
-		}
-		counts := make(map[float64]int, len(x))
-		for _, v := range x {
-			counts[v]++
-		}
-		re := 0
-		for _, c := range counts {
-			if c > 1 {
-				re += c
-			}
-		}
-		return one("percentage_of_reoccurring_datapoints", float64(re)/float64(len(x)))
-	})
-	register("mean_n_absolute_max", TierMinimal, func(x []float64) []Feature {
-		const n = 7
-		if len(x) == 0 {
-			return one(fmtParam("mean_n_absolute_max", "n", n), 0)
-		}
-		abs := make([]float64, len(x))
-		for i, v := range x {
-			abs[i] = math.Abs(v)
-		}
-		sort.Sort(sort.Reverse(sort.Float64Slice(abs)))
-		k := n
-		if k > len(abs) {
-			k = len(abs)
-		}
-		return one(fmtParam("mean_n_absolute_max", "n", n), mat.Mean(abs[:k]))
-	})
-	register("first_value", TierMinimal, func(x []float64) []Feature {
-		if len(x) == 0 {
-			return one("first_value", 0)
-		}
-		return one("first_value", x[0])
-	})
-	register("last_value", TierMinimal, func(x []float64) []Feature {
-		if len(x) == 0 {
-			return one("last_value", 0)
-		}
-		return one("last_value", x[len(x)-1])
-	})
-	register("count_above_zero", TierMinimal, func(x []float64) []Feature {
-		n := 0
-		for _, v := range x {
-			if v > 0 {
-				n++
-			}
-		}
-		return one("count_above_zero", float64(n))
-	})
-	register("variance_larger_than_standard_deviation", TierMinimal, func(x []float64) []Feature {
-		v := 0.0
-		if mat.Variance(x) > mat.Std(x) {
-			v = 1
-		}
-		return one("variance_larger_than_standard_deviation", v)
-	})
+	}
+	dst[0] = float64(n)
+}
+
+func exVarianceLargerThanStd(x, dst []float64, _ *Workspace) {
+	if mat.Variance(x) > mat.Std(x) {
+		dst[0] = 1
+	}
 }
 
 // skewness returns the Fisher-Pearson moment coefficient of skewness.

@@ -2,7 +2,7 @@ package features
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"prodigy/internal/mat"
 )
@@ -13,209 +13,225 @@ import (
 // deepen catalog parity with the paper's 794-features-per-metric TSFRESH
 // configuration.
 
+const pacfMaxLag = 5
+
+// cqCorridors are the [ql, qh] quantile corridors of change_quantiles.
+var cqCorridors = [][2]float64{{0.0, 0.4}, {0.4, 0.8}, {0.2, 0.8}}
+
 func init() {
-	register("partial_autocorrelation", TierEfficient, func(x []float64) []Feature {
-		const maxLag = 5
-		pacf := partialAutocorrelation(x, maxLag)
-		out := make([]Feature, maxLag)
-		for lag := 1; lag <= maxLag; lag++ {
-			v := 0.0
-			if lag-1 < len(pacf) {
-				v = pacf[lag-1]
-			}
-			out[lag-1] = Feature{Name: fmtParam("partial_autocorrelation", "lag", lag), Value: v}
+	register("partial_autocorrelation", TierEfficient, lagNames("partial_autocorrelation", "lag", 1, pacfMaxLag), exPartialAutocorrelation)
+	register("change_quantiles", TierEfficient, changeQuantileNames(), exChangeQuantiles)
+	register("mean_absolute_deviation", TierMinimal, []string{"mean_absolute_deviation"}, exMeanAbsoluteDeviation)
+	register("median_absolute_deviation", TierMinimal, []string{"median_absolute_deviation"}, exMedianAbsoluteDeviation)
+	register("ratio_value_number_to_length", TierMinimal, []string{"ratio_value_number_to_length"}, exRatioValueNumberToLength)
+	register("sum_of_reoccurring_values", TierMinimal, []string{"sum_of_reoccurring_values"}, exSumOfReoccurringValues)
+	register("sum_of_reoccurring_data_points", TierMinimal, []string{"sum_of_reoccurring_data_points"}, exSumOfReoccurringDataPoints)
+	register("range_count_mid", TierMinimal, []string{"range_count_mid"}, exRangeCountMid)
+	register("number_crossing_median", TierMinimal, []string{"number_crossing_median"}, exNumberCrossingMedian)
+	register("longest_monotone_run", TierMinimal, []string{"longest_increasing_run", "longest_decreasing_run"}, exLongestMonotoneRun)
+	register("std_of_changes", TierMinimal, []string{"std_of_changes"}, exStdOfChanges)
+	register("energy_ratio_halves", TierMinimal, []string{"energy_ratio_halves"}, exEnergyRatioHalves)
+}
+
+func changeQuantileNames() []string {
+	out := make([]string, 0, len(cqCorridors)*2)
+	for _, c := range cqCorridors {
+		tag := int(c[0]*10)*10 + int(c[1]*10)
+		out = append(out, fmtParam("change_quantiles_mean", "q", tag), fmtParam("change_quantiles_std", "q", tag))
+	}
+	return out
+}
+
+// exPartialAutocorrelation emits PACF values for lags 1..pacfMaxLag: the
+// PACF at lag k is the k-th reflection coefficient of the Levinson-Durbin
+// recursion, which arFit writes directly into dst.
+func exPartialAutocorrelation(x, dst []float64, ws *Workspace) {
+	r := ws.floatA(pacfMaxLag + 1)
+	a := ws.floatB(pacfMaxLag + 1)
+	arFit(x, r, a, dst)
+}
+
+func exChangeQuantiles(x, dst []float64, ws *Workspace) {
+	if len(x) < 2 {
+		return
+	}
+	s := ws.sortedCopy(x)
+	buf := ws.floatA(len(x) - 1)
+	for i, c := range cqCorridors {
+		lo := mat.PercentileSorted(s, c[0]*100)
+		hi := mat.PercentileSorted(s, c[1]*100)
+		dst[2*i], dst[2*i+1] = corridorChanges(x, lo, hi, buf)
+	}
+}
+
+func exMeanAbsoluteDeviation(x, dst []float64, _ *Workspace) {
+	if len(x) == 0 {
+		return
+	}
+	m := mat.Mean(x)
+	s := 0.0
+	for _, v := range x {
+		s += math.Abs(v - m)
+	}
+	dst[0] = s / float64(len(x))
+}
+
+func exMedianAbsoluteDeviation(x, dst []float64, ws *Workspace) {
+	if len(x) == 0 {
+		return
+	}
+	med := mat.MedianSorted(ws.sortedCopy(x))
+	dev := ws.floatA(len(x))
+	for i, v := range x {
+		dev[i] = math.Abs(v - med)
+	}
+	slices.Sort(dev)
+	dst[0] = mat.MedianSorted(dev)
+}
+
+func exRatioValueNumberToLength(x, dst []float64, ws *Workspace) {
+	if len(x) == 0 {
+		return
+	}
+	s := ws.sortedCopy(x)
+	distinct := 0
+	for i := 0; i < len(s); {
+		j := i + 1
+		for j < len(s) && s[j] == s[i] {
+			j++
 		}
-		return out
-	})
-	register("change_quantiles", TierEfficient, func(x []float64) []Feature {
-		corridors := [][2]float64{{0.0, 0.4}, {0.4, 0.8}, {0.2, 0.8}}
-		out := make([]Feature, 0, len(corridors)*2)
-		for _, c := range corridors {
-			meanAbs, stdAbs := changeQuantiles(x, c[0], c[1])
-			tag := int(c[0]*10)*10 + int(c[1]*10)
-			out = append(out,
-				Feature{Name: fmtParam("change_quantiles_mean", "q", tag), Value: meanAbs},
-				Feature{Name: fmtParam("change_quantiles_std", "q", tag), Value: stdAbs},
-			)
+		distinct++
+		i = j
+	}
+	dst[0] = float64(distinct) / float64(len(x))
+}
+
+// exSumOfReoccurringValues counts each reoccurring distinct value once,
+// scanning equal-value runs of the sorted copy so accumulation happens in
+// ascending value order — deterministic without a value-count map.
+func exSumOfReoccurringValues(x, dst []float64, ws *Workspace) {
+	s := ws.sortedCopy(x)
+	sum := 0.0
+	for i := 0; i < len(s); {
+		j := i + 1
+		for j < len(s) && s[j] == s[i] {
+			j++
 		}
-		return out
-	})
-	register("mean_absolute_deviation", TierMinimal, func(x []float64) []Feature {
-		if len(x) == 0 {
-			return one("mean_absolute_deviation", 0)
+		if j-i > 1 {
+			sum += s[i]
 		}
-		m := mat.Mean(x)
-		s := 0.0
-		for _, v := range x {
-			s += math.Abs(v - m)
+		i = j
+	}
+	dst[0] = sum
+}
+
+func exSumOfReoccurringDataPoints(x, dst []float64, ws *Workspace) {
+	s := ws.sortedCopy(x)
+	sum := 0.0
+	for i := 0; i < len(s); {
+		j := i + 1
+		for j < len(s) && s[j] == s[i] {
+			j++
 		}
-		return one("mean_absolute_deviation", s/float64(len(x)))
-	})
-	register("median_absolute_deviation", TierMinimal, func(x []float64) []Feature {
-		if len(x) == 0 {
-			return one("median_absolute_deviation", 0)
+		if j-i > 1 {
+			sum += s[i] * float64(j-i)
 		}
-		med := mat.Median(x)
-		dev := make([]float64, len(x))
-		for i, v := range x {
-			dev[i] = math.Abs(v - med)
+		i = j
+	}
+	dst[0] = sum
+}
+
+// exRangeCountMid emits the fraction of samples within one standard
+// deviation of the mean.
+func exRangeCountMid(x, dst []float64, _ *Workspace) {
+	if len(x) == 0 {
+		return
+	}
+	m, sd := mat.Mean(x), mat.Std(x)
+	n := 0
+	for _, v := range x {
+		if v >= m-sd && v <= m+sd {
+			n++
 		}
-		return one("median_absolute_deviation", mat.Median(dev))
-	})
-	register("ratio_value_number_to_length", TierMinimal, func(x []float64) []Feature {
-		if len(x) == 0 {
-			return one("ratio_value_number_to_length", 0)
+	}
+	dst[0] = float64(n) / float64(len(x))
+}
+
+func exNumberCrossingMedian(x, dst []float64, ws *Workspace) {
+	if len(x) == 0 {
+		return
+	}
+	med := mat.MedianSorted(ws.sortedCopy(x))
+	n := 0
+	for i := 1; i < len(x); i++ {
+		if (x[i-1] > med) != (x[i] > med) {
+			n++
 		}
-		seen := make(map[float64]bool, len(x))
-		for _, v := range x {
-			seen[v] = true
+	}
+	dst[0] = float64(n)
+}
+
+func exLongestMonotoneRun(x, dst []float64, _ *Workspace) {
+	up, down := longestMonotoneRuns(x)
+	dst[0], dst[1] = float64(up), float64(down)
+}
+
+func exStdOfChanges(x, dst []float64, ws *Workspace) {
+	if len(x) < 2 {
+		return
+	}
+	d := ws.floatA(len(x) - 1)
+	for i := 1; i < len(x); i++ {
+		d[i-1] = x[i] - x[i-1]
+	}
+	dst[0] = mat.Std(d)
+}
+
+// exEnergyRatioHalves emits the second-half to total energy ratio: a cheap
+// drift indicator.
+func exEnergyRatioHalves(x, dst []float64, _ *Workspace) {
+	n := len(x)
+	if n < 2 {
+		return
+	}
+	var first, second float64
+	for i, v := range x {
+		if i < n/2 {
+			first += v * v
+		} else {
+			second += v * v
 		}
-		return one("ratio_value_number_to_length", float64(len(seen))/float64(len(x)))
-	})
-	register("sum_of_reoccurring_values", TierMinimal, func(x []float64) []Feature {
-		counts := make(map[float64]int, len(x))
-		for _, v := range x {
-			counts[v]++
-		}
-		// Each reoccurring distinct value counted once; sum in sorted order
-		// for deterministic float accumulation.
-		var vals []float64
-		for v, c := range counts {
-			if c > 1 {
-				vals = append(vals, v)
-			}
-		}
-		sort.Float64s(vals)
-		s := 0.0
-		for _, v := range vals {
-			s += v
-		}
-		return one("sum_of_reoccurring_values", s)
-	})
-	register("sum_of_reoccurring_data_points", TierMinimal, func(x []float64) []Feature {
-		counts := make(map[float64]int, len(x))
-		for _, v := range x {
-			counts[v]++
-		}
-		var vals []float64
-		for v, c := range counts {
-			if c > 1 {
-				vals = append(vals, v*float64(c))
-			}
-		}
-		sort.Float64s(vals)
-		s := 0.0
-		for _, v := range vals {
-			s += v
-		}
-		return one("sum_of_reoccurring_data_points", s)
-	})
-	register("range_count_mid", TierMinimal, func(x []float64) []Feature {
-		// Fraction of samples within one standard deviation of the mean.
-		if len(x) == 0 {
-			return one("range_count_mid", 0)
-		}
-		m, sd := mat.Mean(x), mat.Std(x)
-		n := 0
-		for _, v := range x {
-			if v >= m-sd && v <= m+sd {
-				n++
-			}
-		}
-		return one("range_count_mid", float64(n)/float64(len(x)))
-	})
-	register("number_crossing_median", TierMinimal, func(x []float64) []Feature {
-		if len(x) == 0 {
-			return one("number_crossing_median", 0)
-		}
-		med := mat.Median(x)
-		n := 0
-		for i := 1; i < len(x); i++ {
-			if (x[i-1] > med) != (x[i] > med) {
-				n++
-			}
-		}
-		return one("number_crossing_median", float64(n))
-	})
-	register("longest_monotone_run", TierMinimal, func(x []float64) []Feature {
-		up, down := longestMonotoneRuns(x)
-		return []Feature{
-			{Name: "longest_increasing_run", Value: float64(up)},
-			{Name: "longest_decreasing_run", Value: float64(down)},
-		}
-	})
-	register("std_of_changes", TierMinimal, func(x []float64) []Feature {
-		if len(x) < 2 {
-			return one("std_of_changes", 0)
-		}
-		d := make([]float64, len(x)-1)
-		for i := 1; i < len(x); i++ {
-			d[i-1] = x[i] - x[i-1]
-		}
-		return one("std_of_changes", mat.Std(d))
-	})
-	register("energy_ratio_halves", TierMinimal, func(x []float64) []Feature {
-		// Second-half to total energy ratio: a cheap drift indicator.
-		n := len(x)
-		if n < 2 {
-			return one("energy_ratio_halves", 0)
-		}
-		var first, second float64
-		for i, v := range x {
-			if i < n/2 {
-				first += v * v
-			} else {
-				second += v * v
-			}
-		}
-		if first+second == 0 {
-			return one("energy_ratio_halves", 0)
-		}
-		return one("energy_ratio_halves", second/(first+second))
-	})
+	}
+	if first+second == 0 {
+		return
+	}
+	dst[0] = second / (first + second)
 }
 
 // partialAutocorrelation returns PACF values for lags 1..maxLag via
 // Levinson-Durbin: the PACF at lag k is the k-th reflection coefficient.
 func partialAutocorrelation(x []float64, maxLag int) []float64 {
-	n := len(x)
 	out := make([]float64, maxLag)
-	if n <= maxLag+1 {
-		return out
-	}
-	m := mat.Mean(x)
 	r := make([]float64, maxLag+1)
-	for k := 0; k <= maxLag; k++ {
-		s := 0.0
-		for i := 0; i < n-k; i++ {
-			s += (x[i] - m) * (x[i+k] - m)
-		}
-		r[k] = s / float64(n)
-	}
-	if r[0] == 0 {
-		return out
-	}
 	a := make([]float64, maxLag+1)
-	e := r[0]
-	for k := 1; k <= maxLag; k++ {
-		acc := r[k]
-		for j := 1; j < k; j++ {
-			acc -= a[j] * r[k-j]
-		}
-		if e == 0 {
-			break
-		}
-		lambda := acc / e
-		out[k-1] = lambda
-		prev := make([]float64, k)
-		copy(prev, a[:k])
-		for j := 1; j < k; j++ {
-			a[j] = prev[j] - lambda*prev[k-j]
-		}
-		a[k] = lambda
-		e *= 1 - lambda*lambda
-	}
+	arFit(x, r, a, out)
 	return out
+}
+
+// corridorChanges accumulates |diff(x)| over consecutive pairs lying inside
+// [lo, hi] into buf (len(x)-1 capacity suffices) and returns the mean and
+// std of the collected changes.
+func corridorChanges(x []float64, lo, hi float64, buf []float64) (meanAbs, stdAbs float64) {
+	changes := buf[:0]
+	for i := 1; i < len(x); i++ {
+		if x[i-1] >= lo && x[i-1] <= hi && x[i] >= lo && x[i] <= hi {
+			changes = append(changes, math.Abs(x[i]-x[i-1]))
+		}
+	}
+	if len(changes) == 0 {
+		return 0, 0
+	}
+	return mat.Mean(changes), mat.Std(changes)
 }
 
 // changeQuantiles returns the mean and std of |diff(x)| restricted to
@@ -227,16 +243,7 @@ func changeQuantiles(x []float64, ql, qh float64) (meanAbs, stdAbs float64) {
 	}
 	lo := mat.Percentile(x, ql*100)
 	hi := mat.Percentile(x, qh*100)
-	var changes []float64
-	for i := 1; i < len(x); i++ {
-		if x[i-1] >= lo && x[i-1] <= hi && x[i] >= lo && x[i] <= hi {
-			changes = append(changes, math.Abs(x[i]-x[i-1]))
-		}
-	}
-	if len(changes) == 0 {
-		return 0, 0
-	}
-	return mat.Mean(changes), mat.Std(changes)
+	return corridorChanges(x, lo, hi, make([]float64, 0, len(x)-1))
 }
 
 // longestMonotoneRuns returns the longest strictly increasing and strictly

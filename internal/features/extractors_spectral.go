@@ -11,89 +11,118 @@ import (
 // energies) and Fourier entropy — the "power spectral density" family the
 // paper cites from TSFRESH. Coefficients are computed by direct DFT at the
 // requested frequencies (O(n·k)), which for the small k used here beats an
-// FFT and keeps the code dependency-free.
+// FFT and keeps the code dependency-free. The four periodogram consumers
+// share the workspace's per-series cache, so the spectrum is computed once
+// per catalog run.
+
+// specBins is the fixed periodogram length. It does not shrink for short
+// series: bins at or beyond the series length hold zero power, keeping the
+// output contract length-independent.
+const specBins = 16
+
+var fftKs = []int{1, 2, 3, 4, 5}
 
 func init() {
-	register("fft_coefficient", TierEfficient, func(x []float64) []Feature {
-		ks := []int{1, 2, 3, 4, 5}
-		out := make([]Feature, 0, len(ks)*2)
-		for _, k := range ks {
-			re, im := dftCoefficient(x, k)
-			out = append(out,
-				Feature{Name: fmtParam("fft_coefficient_abs", "k", k), Value: math.Hypot(re, im)},
-				Feature{Name: fmtParam("fft_coefficient_angle", "k", k), Value: math.Atan2(im, re)},
-			)
+	register("fft_coefficient", TierEfficient, fftNames(), exFFTCoefficient)
+	register("spectral_centroid", TierEfficient, []string{"spectral_centroid"}, exSpectralCentroid)
+	register("spectral_peak_frequency", TierEfficient, []string{"spectral_peak_frequency"}, exSpectralPeakFrequency)
+	register("spectral_band_energy", TierEfficient, bandNames(), exSpectralBandEnergy)
+	register("fourier_entropy", TierEfficient, []string{"fourier_entropy"}, exFourierEntropy)
+}
+
+func fftNames() []string {
+	out := make([]string, 0, len(fftKs)*2)
+	for _, k := range fftKs {
+		out = append(out, fmtParam("fft_coefficient_abs", "k", k), fmtParam("fft_coefficient_angle", "k", k))
+	}
+	return out
+}
+
+// specBands splits the non-DC bins of the periodogram into low/mid/high.
+var specBands = [3][2]int{{1, 5}, {6, 10}, {11, 15}}
+
+func bandNames() []string {
+	labels := []string{"low", "mid", "high"}
+	out := make([]string, len(labels))
+	for i, l := range labels {
+		out[i] = fmtParam("spectral_band_energy", "band", l)
+	}
+	return out
+}
+
+func exFFTCoefficient(x, dst []float64, _ *Workspace) {
+	for i, k := range fftKs {
+		re, im := dftCoefficient(x, k)
+		dst[2*i] = math.Hypot(re, im)
+		dst[2*i+1] = math.Atan2(im, re)
+	}
+}
+
+func exSpectralCentroid(x, dst []float64, ws *Workspace) {
+	p := ws.periodogram16(x)
+	num, den := 0.0, 0.0
+	for k, e := range p {
+		num += float64(k) * e
+		den += e
+	}
+	if den == 0 {
+		return
+	}
+	dst[0] = num / den
+}
+
+func exSpectralPeakFrequency(x, dst []float64, ws *Workspace) {
+	if len(x) <= 1 {
+		return
+	}
+	p := ws.periodogram16(x)
+	// Skip DC (k=0): the peak of interest is oscillatory.
+	best := 1
+	for k := 2; k < len(p); k++ {
+		if p[k] > p[best] {
+			best = k
 		}
-		return out
-	})
-	register("spectral_centroid", TierEfficient, func(x []float64) []Feature {
-		p := periodogram(x, 16)
-		num, den := 0.0, 0.0
-		for k, e := range p {
-			num += float64(k) * e
-			den += e
+	}
+	dst[0] = float64(best)
+}
+
+// exSpectralBandEnergy emits the fraction of non-DC spectral energy in the
+// low (k=1..5), mid (6..10) and high (11..15) bands of the periodogram.
+func exSpectralBandEnergy(x, dst []float64, ws *Workspace) {
+	p := ws.periodogram16(x)
+	total := 0.0
+	for k := 1; k < len(p); k++ {
+		total += p[k]
+	}
+	if total <= 0 {
+		return
+	}
+	for i, b := range specBands {
+		e := 0.0
+		for k := b[0]; k <= b[1]; k++ {
+			e += p[k]
 		}
-		if den == 0 {
-			return one("spectral_centroid", 0)
+		dst[i] = e / total
+	}
+}
+
+func exFourierEntropy(x, dst []float64, ws *Workspace) {
+	p := ws.periodogram16(x)
+	total := 0.0
+	for k := 1; k < len(p); k++ {
+		total += p[k]
+	}
+	if total == 0 {
+		return
+	}
+	h := 0.0
+	for k := 1; k < len(p); k++ {
+		if p[k] > 0 {
+			q := p[k] / total
+			h -= q * math.Log(q)
 		}
-		return one("spectral_centroid", num/den)
-	})
-	register("spectral_peak_frequency", TierEfficient, func(x []float64) []Feature {
-		p := periodogram(x, 16)
-		if len(p) <= 1 {
-			return one("spectral_peak_frequency", 0)
-		}
-		// Skip DC (k=0): the peak of interest is oscillatory.
-		best := 1
-		for k := 2; k < len(p); k++ {
-			if p[k] > p[best] {
-				best = k
-			}
-		}
-		return one("spectral_peak_frequency", float64(best))
-	})
-	register("spectral_band_energy", TierEfficient, func(x []float64) []Feature {
-		// Fraction of non-DC spectral energy in low (k=1..5), mid (6..10)
-		// and high (11..15) bands of a 16-bin periodogram.
-		p := periodogram(x, 16)
-		bands := [3][2]int{{1, 5}, {6, 10}, {11, 15}}
-		names := []string{"low", "mid", "high"}
-		total := 0.0
-		for k := 1; k < len(p); k++ {
-			total += p[k]
-		}
-		out := make([]Feature, 3)
-		for i, b := range bands {
-			e := 0.0
-			for k := b[0]; k <= b[1] && k < len(p); k++ {
-				e += p[k]
-			}
-			v := 0.0
-			if total > 0 {
-				v = e / total
-			}
-			out[i] = Feature{Name: fmtParam("spectral_band_energy", "band", names[i]), Value: v}
-		}
-		return out
-	})
-	register("fourier_entropy", TierEfficient, func(x []float64) []Feature {
-		p := periodogram(x, 16)
-		total := 0.0
-		for k := 1; k < len(p); k++ {
-			total += p[k]
-		}
-		if total == 0 {
-			return one("fourier_entropy", 0)
-		}
-		h := 0.0
-		for k := 1; k < len(p); k++ {
-			if p[k] > 0 {
-				q := p[k] / total
-				h -= q * math.Log(q)
-			}
-		}
-		return one("fourier_entropy", h)
-	})
+	}
+	dst[0] = h
 }
 
 // dftCoefficient returns the real and imaginary parts of the k-th DFT
@@ -114,20 +143,22 @@ func dftCoefficient(x []float64, k int) (re, im float64) {
 	return re, im
 }
 
-// periodogram returns the power |X_k|² of the first bins DFT coefficients of
-// the mean-removed signal (bin 0 is therefore ~0).
-func periodogram(x []float64, bins int) []float64 {
-	n := len(x)
-	if n == 0 {
-		return make([]float64, bins)
-	}
-	if bins > n {
-		bins = n
-	}
-	p := make([]float64, bins)
-	for k := 0; k < bins; k++ {
+// periodogramInto fills p with the power |X_k|² of the first len(p) DFT
+// coefficients of the mean-removed signal (bin 0 is therefore ~0). Bins at
+// or beyond len(x) hold zero power: the output length never depends on the
+// series length, which is what keeps the spectral extractors' fixed-length
+// contract intact for short series.
+func periodogramInto(p, x []float64) {
+	for k := range p {
 		re, im := dftCoefficient(x, k)
 		p[k] = re*re + im*im
 	}
+}
+
+// periodogram returns the bins-length periodogram of x. The result always
+// has exactly bins entries, padding with zero power for short series.
+func periodogram(x []float64, bins int) []float64 {
+	p := make([]float64, bins)
+	periodogramInto(p, x)
 	return p
 }

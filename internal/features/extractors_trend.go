@@ -12,77 +12,72 @@ import (
 // the features that separate drifting behaviour (e.g. a memory leak's
 // monotone MemFree decline) from stationary noise.
 
+const (
+	trendChunks = 10
+	arOrder     = 4
+)
+
+var massQs = []float64{0.25, 0.5, 0.75}
+
 func init() {
-	register("linear_trend", TierEfficient, func(x []float64) []Feature {
-		slope, intercept, r := linearTrend(x)
-		return []Feature{
-			{Name: "linear_trend__slope", Value: slope},
-			{Name: "linear_trend__intercept", Value: intercept},
-			{Name: "linear_trend__rvalue", Value: r},
-		}
-	})
-	register("agg_linear_trend", TierEfficient, func(x []float64) []Feature {
-		// Slope of per-chunk means and per-chunk maxima over 10 chunks:
-		// robust trend indicators for noisy series.
-		const chunks = 10
-		means := chunkAgg(x, chunks, mat.Mean)
-		maxs := chunkAgg(x, chunks, func(v []float64) float64 {
-			if len(v) == 0 {
-				return 0
-			}
-			return mat.Max(v)
-		})
-		sm, _, _ := linearTrend(means)
-		sx, _, _ := linearTrend(maxs)
-		return []Feature{
-			{Name: fmtParam("agg_linear_trend_slope", "agg", "mean"), Value: sm},
-			{Name: fmtParam("agg_linear_trend_slope", "agg", "max"), Value: sx},
-		}
-	})
-	register("energy_ratio_by_chunks", TierEfficient, func(x []float64) []Feature {
-		const chunks = 10
-		energies := chunkAgg(x, chunks, func(v []float64) float64 {
-			s := 0.0
-			for _, u := range v {
-				s += u * u
-			}
-			return s
-		})
-		total := 0.0
-		for _, e := range energies {
-			total += e
-		}
-		out := make([]Feature, chunks)
-		for i := 0; i < chunks; i++ {
-			v := 0.0
-			if total > 0 && i < len(energies) {
-				v = energies[i] / total
-			}
-			out[i] = Feature{Name: fmtParam("energy_ratio_by_chunks", "chunk", i), Value: v}
-		}
-		return out
-	})
-	register("index_mass_quantile", TierEfficient, func(x []float64) []Feature {
-		qs := []float64{0.25, 0.5, 0.75}
-		out := make([]Feature, len(qs))
-		for i, q := range qs {
-			out[i] = Feature{Name: fmtParam("index_mass_quantile", "q", q), Value: indexMassQuantile(x, q)}
-		}
-		return out
-	})
-	register("ar_coefficient", TierEfficient, func(x []float64) []Feature {
-		const order = 4
-		coefs := yuleWalker(x, order)
-		out := make([]Feature, order)
-		for i := 0; i < order; i++ {
-			v := 0.0
-			if i < len(coefs) {
-				v = coefs[i]
-			}
-			out[i] = Feature{Name: fmtParam("ar_coefficient", "k", i+1), Value: v}
-		}
-		return out
-	})
+	register("linear_trend", TierEfficient,
+		[]string{"linear_trend__slope", "linear_trend__intercept", "linear_trend__rvalue"}, exLinearTrend)
+	register("agg_linear_trend", TierEfficient,
+		[]string{fmtParam("agg_linear_trend_slope", "agg", "mean"), fmtParam("agg_linear_trend_slope", "agg", "max")}, exAggLinearTrend)
+	register("energy_ratio_by_chunks", TierEfficient, lagNames("energy_ratio_by_chunks", "chunk", 0, trendChunks-1), exEnergyRatioByChunks)
+	register("index_mass_quantile", TierEfficient, massQuantileNames(), exIndexMassQuantile)
+	register("ar_coefficient", TierEfficient, lagNames("ar_coefficient", "k", 1, arOrder), exARCoefficient)
+}
+
+func massQuantileNames() []string {
+	out := make([]string, len(massQs))
+	for i, q := range massQs {
+		out[i] = fmtParam("index_mass_quantile", "q", q)
+	}
+	return out
+}
+
+func exLinearTrend(x, dst []float64, _ *Workspace) {
+	dst[0], dst[1], dst[2] = linearTrend(x)
+}
+
+// exAggLinearTrend emits the slope of per-chunk means and per-chunk maxima
+// over trendChunks chunks: robust trend indicators for noisy series.
+func exAggLinearTrend(x, dst []float64, ws *Workspace) {
+	means := chunkAggInto(ws.floatA(trendChunks), x, trendChunks, mat.Mean)
+	dst[0], _, _ = linearTrend(means)
+	maxs := chunkAggInto(ws.floatA(trendChunks), x, trendChunks, chunkMax)
+	dst[1], _, _ = linearTrend(maxs)
+}
+
+func exEnergyRatioByChunks(x, dst []float64, ws *Workspace) {
+	energies := chunkAggInto(ws.floatA(trendChunks), x, trendChunks, chunkEnergy)
+	total := 0.0
+	for _, e := range energies {
+		total += e
+	}
+	if total <= 0 {
+		return
+	}
+	for i, e := range energies {
+		dst[i] = e / total
+	}
+}
+
+func exIndexMassQuantile(x, dst []float64, _ *Workspace) {
+	for i, q := range massQs {
+		dst[i] = indexMassQuantile(x, q)
+	}
+}
+
+// exARCoefficient emits AR(arOrder) coefficients fitted by Yule-Walker;
+// zeros when the series is too short or constant.
+func exARCoefficient(x, dst []float64, ws *Workspace) {
+	r := ws.floatA(arOrder + 1)
+	a := ws.floatB(arOrder + 1)
+	if arFit(x, r, a, nil) {
+		copy(dst, a[1:])
+	}
 }
 
 // linearTrend fits y = slope·t + intercept by least squares over t = 0..n-1
@@ -116,17 +111,18 @@ func linearTrend(x []float64) (slope, intercept, r float64) {
 	return slope, intercept, r
 }
 
-// chunkAgg splits x into count nearly equal chunks and applies agg to each.
-// Empty trailing chunks (when len(x) < count) are dropped.
-func chunkAgg(x []float64, count int, agg func([]float64) float64) []float64 {
+// chunkAggInto splits x into count nearly equal chunks and applies agg to
+// each, filling buf (whose length must be at least count) and returning the
+// filled prefix. Empty trailing chunks (when len(x) < count) are dropped.
+func chunkAggInto(buf, x []float64, count int, agg func([]float64) float64) []float64 {
 	n := len(x)
 	if n == 0 || count < 1 {
-		return nil
+		return buf[:0]
 	}
 	if count > n {
 		count = n
 	}
-	out := make([]float64, 0, count)
+	out := buf[:0]
 	for c := 0; c < count; c++ {
 		lo := c * n / count
 		hi := (c + 1) * n / count
@@ -135,6 +131,21 @@ func chunkAgg(x []float64, count int, agg func([]float64) float64) []float64 {
 		}
 	}
 	return out
+}
+
+func chunkMax(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	return mat.Max(v)
+}
+
+func chunkEnergy(v []float64) float64 {
+	s := 0.0
+	for _, u := range v {
+		s += u * u
+	}
+	return s
 }
 
 // indexMassQuantile returns the relative index where q of the total absolute
@@ -162,18 +173,20 @@ func indexMassQuantile(x []float64, q float64) float64 {
 	return 1
 }
 
-// yuleWalker estimates AR(p) coefficients by solving the Yule-Walker
-// equations with Levinson-Durbin recursion. Returns p coefficients, or
-// zeros when the series is too short or has no variance.
-func yuleWalker(x []float64, p int) []float64 {
+// arFit computes the autocovariances of x into r (length p+1 for order p),
+// then solves the Yule-Walker equations by Levinson-Durbin recursion into a
+// (length p+1, zeroed here): after the call a[1..p] holds the AR
+// coefficients. When pacf is non-nil, pacf[k-1] receives the k-th
+// reflection coefficient — the partial autocorrelation at lag k. It reports
+// false when the series is too short or has no variance, in which case
+// callers keep their zero defaults.
+func arFit(x []float64, r, a, pacf []float64) bool {
+	p := len(r) - 1
 	n := len(x)
-	coefs := make([]float64, p)
 	if n <= p+1 {
-		return coefs
+		return false
 	}
-	// Autocovariances r[0..p].
 	m := mat.Mean(x)
-	r := make([]float64, p+1)
 	for k := 0; k <= p; k++ {
 		s := 0.0
 		for i := 0; i < n-k; i++ {
@@ -182,10 +195,11 @@ func yuleWalker(x []float64, p int) []float64 {
 		r[k] = s / float64(n)
 	}
 	if r[0] == 0 {
-		return coefs
+		return false
 	}
-	// Levinson-Durbin.
-	a := make([]float64, p+1)
+	for i := range a {
+		a[i] = 0
+	}
 	e := r[0]
 	for k := 1; k <= p; k++ {
 		acc := r[k]
@@ -196,15 +210,34 @@ func yuleWalker(x []float64, p int) []float64 {
 			break
 		}
 		lambda := acc / e
-		// Update in place using a temporary copy of the relevant prefix.
-		prev := make([]float64, k)
-		copy(prev, a[:k])
-		for j := 1; j < k; j++ {
-			a[j] = prev[j] - lambda*prev[k-j]
+		if pacf != nil {
+			pacf[k-1] = lambda
+		}
+		// Symmetric in-place update: a[j] and a[k-j] only need each
+		// other's old values, so walking the pairs inward needs no
+		// temporary copy of the coefficient prefix.
+		for j, l := 1, k-1; j <= l; j, l = j+1, l-1 {
+			aj, al := a[j], a[l]
+			a[j] = aj - lambda*al
+			if j != l {
+				a[l] = al - lambda*aj
+			}
 		}
 		a[k] = lambda
 		e *= 1 - lambda*lambda
 	}
-	copy(coefs, a[1:])
+	return true
+}
+
+// yuleWalker estimates AR(p) coefficients by solving the Yule-Walker
+// equations with Levinson-Durbin recursion. Returns p coefficients, or
+// zeros when the series is too short or has no variance.
+func yuleWalker(x []float64, p int) []float64 {
+	coefs := make([]float64, p)
+	r := make([]float64, p+1)
+	a := make([]float64, p+1)
+	if arFit(x, r, a, nil) {
+		copy(coefs, a[1:])
+	}
 	return coefs
 }

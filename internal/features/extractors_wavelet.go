@@ -8,43 +8,100 @@ import "math"
 // level localizes where in time-scale space a metric's variability lives:
 // sampling noise concentrates in level 0, application phases in middle
 // levels, drifts in the approximation.
+//
+// The registered extractors run the cascade in place on workspace scratch
+// (the approximation halves in length each level, so it can overwrite the
+// front of the working buffer); haarStep/haarEnergies/haarDetailStds remain
+// as the allocating reference implementations the tests check the in-place
+// forms against. Both emit a fixed feature count: levels the series is too
+// short to support keep their zero defaults.
 
 const waveletLevels = 4
 
+const invSqrt2 = 1 / math.Sqrt2
+
 func init() {
-	register("haar_energy", TierEfficient, func(x []float64) []Feature {
-		energies, approx := haarEnergies(x, waveletLevels)
-		total := approx
-		for _, e := range energies {
-			total += e
+	register("haar_energy", TierEfficient, haarEnergyNames(), exHaarEnergy)
+	register("haar_detail_std", TierEfficient, lagNames("haar_detail_std", "level", 0, waveletLevels-1), exHaarDetailStd)
+}
+
+func haarEnergyNames() []string {
+	out := lagNames("haar_energy_ratio", "level", 0, waveletLevels-1)
+	return append(out, "haar_energy_ratio__approx")
+}
+
+func exHaarEnergy(x, dst []float64, ws *Workspace) {
+	if len(x) < 2 {
+		return
+	}
+	work := ws.floatA(len(x))
+	m := 0.0
+	for _, v := range x {
+		m += v
+	}
+	m /= float64(len(x))
+	for i, v := range x {
+		work[i] = v - m
+	}
+	var details [waveletLevels]float64
+	nLevels := 0
+	n := len(work)
+	for lvl := 0; lvl < waveletLevels && n >= 2; lvl++ {
+		h := n / 2
+		e := 0.0
+		for i := 0; i < h; i++ {
+			a := (work[2*i] + work[2*i+1]) * invSqrt2
+			d := (work[2*i] - work[2*i+1]) * invSqrt2
+			work[i] = a
+			e += d * d
 		}
-		out := make([]Feature, 0, waveletLevels+1)
-		for lvl := 0; lvl < waveletLevels; lvl++ {
-			v := 0.0
-			if total > 0 && lvl < len(energies) {
-				v = energies[lvl] / total
-			}
-			out = append(out, Feature{Name: fmtParam("haar_energy_ratio", "level", lvl), Value: v})
+		details[lvl] = e
+		nLevels++
+		n = h
+	}
+	approx := 0.0
+	for _, a := range work[:n] {
+		approx += a * a
+	}
+	total := approx
+	for _, e := range details[:nLevels] {
+		total += e
+	}
+	if total <= 0 {
+		return
+	}
+	for lvl := 0; lvl < nLevels; lvl++ {
+		dst[lvl] = details[lvl] / total
+	}
+	dst[waveletLevels] = approx / total
+}
+
+func exHaarDetailStd(x, dst []float64, ws *Workspace) {
+	if len(x) < 2 {
+		return
+	}
+	work := ws.floatA(len(x))
+	copy(work, x)
+	det := ws.floatB(len(x) / 2)
+	n := len(x)
+	for lvl := 0; lvl < waveletLevels && n >= 2; lvl++ {
+		h := n / 2
+		for i := 0; i < h; i++ {
+			det[i] = (work[2*i] - work[2*i+1]) * invSqrt2
+			work[i] = (work[2*i] + work[2*i+1]) * invSqrt2
 		}
-		v := 0.0
-		if total > 0 {
-			v = approx / total
+		mean := 0.0
+		for _, d := range det[:h] {
+			mean += d
 		}
-		out = append(out, Feature{Name: "haar_energy_ratio__approx", Value: v})
-		return out
-	})
-	register("haar_detail_std", TierEfficient, func(x []float64) []Feature {
-		stds := haarDetailStds(x, waveletLevels)
-		out := make([]Feature, waveletLevels)
-		for lvl := 0; lvl < waveletLevels; lvl++ {
-			v := 0.0
-			if lvl < len(stds) {
-				v = stds[lvl]
-			}
-			out[lvl] = Feature{Name: fmtParam("haar_detail_std", "level", lvl), Value: v}
+		mean /= float64(h)
+		varSum := 0.0
+		for _, d := range det[:h] {
+			varSum += (d - mean) * (d - mean)
 		}
-		return out
-	})
+		dst[lvl] = math.Sqrt(varSum / float64(h))
+		n = h
+	}
 }
 
 // haarStep performs one Haar DWT level: approximation (pairwise averages ×
@@ -54,10 +111,9 @@ func haarStep(x []float64) (approx, detail []float64) {
 	n := len(x) / 2
 	approx = make([]float64, n)
 	detail = make([]float64, n)
-	inv := 1 / math.Sqrt2
 	for i := 0; i < n; i++ {
-		approx[i] = (x[2*i] + x[2*i+1]) * inv
-		detail[i] = (x[2*i] - x[2*i+1]) * inv
+		approx[i] = (x[2*i] + x[2*i+1]) * invSqrt2
+		detail[i] = (x[2*i] - x[2*i+1]) * invSqrt2
 	}
 	return approx, detail
 }

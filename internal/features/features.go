@@ -8,6 +8,12 @@
 // over every metric column of one node's telemetry table. Feature names are
 // "<metric>__<feature>" so a selected feature can always be traced back to
 // the metric and method that produced it.
+//
+// The hot path is destination-passing: ExtractSeriesInto / ExtractTableInto
+// write into caller-owned slices at offsets precomputed by New, drawing all
+// scratch space from a pooled Workspace, so steady-state extraction performs
+// no allocations. ExtractSeries / ExtractTable remain as convenience
+// wrappers that return fresh slices.
 package features
 
 import (
@@ -38,31 +44,42 @@ const (
 	TierFull
 )
 
+// SeriesFn computes one extractor's features from x into dst, whose length
+// equals the extractor's declared Names. dst arrives zeroed, so extractors
+// may return early on degenerate inputs (empty or constant series) and
+// leave the zero defaults in place; the catalog sanitizes non-finite
+// results to 0 after the call. ws supplies all scratch space; neither dst
+// nor ws may be retained past the call.
+type SeriesFn func(x, dst []float64, ws *Workspace)
+
 // Extractor computes a fixed-length group of features from one series.
-//
-// Fn must return the same number of features, with the same names in the
-// same order, for every input including degenerate ones (empty or constant
-// series); non-finite results are sanitized to 0 by the catalog.
+// Names declares at registration time exactly which features Fn fills, so
+// the fixed-length contract is structural rather than probed: every input,
+// including degenerate ones, yields len(Names) values.
 type Extractor struct {
-	Name string
-	Tier Tier
-	Fn   func(x []float64) []Feature
+	Name  string
+	Tier  Tier
+	Names []string
+	Fn    SeriesFn
 }
 
-// Catalog is an ordered collection of extractors.
+// Catalog is an ordered collection of extractors. The per-series name table
+// and per-extractor offsets are precomputed by New, so a Catalog is
+// immutable after construction and safe for concurrent use.
 type Catalog struct {
 	Extractors []Extractor
 	// MaxTier records which tier cutoff built this catalog, so deployment
 	// artifacts can persist and reconstruct it.
 	MaxTier Tier
-	names   []string // lazily computed per-series feature names
+	names   []string // concatenated Extractor.Names, fixed at New
+	offsets []int    // start of each extractor's block in the series vector
 }
 
 // registry holds every known extractor in canonical order.
 var registry []Extractor
 
-func register(name string, tier Tier, fn func(x []float64) []Feature) {
-	registry = append(registry, Extractor{Name: name, Tier: tier, Fn: fn})
+func register(name string, tier Tier, names []string, fn SeriesFn) {
+	registry = append(registry, Extractor{Name: name, Tier: tier, Names: names, Fn: fn})
 }
 
 // New returns a catalog containing all registered extractors at or below
@@ -72,6 +89,8 @@ func New(maxTier Tier) *Catalog {
 	for _, e := range registry {
 		if e.Tier <= maxTier {
 			c.Extractors = append(c.Extractors, e)
+			c.offsets = append(c.offsets, len(c.names))
+			c.names = append(c.names, e.Names...)
 		}
 	}
 	return c
@@ -87,82 +106,103 @@ func Full() *Catalog { return New(TierFull) }
 // Minimal returns only the O(n) descriptive statistics.
 func Minimal() *Catalog { return New(TierMinimal) }
 
+// ExtractSeriesInto runs the catalog over one series, writing each
+// extractor's values into dst at its precomputed offset. dst must have
+// length NumFeaturesPerSeries. Non-finite values are replaced by 0. This is
+// the allocation-free core: all scratch space comes from ws.
+func (c *Catalog) ExtractSeriesInto(dst, x []float64, ws *Workspace) {
+	if len(dst) != len(c.names) {
+		panic(fmt.Sprintf("features: ExtractSeriesInto dst length %d, want %d", len(dst), len(c.names)))
+	}
+	ws.begin()
+	for i := range c.Extractors {
+		e := &c.Extractors[i]
+		sub := dst[c.offsets[i] : c.offsets[i]+len(e.Names)]
+		clear(sub)
+		e.Fn(x, sub, ws)
+		for j, v := range sub {
+			if !isFinite(v) {
+				sub[j] = 0
+			}
+		}
+	}
+}
+
 // ExtractSeries runs the catalog over one series, returning the raw features
 // (names not yet namespaced by metric). Non-finite values are replaced by 0.
 func (c *Catalog) ExtractSeries(x []float64) []Feature {
-	var out []Feature
-	for _, e := range c.Extractors {
-		fs := e.Fn(x)
-		for i := range fs {
-			if !isFinite(fs[i].Value) {
-				fs[i].Value = 0
-			}
-		}
-		out = append(out, fs...)
+	ws := GetWorkspace()
+	defer PutWorkspace(ws)
+	vals := make([]float64, len(c.names))
+	c.ExtractSeriesInto(vals, x, ws)
+	out := make([]Feature, len(vals))
+	for i, v := range vals {
+		out[i] = Feature{Name: c.names[i], Value: v}
 	}
 	return out
 }
 
 // SeriesFeatureNames returns the per-series feature names the catalog
-// produces, in order. The result is cached.
-func (c *Catalog) SeriesFeatureNames() []string {
-	if c.names != nil {
-		return c.names
-	}
-	probe := []float64{1, 2, 0.5, 3, 2.5, 1.5, 4, 0, 2, 3.5, 1, 2.2}
-	fs := c.ExtractSeries(probe)
-	names := make([]string, len(fs))
-	for i, f := range fs {
-		names[i] = f.Name
-	}
-	c.names = names
-	return names
-}
+// produces, in order. The slice is precomputed by New and shared; callers
+// must not modify it.
+func (c *Catalog) SeriesFeatureNames() []string { return c.names }
 
 // NumFeaturesPerSeries returns how many features the catalog emits per
 // metric column.
-func (c *Catalog) NumFeaturesPerSeries() int { return len(c.SeriesFeatureNames()) }
+func (c *Catalog) NumFeaturesPerSeries() int { return len(c.names) }
 
-// ExtractTable runs the catalog over every metric column of t in parallel
-// and returns the namespaced feature names ("metric__feature") and the flat
-// feature vector, ordered by t.Order then catalog order.
-func (c *Catalog) ExtractTable(t *timeseries.Table) ([]string, []float64) {
-	per := c.NumFeaturesPerSeries()
+// ExtractTableInto runs the catalog over every metric column of t, writing
+// the flat feature vector (ordered by t.Order then catalog order) into dst,
+// whose length must be t.NumMetrics()·NumFeaturesPerSeries(). Metrics are
+// range-partitioned across at most GOMAXPROCS workers, each writing a
+// disjoint region of dst with its own pooled workspace, so the result is
+// bit-identical for any worker count.
+func (c *Catalog) ExtractTableInto(dst []float64, t *timeseries.Table) {
+	per := len(c.names)
 	nm := t.NumMetrics()
-	names := make([]string, nm*per)
-	values := make([]float64, nm*per)
-
-	serNames := c.SeriesFeatureNames()
+	if len(dst) != nm*per {
+		panic(fmt.Sprintf("features: ExtractTableInto dst length %d, want %d", len(dst), nm*per))
+	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > nm {
 		workers = nm
 	}
-	if workers < 1 {
-		workers = 1
+	if workers <= 1 {
+		ws := GetWorkspace()
+		defer PutWorkspace(ws)
+		for mi := 0; mi < nm; mi++ {
+			c.ExtractSeriesInto(dst[mi*per:(mi+1)*per], t.Columns[t.Order[mi]], ws)
+		}
+		return
 	}
 	var wg sync.WaitGroup
-	jobs := make(chan int)
 	for w := 0; w < workers; w++ {
+		lo, hi := w*nm/workers, (w+1)*nm/workers
+		if lo == hi {
+			continue
+		}
 		wg.Add(1)
-		go func() {
+		go func(lo, hi int) {
 			defer wg.Done()
-			for mi := range jobs {
-				metric := t.Order[mi]
-				fs := c.ExtractSeries(t.Columns[metric])
-				base := mi * per
-				for i, f := range fs {
-					names[base+i] = metric + "__" + serNames[i]
-					values[base+i] = f.Value
-				}
+			ws := GetWorkspace()
+			defer PutWorkspace(ws)
+			for mi := lo; mi < hi; mi++ {
+				c.ExtractSeriesInto(dst[mi*per:(mi+1)*per], t.Columns[t.Order[mi]], ws)
 			}
-		}()
+		}(lo, hi)
 	}
-	for mi := 0; mi < nm; mi++ {
-		jobs <- mi
-	}
-	close(jobs)
 	wg.Wait()
-	return names, values
+}
+
+// ExtractTable runs the catalog over every metric column of t and returns
+// the namespaced feature names ("metric__feature") and the flat feature
+// vector, ordered by t.Order then catalog order. Prefer ExtractTableInto
+// plus TableFeatureNames on hot paths: names rarely change between calls,
+// and this wrapper rebuilds them every time.
+func (c *Catalog) ExtractTable(t *timeseries.Table) ([]string, []float64) {
+	values := make([]float64, t.NumMetrics()*len(c.names))
+	c.ExtractTableInto(values, t)
+	return c.TableFeatureNames(t.Order), values
 }
 
 // TableFeatureNames returns the namespaced names ExtractTable would produce
@@ -180,10 +220,17 @@ func (c *Catalog) TableFeatureNames(metricOrder []string) []string {
 
 func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
-// one wraps a single scalar into a one-feature slice.
-func one(name string, v float64) []Feature { return []Feature{{Name: name, Value: v}} }
-
 // fmtParam renders a parameterized feature name like "autocorrelation__lag_3".
 func fmtParam(base, param string, v interface{}) string {
 	return fmt.Sprintf("%s__%s_%v", base, param, v)
+}
+
+// lagNames renders the name list of an integer-parameterized extractor,
+// e.g. lagNames("c3", "lag", 1, 3) → c3__lag_1 … c3__lag_3.
+func lagNames(base, param string, lo, hi int) []string {
+	out := make([]string, 0, hi-lo+1)
+	for v := lo; v <= hi; v++ {
+		out = append(out, fmtParam(base, param, v))
+	}
+	return out
 }

@@ -144,7 +144,7 @@ func TestC3AndTimeReversal(t *testing.T) {
 }
 
 func TestBinnedEntropy(t *testing.T) {
-	if binnedEntropy([]float64{5, 5, 5}, 10) != 0 {
+	if binnedEntropy([]float64{5, 5, 5}, 10, NewWorkspace()) != 0 {
 		t.Fatal("constant series entropy should be 0")
 	}
 	// Uniform spread across bins approaches log(10).
@@ -152,7 +152,7 @@ func TestBinnedEntropy(t *testing.T) {
 	for i := range x {
 		x[i] = float64(i)
 	}
-	h := binnedEntropy(x, 10)
+	h := binnedEntropy(x, 10, NewWorkspace())
 	if math.Abs(h-math.Log(10)) > 0.01 {
 		t.Fatalf("uniform entropy = %v, want ~%v", h, math.Log(10))
 	}
@@ -161,7 +161,7 @@ func TestBinnedEntropy(t *testing.T) {
 func TestPermutationEntropy(t *testing.T) {
 	// Monotone series: single ordinal pattern, entropy 0.
 	x := []float64{1, 2, 3, 4, 5, 6, 7}
-	if h := permutationEntropy(x, 3); h != 0 {
+	if h := permutationEntropy(x, 3, NewWorkspace()); h != 0 {
 		t.Fatalf("monotone permutation entropy = %v", h)
 	}
 	// Random series: entropy close to 1 (normalized).
@@ -170,7 +170,7 @@ func TestPermutationEntropy(t *testing.T) {
 	for i := range r {
 		r[i] = rng.Float64()
 	}
-	if h := permutationEntropy(r, 3); h < 0.9 {
+	if h := permutationEntropy(r, 3, NewWorkspace()); h < 0.9 {
 		t.Fatalf("random permutation entropy = %v", h)
 	}
 }

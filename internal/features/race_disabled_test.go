@@ -1,0 +1,7 @@
+//go:build !race
+
+package features
+
+// raceEnabled reports whether the race detector is active; its
+// instrumentation allocates, so allocation pins are skipped under -race.
+const raceEnabled = false

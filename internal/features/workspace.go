@@ -1,0 +1,127 @@
+package features
+
+import (
+	"slices"
+	"sync"
+)
+
+// Workspace holds the scratch state one goroutine needs to run the catalog
+// without per-call allocations: reusable float/int/byte buffers for diffs,
+// histograms, chunk aggregates and Haar intermediates, a per-series cache
+// for the sorted copy and the periodogram shared by several extractors, and
+// the trie backing Lempel-Ziv phrase parsing. Buffers grow to the largest
+// series seen and are then reused, so steady-state extraction allocates
+// nothing.
+//
+// A Workspace is not safe for concurrent use. Pool instances with
+// GetWorkspace/PutWorkspace; ExtractSeriesInto resets the per-series caches
+// on entry.
+type Workspace struct {
+	// fa and fb are general float scratch buffers. Each extractor
+	// invocation owns both exclusively for its duration; helpers called
+	// with one buffer must not grab the other unless the extractor's own
+	// use has ended.
+	fa, fb []float64
+	// ints backs histogram and ordinal-pattern counts (returned zeroed).
+	ints []int
+	// bytes backs the discretized symbol stream of Lempel-Ziv parsing.
+	bytes []byte
+	// trie backs the Lempel-Ziv phrase trie (lzBins children per node).
+	trie []int32
+
+	// sorted caches one ascending-sorted copy of the current series so the
+	// whole percentile family (median, quantiles, IQR, MAD, corridors, …)
+	// sorts the series once per catalog run.
+	sorted   []float64
+	sortedOK bool
+
+	// pgram caches the specBins-bin periodogram of the current series,
+	// shared by the spectral extractors.
+	pgram   [specBins]float64
+	pgramOK bool
+}
+
+// NewWorkspace returns an empty workspace. Most callers should prefer
+// GetWorkspace/PutWorkspace so buffer capacity is recycled.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+var wsPool = sync.Pool{New: func() any { return NewWorkspace() }}
+
+// GetWorkspace takes a pooled workspace.
+func GetWorkspace() *Workspace { return wsPool.Get().(*Workspace) }
+
+// PutWorkspace returns a workspace to the pool. The caller must not use it
+// afterwards.
+func PutWorkspace(w *Workspace) { wsPool.Put(w) }
+
+// begin invalidates the per-series caches before a new input series.
+func (w *Workspace) begin() {
+	w.sortedOK = false
+	w.pgramOK = false
+}
+
+// growFloats returns a length-n slice backed by buf, reallocating only when
+// capacity is insufficient.
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// floatA returns the first general float scratch buffer with length n.
+// Contents are unspecified; callers must overwrite before reading.
+func (w *Workspace) floatA(n int) []float64 {
+	w.fa = growFloats(w.fa, n)
+	return w.fa
+}
+
+// floatB returns the second general float scratch buffer with length n.
+func (w *Workspace) floatB(n int) []float64 {
+	w.fb = growFloats(w.fb, n)
+	return w.fb
+}
+
+// intBuf returns a zeroed int scratch buffer with length n.
+func (w *Workspace) intBuf(n int) []int {
+	if cap(w.ints) < n {
+		w.ints = make([]int, n)
+	}
+	s := w.ints[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// byteBuf returns a byte scratch buffer with length n. Contents are
+// unspecified; callers must overwrite before reading.
+func (w *Workspace) byteBuf(n int) []byte {
+	if cap(w.bytes) < n {
+		w.bytes = make([]byte, n)
+	}
+	return w.bytes[:n]
+}
+
+// sortedCopy returns an ascending-sorted copy of x, cached for the current
+// series (the cache is invalidated by begin, or when the length changes).
+// Callers must not modify the result.
+func (w *Workspace) sortedCopy(x []float64) []float64 {
+	if !w.sortedOK || len(w.sorted) != len(x) {
+		w.sorted = growFloats(w.sorted, len(x))
+		copy(w.sorted, x)
+		slices.Sort(w.sorted)
+		w.sortedOK = true
+	}
+	return w.sorted
+}
+
+// periodogram16 returns the specBins-bin periodogram of x, cached for the
+// current series. Callers must not modify the result.
+func (w *Workspace) periodogram16(x []float64) []float64 {
+	if !w.pgramOK {
+		periodogramInto(w.pgram[:], x)
+		w.pgramOK = true
+	}
+	return w.pgram[:]
+}

@@ -82,11 +82,20 @@ func (m *Matrix) RowCopy(i int) []float64 {
 
 // Col returns a copy of column j.
 func (m *Matrix) Col(j int) []float64 {
-	out := make([]float64, m.Rows)
-	for i := 0; i < m.Rows; i++ {
-		out[i] = m.Data[i*m.Cols+j]
+	return m.ColInto(make([]float64, m.Rows), j)
+}
+
+// ColInto copies column j into dst, which must have length m.Rows. It is
+// the allocation-free form of Col for callers that reuse one buffer across
+// columns.
+func (m *Matrix) ColInto(dst []float64, j int) []float64 {
+	if len(dst) != m.Rows {
+		panic("mat: ColInto length mismatch")
 	}
-	return out
+	for i := 0; i < m.Rows; i++ {
+		dst[i] = m.Data[i*m.Cols+j]
+	}
+	return dst
 }
 
 // Clone returns a deep copy of m.

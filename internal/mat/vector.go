@@ -150,6 +150,23 @@ func Percentile(v []float64, p float64) float64 {
 	s := make([]float64, len(v))
 	copy(s, v)
 	sort.Float64s(s)
+	return PercentileSorted(s, p)
+}
+
+// PercentileSorted returns the p-th percentile (0 ≤ p ≤ 100) of s, which
+// must already be sorted ascending. It is the allocation-free core of
+// Percentile for hot paths that sort once and take many percentiles.
+// It panics on an empty slice.
+func PercentileSorted(s []float64, p float64) float64 {
+	if len(s) == 0 {
+		panic("mat: PercentileSorted of empty slice")
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
 	if len(s) == 1 {
 		return s[0]
 	}
@@ -165,6 +182,9 @@ func Percentile(v []float64, p float64) float64 {
 
 // Median returns the 50th percentile of v.
 func Median(v []float64) float64 { return Percentile(v, 50) }
+
+// MedianSorted returns the 50th percentile of an ascending-sorted slice.
+func MedianSorted(s []float64) float64 { return PercentileSorted(s, 50) }
 
 // MAE returns the mean absolute error between a and b.
 func MAE(a, b []float64) float64 {

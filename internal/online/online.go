@@ -272,13 +272,15 @@ func (d *Detector) assembleWindow(key streamKey, b *streamBuffer) (pendingWindow
 	window.DiffColumns(acc)
 	window.SortColumns()
 
-	_, vec := d.Cfg.Catalog.ExtractTable(window)
-	if len(vec) != len(d.Model.FeatureNames()) {
+	want := len(d.Model.FeatureNames())
+	if window.NumMetrics()*d.Cfg.Catalog.NumFeaturesPerSeries() != want {
 		// Schema mismatch (e.g. a GPU node against a CPU model): skip
 		// rather than emit garbage.
 		windowsDropped.With("schema").Inc()
 		return pendingWindow{}, false
 	}
+	vec := make([]float64, want)
+	d.Cfg.Catalog.ExtractTableInto(vec, window)
 
 	// Drop rows that can no longer contribute to any future window.
 	horizon := start + d.Cfg.Stride
@@ -403,8 +405,13 @@ func BuildWindowDataset(store *dsos.Store, jobs map[int64]map[int][2]string, app
 						}
 						m := meta
 						m.WindowStart = start
-						names, vec := cfg.Catalog.ExtractTable(w)
-						perJob[i] = append(perJob[i], windowSample{meta: m, names: names, vec: vec})
+						// The vector escapes into the dataset, so it is
+						// allocated here; the namespaced name table is
+						// deferred to assembly, which builds it once
+						// instead of per window.
+						vec := make([]float64, w.NumMetrics()*cfg.Catalog.NumFeaturesPerSeries())
+						cfg.Catalog.ExtractTableInto(vec, w)
+						perJob[i] = append(perJob[i], windowSample{meta: m, order: w.Order, vec: vec})
 					}
 				}
 			}
@@ -421,7 +428,7 @@ func BuildWindowDataset(store *dsos.Store, jobs map[int64]map[int][2]string, app
 			return nil, errs[i]
 		}
 		for _, s := range samples {
-			builder.addVec(s.meta, s.names, s.vec)
+			builder.addVec(s.meta, s.order, s.vec)
 		}
 	}
 	return builder.build()
@@ -435,23 +442,26 @@ type windowAccumulator struct {
 	meta    []pipeline.SampleMeta
 }
 
-// windowSample is one extracted window row awaiting ordered assembly.
+// windowSample is one extracted window row awaiting ordered assembly. It
+// carries the source table's metric order instead of the namespaced name
+// table, which the accumulator builds once from the first sample.
 type windowSample struct {
 	meta  pipeline.SampleMeta
-	names []string
+	order []string
 	vec   []float64
 }
 
 func (w *windowAccumulator) add(meta pipeline.SampleMeta, tb *timeseries.Table) {
-	names, vec := w.catalog.ExtractTable(tb)
-	w.addVec(meta, names, vec)
+	vec := make([]float64, tb.NumMetrics()*w.catalog.NumFeaturesPerSeries())
+	w.catalog.ExtractTableInto(vec, tb)
+	w.addVec(meta, tb.Order, vec)
 }
 
 // addVec appends a pre-extracted vector; extraction can then run on any
 // goroutine while assembly stays ordered and single-goroutine.
-func (w *windowAccumulator) addVec(meta pipeline.SampleMeta, names []string, vec []float64) {
+func (w *windowAccumulator) addVec(meta pipeline.SampleMeta, order []string, vec []float64) {
 	if w.names == nil {
-		w.names = names
+		w.names = w.catalog.TableFeatureNames(order)
 	}
 	if len(vec) != len(w.names) {
 		return // mixed schema window; skip

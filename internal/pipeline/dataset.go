@@ -154,6 +154,14 @@ func (p *DataPipeline) ExtractTable(tb *timeseries.Table) ([]string, []float64) 
 	return p.Catalog.ExtractTable(tb)
 }
 
+// ExtractInto writes one component's flat feature vector into dst, whose
+// length must be tb.NumMetrics()·Catalog.NumFeaturesPerSeries(). Pair with
+// Catalog.TableFeatureNames to recover the names without reallocating them
+// per sample.
+func (p *DataPipeline) ExtractInto(dst []float64, tb *timeseries.Table) {
+	p.Catalog.ExtractTableInto(dst, tb)
+}
+
 // jobSpec pairs a job ID with its ground truth for dataset assembly.
 type jobSpec struct {
 	jobID int64
@@ -319,43 +327,50 @@ func (b *DatasetBuilder) BuildPartitioned() (map[string]*Dataset, error) {
 }
 
 // extract runs feature extraction over tasks in parallel and assembles the
-// dataset.
+// dataset. Workers write each sample's features directly into its matrix
+// row — no per-sample vectors are allocated — and tasks are
+// range-partitioned so the row contents are deterministic for any worker
+// count. Parallelism lives here, across samples; each worker extracts its
+// tables serially with one pooled workspace.
 func (b *DatasetBuilder) extract(tasks []task) (*Dataset, error) {
-	// Extract features in parallel across samples.
-	vectors := make([][]float64, len(tasks))
-	var names []string
-	var nameOnce sync.Once
+	cat := b.Pipe.Catalog
+	per := cat.NumFeaturesPerSeries()
+	width := tasks[0].table.NumMetrics() * per
+	for i, t := range tasks {
+		if n := t.table.NumMetrics() * per; n != width {
+			return nil, fmt.Errorf("pipeline: sample %d has %d features, expected %d (mismatched metric schemas across jobs)", i, n, width)
+		}
+	}
+	names := cat.TableFeatureNames(tasks[0].table.Order)
+	x := mat.New(len(tasks), width)
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(tasks) {
 		workers = len(tasks)
 	}
-	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
+		lo, hi := w*len(tasks)/workers, (w+1)*len(tasks)/workers
+		if lo == hi {
+			continue
+		}
 		wg.Add(1)
-		go func() {
+		go func(lo, hi int) {
 			defer wg.Done()
-			for i := range jobs {
-				ns, vec := b.Pipe.ExtractTable(tasks[i].table)
-				vectors[i] = vec
-				nameOnce.Do(func() { names = ns })
+			ws := features.GetWorkspace()
+			defer features.PutWorkspace(ws)
+			for i := lo; i < hi; i++ {
+				tb := tasks[i].table
+				row := x.Row(i)
+				for mi, m := range tb.Order {
+					cat.ExtractSeriesInto(row[mi*per:(mi+1)*per], tb.Columns[m], ws)
+				}
 			}
-		}()
+		}(lo, hi)
 	}
-	for i := range tasks {
-		jobs <- i
-	}
-	close(jobs)
 	wg.Wait()
 
-	width := len(vectors[0])
-	x := mat.New(len(tasks), width)
 	meta := make([]SampleMeta, len(tasks))
-	for i, vec := range vectors {
-		if len(vec) != width {
-			return nil, fmt.Errorf("pipeline: sample %d has %d features, expected %d (mismatched metric schemas across jobs)", i, len(vec), width)
-		}
-		copy(x.Row(i), vec)
+	for i := range tasks {
 		meta[i] = tasks[i].meta
 	}
 	return &Dataset{FeatureNames: names, X: x, Meta: meta}, nil

@@ -7,6 +7,7 @@ package scale
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 
 	"prodigy/internal/mat"
 )
@@ -42,15 +43,16 @@ type MinMax struct {
 // NewMinMax returns an unfitted MinMax scaler.
 func NewMinMax() *MinMax { return &MinMax{} }
 
-// Fit implements Scaler.
+// Fit implements Scaler. One column buffer is reused across all columns.
 func (s *MinMax) Fit(x *mat.Matrix) {
 	s.Mins = make([]float64, x.Cols)
 	s.Ranges = make([]float64, x.Cols)
+	if x.Rows == 0 {
+		return
+	}
+	col := make([]float64, x.Rows)
 	for j := 0; j < x.Cols; j++ {
-		col := x.Col(j)
-		if len(col) == 0 {
-			continue
-		}
+		x.ColInto(col, j)
 		lo, hi := mat.Min(col), mat.Max(col)
 		s.Mins[j] = lo
 		s.Ranges[j] = hi - lo
@@ -103,12 +105,16 @@ type Standard struct {
 // NewStandard returns an unfitted Standard scaler.
 func NewStandard() *Standard { return &Standard{} }
 
-// Fit implements Scaler.
+// Fit implements Scaler. One column buffer is reused across all columns.
 func (s *Standard) Fit(x *mat.Matrix) {
 	s.Means = make([]float64, x.Cols)
 	s.Stds = make([]float64, x.Cols)
+	if x.Rows == 0 {
+		return
+	}
+	col := make([]float64, x.Rows)
 	for j := 0; j < x.Cols; j++ {
-		col := x.Col(j)
+		x.ColInto(col, j)
 		s.Means[j] = mat.Mean(col)
 		s.Stds[j] = mat.Std(col)
 	}
@@ -155,17 +161,21 @@ type Robust struct {
 // NewRobust returns an unfitted Robust scaler.
 func NewRobust() *Robust { return &Robust{} }
 
-// Fit implements Scaler.
+// Fit implements Scaler. Each column is copied into a reused buffer and
+// sorted once; the median and both quartiles then read the sorted data
+// directly instead of re-sorting per percentile.
 func (s *Robust) Fit(x *mat.Matrix) {
 	s.Medians = make([]float64, x.Cols)
 	s.IQRs = make([]float64, x.Cols)
+	if x.Rows == 0 {
+		return
+	}
+	col := make([]float64, x.Rows)
 	for j := 0; j < x.Cols; j++ {
-		col := x.Col(j)
-		if len(col) == 0 {
-			continue
-		}
-		s.Medians[j] = mat.Median(col)
-		s.IQRs[j] = mat.Percentile(col, 75) - mat.Percentile(col, 25)
+		x.ColInto(col, j)
+		sort.Float64s(col)
+		s.Medians[j] = mat.MedianSorted(col)
+		s.IQRs[j] = mat.PercentileSorted(col, 75) - mat.PercentileSorted(col, 25)
 	}
 }
 
