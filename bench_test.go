@@ -373,6 +373,26 @@ func BenchmarkConcurrentScoring(b *testing.B) {
 	}
 }
 
+// benchScoringInstrumentation measures the serving batch path — one
+// dashboard request's worth of rows, serial scoring — with the model-health
+// observability layer (score sketch, cost ledger, throughput counters)
+// enabled or disabled. The BENCH_scoring.json pair pins the contract that
+// instrumentation costs under 5% of scoring time (DESIGN.md §13).
+func benchScoringInstrumentation(b *testing.B, on bool) {
+	det, x := benchDetector(b)
+	batch := x.SelectRows([]int{0, 1, 2, 3, 4, 5, 6, 7})
+	prev := pipeline.SetInstrumentation(on)
+	defer pipeline.SetInstrumentation(prev)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det.Scores(batch)
+	}
+	b.ReportMetric(float64(batch.Rows*b.N)/b.Elapsed().Seconds(), "samples/s")
+}
+
+func BenchmarkScoringInstrumented(b *testing.B)   { benchScoringInstrumentation(b, true) }
+func BenchmarkScoringUninstrumented(b *testing.B) { benchScoringInstrumentation(b, false) }
+
 // BenchmarkBatchScoresParallel measures the large-batch Scores path, which
 // fans rows out across GOMAXPROCS workers internally.
 func BenchmarkBatchScoresParallel(b *testing.B) {

@@ -20,7 +20,13 @@
 //
 //	curl localhost:8080/api/health
 //	curl localhost:8080/metrics
+//	curl localhost:8080/api/alerts
+//	curl "localhost:8080/api/timeseries?name=prodigy_scores_total&agg=rate&window=60s"
+//	curl localhost:8080/debug/spans
 //	go tool pprof localhost:8080/debug/pprof/profile?seconds=5
+//
+// or open localhost:8080/dashboard in a browser for the self-contained
+// model-health view (sparklines, alert states, per-model cost ledger).
 package main
 
 import (
@@ -44,6 +50,8 @@ import (
 	"prodigy/internal/hpas"
 	"prodigy/internal/ldms"
 	"prodigy/internal/obs"
+	"prodigy/internal/obs/alert"
+	"prodigy/internal/obs/tsdb"
 	"prodigy/internal/online"
 	"prodigy/internal/pipeline"
 	"prodigy/internal/server"
@@ -60,6 +68,10 @@ func main() {
 	stream := flag.Bool("stream", true, "train a window model and replay extra jobs through the streaming detector")
 	streamJobs := flag.Int("stream-jobs", 2, "extra jobs replayed through the streaming detector")
 	trainWorkers := flag.Int("train-workers", 0, "data-parallel training workers per fit (0 = GOMAXPROCS); results are bit-identical for any value")
+	scrapeInterval := flag.Duration("scrape-interval", 5*time.Second, "in-process tsdb scrape interval")
+	retention := flag.Int("retention", 720, "points retained per tsdb series (memory is retention × series × 16 bytes)")
+	alertRules := flag.String("alert-rules", "", "JSON alert-rules file (empty = built-in defaults)")
+	logRate := flag.Float64("log-rate", 0, "max non-error log lines per second, 0 = unlimited (errors are never limited; drops land in log_dropped_total)")
 	flag.Parse()
 
 	lvl, err := obs.ParseLevel(*logLevel)
@@ -68,6 +80,13 @@ func main() {
 		os.Exit(2)
 	}
 	obs.SetLogLevel(lvl)
+	if *logRate > 0 {
+		burst := *logRate
+		if burst < 1 {
+			burst = 1
+		}
+		obs.Log.SetRateLimit(*logRate, burst)
+	}
 
 	var sys *cluster.System
 	var appNames []string
@@ -169,6 +188,40 @@ func main() {
 			obs.Info("drift monitor armed", "reference_scores", healthy.Len())
 		}
 	}
+
+	// Model-health observability: the in-process tsdb self-scrapes the obs
+	// registry and the alert engine evaluates its rules after every scrape,
+	// with the deployed model's sketch-vs-baseline KS test as the
+	// score-shift source. Serves /api/timeseries, /api/alerts, /dashboard.
+	var engine *alert.Engine
+	tstore := tsdb.New(nil, tsdb.Config{
+		Interval:    *scrapeInterval,
+		Retention:   *retention,
+		AfterScrape: func(ts time.Time) { engine.Eval(ts) },
+	})
+	engine = alert.NewEngine(tstore, p.ScoreShift, nil)
+	rules := alert.DefaultRules()
+	if *alertRules != "" {
+		data, err := os.ReadFile(*alertRules)
+		if err != nil {
+			obs.Error("bad -alert-rules", "err", err)
+			os.Exit(2)
+		}
+		if rules, err = alert.LoadRules(data); err != nil {
+			obs.Error("bad -alert-rules", "err", err)
+			os.Exit(2)
+		}
+	}
+	if err := engine.SetRules(rules); err != nil {
+		obs.Error("bad alert rules", "err", err)
+		os.Exit(2)
+	}
+	tstore.Start()
+	defer tstore.Stop()
+	srv.TSDB = tstore
+	srv.Alerts = engine
+	obs.Info("observability armed", "scrape_interval", *scrapeInterval,
+		"retention", *retention, "alert_rules", len(rules))
 	obs.Info("serving the analysis dashboard", "addr", *addr)
 	obs.Info("try", "dashboard", "curl localhost"+*addr+"/api/jobs", "metrics", "curl localhost"+*addr+"/metrics")
 

@@ -19,6 +19,12 @@ import (
 // constant lowercase identifiers. A computed metric name defeats both
 // grep and the exposition contract.
 //
+// Alert rules: composite literals of a struct type named `Rule` carrying
+// both `Metric` and `Agg` fields (the alert engine's rule shape) must set
+// `Metric` to a literal well-formed metric name. A rule whose metric is
+// computed — or misspelled — silently never fires; catching it at lint
+// time mirrors what alert.Rule.Validate does for rules loaded from JSON.
+//
 // Labeling: arguments to `*Vec.With` and span names passed to `StartSpan`
 // must come from closed vocabularies, never from request or job data —
 // unbounded label values are a slow-motion memory leak in any Prometheus
@@ -164,6 +170,10 @@ func (s *obsState) callee(pkg *Package, call *ast.CallExpr) *types.Func {
 // checkFile walks one file, validating registration and labeling sites.
 func (s *obsState) checkFile(pkg *Package, f *ast.File) {
 	ast.Inspect(f, func(n ast.Node) bool {
+		if cl, ok := n.(*ast.CompositeLit); ok {
+			s.checkAlertRule(pkg, cl)
+			return true
+		}
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
 			return true
@@ -267,6 +277,55 @@ func (s *obsState) checkRegistration(pkg *Package, call *ast.CallExpr, method st
 		}
 		if !labelNameRE.MatchString(label) {
 			s.report(call.Args[i].Pos(), "label name %q must be a lowercase identifier", label)
+		}
+	}
+}
+
+// checkAlertRule validates alert-rule composite literals: a struct type
+// named Rule with Metric and Agg fields is the alert engine's rule shape
+// (matched structurally so the fixture stand-in triggers it too), and its
+// Metric, when set, must be a literal well-formed metric name.
+func (s *obsState) checkAlertRule(pkg *Package, cl *ast.CompositeLit) {
+	tv, ok := pkg.Info.Types[cl]
+	if !ok {
+		return
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok || named.Obj().Name() != "Rule" {
+		return
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	hasMetric, hasAgg := false, false
+	for i := 0; i < st.NumFields(); i++ {
+		switch st.Field(i).Name() {
+		case "Metric":
+			hasMetric = true
+		case "Agg":
+			hasAgg = true
+		}
+	}
+	if !hasMetric || !hasAgg {
+		return
+	}
+	for _, elt := range cl.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || key.Name != "Metric" {
+			continue
+		}
+		name, isConst := constString(pkg, kv.Value)
+		if !isConst {
+			s.report(kv.Value.Pos(), "alert rule metric must be a string literal, not a computed value (DESIGN.md §8)")
+			continue
+		}
+		if !metricNameRE.MatchString(name) {
+			s.report(kv.Value.Pos(), "alert rule metric %q does not match the <subsystem>_<noun>_<unit> scheme (DESIGN.md §8)", name)
 		}
 	}
 }

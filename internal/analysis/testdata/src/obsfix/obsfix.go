@@ -80,3 +80,18 @@ func spanComposed(fast bool) {
 func spanRaw(job string) {
 	obslib.StartSpan("job " + job).End() //want:obsconventions
 }
+
+// Alert rules declared in code: Metric must be a literal well-formed
+// metric name. A score_shift rule legitimately has no Metric at all.
+var ruleMetricVar = "prodigy_scores" + nameSuffix
+
+var (
+	goodRule = obslib.Rule{Name: "lag-high", Kind: "query",
+		Metric: "ingest_lag_seconds", Agg: "max", Op: "gt", Threshold: 60}
+	shiftRule = obslib.Rule{Name: "shift", Kind: "score_shift", Threshold: 0.01}
+
+	badRuleComputed = obslib.Rule{Name: "computed", Kind: "query",
+		Metric: ruleMetricVar, Agg: "rate", Op: "gt"} //want:obsconventions
+	badRuleScheme = obslib.Rule{Name: "scheme", Kind: "query",
+		Metric: "queueDepth", Agg: "max", Op: "gt"} //want:obsconventions
+)

@@ -68,3 +68,15 @@ func (s *Span) End() {}
 
 // StartSpan begins a traced stage; the analyzer checks its name argument.
 func StartSpan(name string) *Span { return &Span{} }
+
+// Rule mirrors the alert engine's rule shape (a struct named Rule with
+// Metric and Agg fields); the analyzer checks Metric in its composite
+// literals.
+type Rule struct {
+	Name      string
+	Kind      string
+	Metric    string
+	Agg       string
+	Op        string
+	Threshold float64
+}

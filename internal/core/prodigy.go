@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 
 	"prodigy/internal/comte"
+	"prodigy/internal/drift"
 	"prodigy/internal/dsos"
 	"prodigy/internal/eval"
 	"prodigy/internal/featsel"
@@ -99,10 +100,70 @@ type Prodigy struct {
 	// generation counts deployments into this instance (Fit, Swap, Load);
 	// /api/health reports it so operators can tell which artifact answered.
 	generation atomic.Uint64
+	// baseline is the last-known-good score-distribution snapshot the
+	// score-shift alert compares live scoring against (see adoptBaseline).
+	baseline atomic.Pointer[obs.SketchSnapshot]
 }
 
-// deploy installs a detector and publishes the snapshot's metadata.
+// Baseline-adoption gates: a deployment's outgoing score distribution
+// becomes the new baseline only when it carries enough mass to mean
+// something and does not itself look shifted against the current
+// baseline — so swapping *away* from a degenerate model never launders
+// its distribution into the reference.
+const (
+	// baselineMinObservations an outgoing sketch needs before its
+	// snapshot is eligible as a baseline.
+	baselineMinObservations = 64
+	// baselineAdoptMaxKS is the largest live-vs-baseline KS statistic at
+	// which the outgoing distribution still counts as "good" and
+	// refreshes the baseline (keeping it current against benign drift).
+	baselineAdoptMaxKS = 0.2
+)
+
+// adoptBaseline considers the outgoing detector's score distribution as
+// the new baseline at deployment time. Called from deploy, before the
+// new detector is installed.
+func (p *Prodigy) adoptBaseline(outgoing *pipeline.AnomalyDetector) {
+	if outgoing == nil {
+		return
+	}
+	snap := outgoing.ScoreSketch().Snapshot()
+	if snap.Total < baselineMinObservations {
+		return
+	}
+	base := p.baseline.Load()
+	if base != nil {
+		if stat, _ := drift.KSFromCounts(snap.CountsSlice(), base.CountsSlice()); stat >= baselineAdoptMaxKS {
+			// The outgoing distribution is itself shifted — keep the
+			// last-known-good reference instead.
+			return
+		}
+	}
+	p.baseline.Store(snap)
+}
+
+// ScoreShift tests the live score distribution of the deployed detector
+// against the baseline snapshot captured at deployment: the KS statistic,
+// its p-value, and how many live observations back the verdict. ok is
+// false until both a baseline and a deployed detector exist — alert rules
+// treat that as "not evaluable", never as "no shift".
+func (p *Prodigy) ScoreShift() (stat, pValue float64, n uint64, ok bool) {
+	det := p.detector.Load()
+	base := p.baseline.Load()
+	if det == nil || base == nil {
+		return 0, 1, 0, false
+	}
+	live := det.ScoreSketch().Snapshot()
+	stat, pValue = drift.KSFromCounts(live.CountsSlice(), base.CountsSlice())
+	return stat, pValue, live.Total, true
+}
+
+// deploy installs a detector and publishes the snapshot's metadata. The
+// outgoing detector's score distribution is considered as the new
+// score-shift baseline first (last-known-good semantics, see
+// adoptBaseline).
 func (p *Prodigy) deploy(det *pipeline.AnomalyDetector) {
+	p.adoptBaseline(p.detector.Load())
 	p.detector.Store(det)
 	modelGeneration.Set(float64(p.generation.Add(1)))
 	modelThreshold.Set(det.Threshold())

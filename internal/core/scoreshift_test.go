@@ -1,0 +1,105 @@
+package core_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"prodigy/internal/core"
+	"prodigy/internal/mat"
+	"prodigy/internal/pipeline"
+)
+
+// TestScoreShiftBaselineLifecycle pins the last-known-good baseline
+// semantics behind the score-distribution-shift alert: the baseline is
+// captured from the *outgoing* detector at deployment, a shifted outgoing
+// distribution never becomes the reference, and ScoreShift is only
+// evaluable once both a baseline and a deployed detector exist.
+func TestScoreShiftBaselineLifecycle(t *testing.T) {
+	ds, _, _ := campaign(t, 53)
+	p := core.New(quickConfig())
+	if err := p.Fit(ds, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// No deployment has ever retired a detector, so there is no baseline:
+	// the alert source must report "not evaluable", never "no shift".
+	if _, _, _, ok := p.ScoreShift(); ok {
+		t.Fatal("ScoreShift evaluable before any baseline exists")
+	}
+
+	// Score healthy traffic so the live sketch carries enough mass to be
+	// eligible as a baseline at the next deployment.
+	for i := 0; i < 3; i++ {
+		p.Scores(ds.X)
+	}
+
+	path := filepath.Join(t.TempDir(), "m.json")
+	if err := p.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	art, err := pipeline.LoadArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Swap(art); err != nil {
+		t.Fatal(err)
+	}
+
+	// The outgoing healthy distribution is now the baseline; the fresh
+	// detector's sketch is empty, so the verdict is "no evidence yet".
+	stat, pv, n, ok := p.ScoreShift()
+	if !ok {
+		t.Fatal("ScoreShift not evaluable after baseline adoption")
+	}
+	if n != 0 || stat != 0 || pv != 1 {
+		t.Fatalf("empty live sketch: got stat=%g p=%g n=%d, want 0/1/0", stat, pv, n)
+	}
+
+	// Healthy traffic through the new detector reproduces the baseline
+	// distribution exactly — no shift.
+	for i := 0; i < 3; i++ {
+		p.Scores(ds.X)
+	}
+	_, pv, n, ok = p.ScoreShift()
+	if !ok || n == 0 {
+		t.Fatalf("healthy traffic: ok=%v n=%d", ok, n)
+	}
+	if pv < 0.05 {
+		t.Fatalf("healthy traffic flagged as shifted: p = %g", pv)
+	}
+
+	// Degenerate traffic: inputs far outside the training range blow up
+	// the reconstruction error, shifting the live score distribution.
+	shifted := &mat.Matrix{Rows: ds.X.Rows, Cols: ds.X.Cols, Data: append([]float64(nil), ds.X.Data...)}
+	for i := range shifted.Data {
+		shifted.Data[i] = shifted.Data[i]*10 + 100
+	}
+	for i := 0; i < 6; i++ {
+		p.Scores(shifted)
+	}
+	stat, pv, _, ok = p.ScoreShift()
+	if !ok {
+		t.Fatal("ScoreShift not evaluable with live traffic")
+	}
+	if pv > 0.01 || stat < 0.2 {
+		t.Fatalf("shifted traffic not flagged: stat=%g p=%g", stat, pv)
+	}
+
+	// Swapping away from the degenerate state must NOT launder its
+	// distribution into the baseline: the KS adoption gate keeps the
+	// last-known-good reference, so healthy traffic on the replacement
+	// detector still compares clean.
+	if err := p.Swap(art); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		p.Scores(ds.X)
+	}
+	_, pv, _, ok = p.ScoreShift()
+	if !ok {
+		t.Fatal("ScoreShift not evaluable after swap-back")
+	}
+	if pv < 0.05 {
+		t.Fatalf("baseline polluted by degenerate outgoing distribution: p = %g", pv)
+	}
+}

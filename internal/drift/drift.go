@@ -143,6 +143,47 @@ func KolmogorovSmirnov(a, b []float64) (stat, pValue float64) {
 	return d, ksPValue(lambda)
 }
 
+// KSFromCounts returns the two-sample KS statistic and asymptotic p-value
+// for two binned distributions sharing one bin layout — the form the
+// score-distribution-shift alert needs, where both sides are fixed-memory
+// obs.Sketch snapshots rather than raw sample slices. The statistic is
+// the max gap between the binned ECDFs; the effective sample size is the
+// usual na·nb/(na+nb). Either side empty returns (0, 1): no evidence.
+//
+// Binning can only merge mass that raw samples would separate, so the
+// statistic is a lower bound on the raw-sample KS — the test gets more
+// conservative, never more alarmist, which is the right failure mode for
+// an alert.
+func KSFromCounts(a, b []uint64) (stat, pValue float64) {
+	if len(a) != len(b) {
+		return 0, 1
+	}
+	var na, nb uint64
+	for i := range a {
+		na += a[i]
+		nb += b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0, 1
+	}
+	var cumA, cumB uint64
+	var d float64
+	for i := range a {
+		cumA += a[i]
+		cumB += b[i]
+		fa := float64(cumA) / float64(na)
+		fb := float64(cumB) / float64(nb)
+		if diff := math.Abs(fa - fb); diff > d {
+			d = diff
+		}
+	}
+	n := float64(na)
+	m := float64(nb)
+	ne := n * m / (n + m)
+	lambda := (math.Sqrt(ne) + 0.12 + 0.11/math.Sqrt(ne)) * d
+	return d, ksPValue(lambda)
+}
+
 // ksPValue evaluates the Kolmogorov distribution tail Q(λ) = 2 Σ (−1)^{k−1} e^{−2k²λ²}.
 func ksPValue(lambda float64) float64 {
 	if lambda <= 0 {

@@ -1,0 +1,80 @@
+package drift
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKSFromCountsIdentical(t *testing.T) {
+	a := []uint64{10, 30, 60, 20, 5}
+	stat, p := KSFromCounts(a, a)
+	if stat != 0 {
+		t.Fatalf("identical counts: stat = %g, want 0", stat)
+	}
+	if p != 1 {
+		t.Fatalf("identical counts: p = %g, want 1", p)
+	}
+}
+
+func TestKSFromCountsDisjoint(t *testing.T) {
+	a := []uint64{100, 0, 0, 0}
+	b := []uint64{0, 0, 0, 100}
+	stat, p := KSFromCounts(a, b)
+	if stat != 1 {
+		t.Fatalf("disjoint counts: stat = %g, want 1", stat)
+	}
+	if p > 1e-10 {
+		t.Fatalf("disjoint counts: p = %g, want ~0", p)
+	}
+}
+
+func TestKSFromCountsHalfShift(t *testing.T) {
+	// Half the mass moves one bin right: ECDFs are (.5, 1, 1) vs (0, .5, 1),
+	// so the max gap is exactly 0.5, and with 100 samples a side it is
+	// decisive.
+	a := []uint64{50, 50, 0}
+	b := []uint64{0, 50, 50}
+	stat, p := KSFromCounts(a, b)
+	if math.Abs(stat-0.5) > 1e-12 {
+		t.Fatalf("half shift: stat = %g, want 0.5", stat)
+	}
+	if p > 1e-6 {
+		t.Fatalf("half shift: p = %g, want < 1e-6", p)
+	}
+}
+
+func TestKSFromCountsNoEvidence(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b []uint64
+	}{
+		{"empty a", []uint64{0, 0}, []uint64{5, 5}},
+		{"empty b", []uint64{5, 5}, []uint64{0, 0}},
+		{"both empty", []uint64{0}, []uint64{0}},
+		{"length mismatch", []uint64{1, 2}, []uint64{1, 2, 3}},
+		{"nil", nil, []uint64{1}},
+	}
+	for _, tc := range cases {
+		stat, p := KSFromCounts(tc.a, tc.b)
+		if stat != 0 || p != 1 {
+			t.Errorf("%s: got (%g, %g), want (0, 1)", tc.name, stat, p)
+		}
+	}
+}
+
+func TestKSFromCountsLowerBoundsRawKS(t *testing.T) {
+	// Binning can only merge mass that raw samples would separate, so the
+	// binned statistic must never exceed the raw-sample statistic on the
+	// same data.
+	raw1 := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8}
+	raw2 := []float64{0.35, 0.45, 0.55, 0.65, 0.75, 0.85, 0.95, 1.05}
+	rawStat, _ := KolmogorovSmirnov(raw1, raw2)
+
+	// Bin both on edges {0.4, 0.8}: (0, 0.4], (0.4, 0.8], (0.8, inf).
+	binned1 := []uint64{4, 4, 0}
+	binned2 := []uint64{1, 4, 3}
+	binStat, _ := KSFromCounts(binned1, binned2)
+	if binStat > rawStat+1e-12 {
+		t.Fatalf("binned stat %g exceeds raw stat %g", binStat, rawStat)
+	}
+}

@@ -3,6 +3,8 @@ package features
 import (
 	"slices"
 	"sync"
+
+	"prodigy/internal/obs"
 )
 
 // Workspace holds the scratch state one goroutine needs to run the catalog
@@ -39,6 +41,11 @@ type Workspace struct {
 	// shared by the spectral extractors.
 	pgram   [specBins]float64
 	pgramOK bool
+
+	// pooled marks a workspace that has been through PutWorkspace at least
+	// once, so GetWorkspace can tell a recycled checkout (pool hit — its
+	// grown buffers are warm) from one the pool had to allocate (miss).
+	pooled bool
 }
 
 // NewWorkspace returns an empty workspace. Most callers should prefer
@@ -47,12 +54,31 @@ func NewWorkspace() *Workspace { return &Workspace{} }
 
 var wsPool = sync.Pool{New: func() any { return NewWorkspace() }}
 
+// Pool-efficiency counters: a high miss rate in steady state means the GC
+// is draining the pool between checkouts and extraction is re-growing its
+// scratch buffers instead of reusing warm ones.
+var (
+	wsPoolHits   = obs.Default.NewCounter("features_workspace_pool_hits_total", "Feature workspace checkouts served by a recycled pool entry.")
+	wsPoolMisses = obs.Default.NewCounter("features_workspace_pool_misses_total", "Feature workspace checkouts that allocated a fresh workspace.")
+)
+
 // GetWorkspace takes a pooled workspace.
-func GetWorkspace() *Workspace { return wsPool.Get().(*Workspace) }
+func GetWorkspace() *Workspace {
+	w := wsPool.Get().(*Workspace)
+	if w.pooled {
+		wsPoolHits.Inc()
+	} else {
+		wsPoolMisses.Inc()
+	}
+	return w
+}
 
 // PutWorkspace returns a workspace to the pool. The caller must not use it
 // afterwards.
-func PutWorkspace(w *Workspace) { wsPool.Put(w) }
+func PutWorkspace(w *Workspace) {
+	w.pooled = true
+	wsPool.Put(w)
+}
 
 // begin invalidates the per-series caches before a new input series.
 func (w *Workspace) begin() {

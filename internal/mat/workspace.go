@@ -1,6 +1,10 @@
 package mat
 
-import "sync"
+import (
+	"sync"
+
+	"prodigy/internal/obs"
+)
 
 // Workspace is a per-goroutine arena of reusable matrix buffers for the
 // hot paths (steady-state inference, training minibatches). Get hands out
@@ -27,6 +31,10 @@ type Workspace struct {
 	// inUse tracks live checkouts so Reset can reclaim buffers the caller
 	// didn't individually Put (and so Put can verify provenance).
 	inUse []*Matrix
+	// pooled marks a workspace that has been through Release at least once,
+	// so GetWorkspace can tell a recycled checkout (pool hit — its buckets
+	// are warm) from one the pool had to allocate (miss).
+	pooled bool
 }
 
 // wsBuckets covers capacities up to 2^(wsBuckets-1) floats (2^35 ≈ 256 GiB
@@ -116,11 +124,28 @@ func (w *Workspace) reclaim(m *Matrix) {
 
 var wsPool = sync.Pool{New: func() any { return NewWorkspace() }}
 
+// Pool-efficiency counters: a high miss rate in steady state means the GC
+// is draining the pool between checkouts (or checkout is outrunning
+// release) and the zero-alloc hot path is quietly re-warming buffers.
+var (
+	wsPoolHits   = obs.Default.NewCounter("mat_workspace_pool_hits_total", "Matrix workspace checkouts served by a recycled pool entry.")
+	wsPoolMisses = obs.Default.NewCounter("mat_workspace_pool_misses_total", "Matrix workspace checkouts that allocated a fresh workspace.")
+)
+
 // GetWorkspace takes a workspace from the package pool. Pair with Release.
-func GetWorkspace() *Workspace { return wsPool.Get().(*Workspace) }
+func GetWorkspace() *Workspace {
+	w := wsPool.Get().(*Workspace)
+	if w.pooled {
+		wsPoolHits.Inc()
+	} else {
+		wsPoolMisses.Inc()
+	}
+	return w
+}
 
 // Release resets w and returns it to the package pool.
 func Release(w *Workspace) {
 	w.Reset()
+	w.pooled = true
 	wsPool.Put(w)
 }

@@ -1,0 +1,50 @@
+package mat
+
+import "testing"
+
+// TestWorkspacePoolCounters pins the pool-efficiency accounting: every
+// GetWorkspace is counted exactly once, and a release/re-get cycle is
+// observed as a hit (the recycled workspace carries the pooled mark).
+func TestWorkspacePoolCounters(t *testing.T) {
+	h0, m0 := wsPoolHits.Value(), wsPoolMisses.Value()
+
+	w := GetWorkspace()
+	if !w.pooled {
+		// First checkout may or may not hit depending on prior tests; what
+		// must hold is that releasing marks it pooled.
+		Release(w)
+		if !w.pooled {
+			t.Fatal("Release did not mark the workspace pooled")
+		}
+	} else {
+		Release(w)
+	}
+	w2 := GetWorkspace()
+	Release(w2)
+
+	hits := wsPoolHits.Value() - h0
+	misses := wsPoolMisses.Value() - m0
+	if hits+misses != 2 {
+		t.Fatalf("2 checkouts counted as %v hits + %v misses", hits, misses)
+	}
+	// sync.Pool randomly discards Puts under the race detector, so the
+	// hit guarantee only holds in a normal build.
+	if hits < 1 && !raceEnabled {
+		t.Fatalf("release/re-get cycle recorded no pool hit (hits=%v misses=%v)", hits, misses)
+	}
+}
+
+// TestWorkspacePoolCounterZeroAlloc keeps the counters out of the
+// allocation budget of the scoring hot path.
+func TestWorkspacePoolCounterZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates and defeats pooling")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		w := GetWorkspace()
+		Release(w)
+	})
+	if allocs != 0 {
+		t.Fatalf("GetWorkspace/Release allocates %v per run, want 0", allocs)
+	}
+}

@@ -1,0 +1,304 @@
+package alert
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"prodigy/internal/obs"
+	"prodigy/internal/obs/tsdb"
+)
+
+type fixture struct {
+	reg   *obs.Registry
+	store *tsdb.Store
+	eng   *Engine
+	now   time.Time
+	logs  *strings.Builder
+}
+
+// newFixture wires a registry, store and engine around a hand-cranked
+// clock: step() advances time, scrapes, and evaluates — one simulated
+// scrape interval per call.
+func newFixture(t *testing.T, shift ShiftFunc, rules []Rule) *fixture {
+	t.Helper()
+	f := &fixture{
+		reg:  obs.NewRegistry(),
+		now:  time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC),
+		logs: &strings.Builder{},
+	}
+	f.store = tsdb.New(f.reg, tsdb.Config{
+		Interval:  time.Second,
+		Retention: 600,
+		Now:       func() time.Time { return f.now },
+	})
+	f.eng = NewEngine(f.store, shift, obs.NewLogger(f.logs, obs.LevelDebug))
+	if err := f.eng.SetRules(rules); err != nil {
+		t.Fatalf("SetRules: %v", err)
+	}
+	return f
+}
+
+func (f *fixture) step(d time.Duration) {
+	f.now = f.now.Add(d)
+	f.store.ScrapeOnce()
+	f.eng.Eval(f.now)
+}
+
+func stateOf(t *testing.T, e *Engine, name string) Alert {
+	t.Helper()
+	for _, a := range e.Alerts() {
+		if a.Rule.Name == name {
+			return a
+		}
+	}
+	t.Fatalf("rule %q missing from Alerts()", name)
+	return Alert{}
+}
+
+// TestQueryRuleLifecycle walks the full state machine: inactive while
+// healthy, pending while the condition holds inside For, firing once For
+// elapses, resolved when the condition clears — with log lines at firing
+// and resolution.
+func TestQueryRuleLifecycle(t *testing.T) {
+	rule := Rule{
+		Name: "spike", Kind: KindQuery, Metric: "events_total",
+		Agg: "rate", Window: Duration(10 * time.Second),
+		Op: "gt", Threshold: 5, For: Duration(3 * time.Second), Severity: "warn",
+	}
+	f := newFixture(t, nil, []Rule{rule})
+	c := f.reg.NewCounter("events_total", "t")
+
+	// Healthy traffic: 1/s for 15s.
+	for i := 0; i < 15; i++ {
+		c.Add(1)
+		f.step(time.Second)
+	}
+	if a := stateOf(t, f.eng, "spike"); a.State != StateInactive {
+		t.Fatalf("healthy state = %q, want inactive", a.State)
+	}
+
+	// Spike: 20/s. Rate over a 10s window climbs past 5 within ~3 ticks;
+	// then must hold For=3s before firing.
+	var fired int
+	for i := 0; i < 10; i++ {
+		c.Add(20)
+		f.step(time.Second)
+		if stateOf(t, f.eng, "spike").State == StateFiring {
+			fired = i
+			break
+		}
+	}
+	a := stateOf(t, f.eng, "spike")
+	if a.State != StateFiring {
+		t.Fatalf("spike never fired: %+v", a)
+	}
+	if fired < 3 {
+		t.Fatalf("fired after %d ticks, For=3s should delay at least 3", fired)
+	}
+	if !strings.Contains(f.logs.String(), "alert firing") || !strings.Contains(f.logs.String(), "rule=spike") {
+		t.Fatalf("firing transition not logged:\n%s", f.logs.String())
+	}
+
+	// Quiet again: rate decays below 5 once the spike leaves the window.
+	for i := 0; i < 15; i++ {
+		c.Add(1)
+		f.step(time.Second)
+	}
+	a = stateOf(t, f.eng, "spike")
+	if a.State != StateResolved {
+		t.Fatalf("state after recovery = %q, want resolved", a.State)
+	}
+	if !strings.Contains(f.logs.String(), "alert resolved") {
+		t.Fatalf("resolution not logged:\n%s", f.logs.String())
+	}
+}
+
+// TestPendingFlapNeverFires: a condition that clears before For elapses
+// goes back to inactive without ever firing.
+func TestPendingFlapNeverFires(t *testing.T) {
+	rule := Rule{
+		Name: "flap", Kind: KindQuery, Metric: "gauge_val",
+		Agg: "avg", Window: Duration(2 * time.Second),
+		Op: "gt", Threshold: 10, For: Duration(30 * time.Second),
+	}
+	f := newFixture(t, nil, []Rule{rule})
+	g := f.reg.NewGauge("gauge_val", "t")
+	g.Set(50)
+	f.step(time.Second)
+	if a := stateOf(t, f.eng, "flap"); a.State != StatePending {
+		t.Fatalf("state = %q, want pending", a.State)
+	}
+	g.Set(1)
+	f.step(3 * time.Second)
+	if a := stateOf(t, f.eng, "flap"); a.State != StateInactive {
+		t.Fatalf("state after flap = %q, want inactive", a.State)
+	}
+	if strings.Contains(f.logs.String(), "alert firing") {
+		t.Fatal("flap should never fire")
+	}
+}
+
+// TestScoreShiftRule drives the score_shift kind through fire and
+// resolve via an injected shift source, including the MinCount gate.
+func TestScoreShiftRule(t *testing.T) {
+	var mu sync.Mutex
+	p, n, ok := 0.5, uint64(0), true
+	shift := func() (float64, float64, uint64, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		return 0.1, p, n, ok
+	}
+	rule := Rule{Name: "shift", Kind: KindScoreShift, Threshold: 0.01, MinCount: 100}
+	f := newFixture(t, shift, []Rule{rule})
+
+	set := func(pv float64, nv uint64) {
+		mu.Lock()
+		p, n = pv, nv
+		mu.Unlock()
+	}
+
+	// Shifted but below MinCount: not evaluable, stays inactive.
+	set(1e-6, 50)
+	f.step(time.Second)
+	if a := stateOf(t, f.eng, "shift"); a.State != StateInactive || a.Evaluable {
+		t.Fatalf("below MinCount: %+v", a)
+	}
+	// Enough mass: fires (For is zero).
+	set(1e-6, 500)
+	f.step(time.Second)
+	if a := stateOf(t, f.eng, "shift"); a.State != StateFiring {
+		t.Fatalf("shifted state = %q, want firing", a.State)
+	}
+	// Distribution back to matching: resolves.
+	set(0.9, 800)
+	f.step(time.Second)
+	if a := stateOf(t, f.eng, "shift"); a.State != StateResolved {
+		t.Fatalf("recovered state = %q, want resolved", a.State)
+	}
+}
+
+// TestRuleValidation covers the load-time rejections.
+func TestRuleValidation(t *testing.T) {
+	bad := []Rule{
+		{Name: "", Kind: KindQuery},
+		{Name: "x", Kind: "nope"},
+		{Name: "x", Kind: KindQuery, Metric: "Bad-Name", Agg: "rate", Window: Duration(time.Second), Op: "gt"},
+		{Name: "x", Kind: KindQuery, Metric: "ok_total", Agg: "stddev", Window: Duration(time.Second), Op: "gt"},
+		{Name: "x", Kind: KindQuery, Metric: "ok_total", Agg: "raw", Window: Duration(time.Second), Op: "gt"},
+		{Name: "x", Kind: KindQuery, Metric: "ok_total", Agg: "rate", Op: "gt"},
+		{Name: "x", Kind: KindQuery, Metric: "ok_total", Agg: "rate", Window: Duration(time.Second), Op: ">="},
+		{Name: "x", Kind: KindQuery, Metric: "ok_seconds", Agg: "quantile", Q: 1.5, Window: Duration(time.Second), Op: "gt"},
+		{Name: "x", Kind: KindScoreShift, Threshold: 2},
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("bad rule %d validated: %+v", i, r)
+		}
+	}
+	good := Rule{Name: "ok", Kind: KindQuery, Metric: "reqs_total", Agg: "rate",
+		Window: Duration(time.Minute), Op: "gt", Threshold: 1}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good rule rejected: %v", err)
+	}
+	for _, r := range DefaultRules() {
+		if err := r.Validate(); err != nil {
+			t.Errorf("default rule %q invalid: %v", r.Name, err)
+		}
+	}
+}
+
+// TestLoadRules parses both accepted file shapes and round-trips the
+// Duration encoding.
+func TestLoadRules(t *testing.T) {
+	bare := `[{"name":"r1","kind":"query","metric":"reqs_total","agg":"rate","window":"90s","op":"gt","threshold":2,"for":"2m"}]`
+	rules, err := LoadRules([]byte(bare))
+	if err != nil {
+		t.Fatalf("bare array: %v", err)
+	}
+	if len(rules) != 1 || time.Duration(rules[0].Window) != 90*time.Second || time.Duration(rules[0].For) != 2*time.Minute {
+		t.Fatalf("parsed = %+v", rules)
+	}
+
+	wrapped := `{"rules":[{"name":"r2","kind":"score_shift","threshold":0.05,"min_count":64,"window":30}]}`
+	rules, err = LoadRules([]byte(wrapped))
+	if err != nil {
+		t.Fatalf("wrapped: %v", err)
+	}
+	if len(rules) != 1 || rules[0].MinCount != 64 || time.Duration(rules[0].Window) != 30*time.Second {
+		t.Fatalf("parsed = %+v", rules)
+	}
+
+	if _, err := LoadRules([]byte(`[{"name":"bad","kind":"query","metric":"NO","agg":"rate","window":"1s","op":"gt"}]`)); err == nil {
+		t.Fatal("invalid rule in file should fail loading")
+	}
+	if _, err := LoadRules([]byte(`{nonsense`)); err == nil {
+		t.Fatal("malformed JSON should fail loading")
+	}
+}
+
+// TestSetRulesRejectsShiftWithoutSource: loading a score_shift rule with
+// no detector wired is a configuration error, not a silent no-op.
+func TestSetRulesRejectsShiftWithoutSource(t *testing.T) {
+	f := newFixture(t, nil, nil)
+	err := f.eng.SetRules([]Rule{{Name: "s", Kind: KindScoreShift, Threshold: 0.01}})
+	if err == nil {
+		t.Fatal("score_shift without shift source should be rejected")
+	}
+}
+
+// TestConcurrentScrapeQueryAlertEval is the -race regression the issue
+// asks for: scrapes, windowed queries and alert evaluation running
+// concurrently against one store.
+func TestConcurrentScrapeQueryAlertEval(t *testing.T) {
+	rule := Rule{
+		Name: "conc", Kind: KindQuery, Metric: "conc_total",
+		Agg: "rate", Window: Duration(5 * time.Second),
+		Op: "gt", Threshold: 1000,
+	}
+	f := newFixture(t, nil, []Rule{rule})
+	c := f.reg.NewCounter("conc_total", "t")
+
+	var mu sync.Mutex // fixture clock is not concurrency-safe; guard it
+	tick := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		f.now = f.now.Add(100 * time.Millisecond)
+		return f.now
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // the scrape+eval loop, as prodigyd runs it
+		defer wg.Done()
+		for i := 0; i < 300; i++ {
+			c.Add(3)
+			now := tick()
+			f.store.ScrapeOnce()
+			f.eng.Eval(now)
+		}
+		close(stop)
+	}()
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				f.eng.Alerts()
+				f.eng.FiringCount()
+				f.store.Query("conc_total", nil, time.Time{}, time.Time{})
+			}
+		}()
+	}
+	wg.Wait()
+	if a := stateOf(t, f.eng, "conc"); a.State != StateInactive {
+		t.Fatalf("threshold 1000 should never fire, state = %q", a.State)
+	}
+}

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"sort"
+	"time"
+)
+
+// Per-model cost ledger (ROADMAP item 4): every scoring call charges its
+// row count and wall time to the model that served it, so operators can
+// answer "what does each model cost per row?" from /api/health or the
+// tsdb without profiling. The ledger is two labeled counters; Record is
+// two atomic adds on a pre-resolved series, zero allocations.
+
+var (
+	ledgerRows = Default.NewCounterVec("model_rows_scored_total",
+		"Rows scored, by model kind.", "model")
+	ledgerSeconds = Default.NewCounterVec("model_score_seconds_total",
+		"Wall-clock seconds spent scoring, by model kind.", "model")
+)
+
+// CostEntry is one model's slot in the cost ledger. Resolve it once with
+// CostFor (a map lookup) and call Record on the hot path (atomic adds
+// only).
+type CostEntry struct {
+	rows    *Counter
+	seconds *Counter
+}
+
+// CostFor returns the ledger entry for a model kind. The label set is
+// bounded by construction: callers pass pipeline.Artifact.ModelKind
+// ("vae", "usad") or a fixed literal ("baseline").
+func CostFor(model string) *CostEntry {
+	return &CostEntry{
+		rows:    ledgerRows.With(model),
+		seconds: ledgerSeconds.With(model),
+	}
+}
+
+// Record charges rows and duration to the entry. Safe for concurrent use;
+// allocation-free.
+func (e *CostEntry) Record(rows int, d time.Duration) {
+	if e == nil || rows <= 0 {
+		return
+	}
+	e.rows.Add(float64(rows))
+	e.seconds.Add(d.Seconds())
+}
+
+// CostRow is one model's ledger totals, as reported by LedgerSnapshot.
+type CostRow struct {
+	Model    string  `json:"model"`
+	Rows     float64 `json:"rows"`
+	Seconds  float64 `json:"seconds"`
+	NsPerRow float64 `json:"ns_per_row"`
+}
+
+// LedgerSnapshot returns the current ledger sorted by model name — the
+// payload /api/health embeds under "cost_ledger".
+func LedgerSnapshot() []CostRow {
+	totals := map[string]*CostRow{}
+	Default.Collect(func(p SamplePoint) {
+		if p.Name != "model_rows_scored_total" && p.Name != "model_score_seconds_total" {
+			return
+		}
+		if len(p.Values) != 1 {
+			return
+		}
+		model := p.Values[0]
+		row, ok := totals[model]
+		if !ok {
+			row = &CostRow{Model: model}
+			totals[model] = row
+		}
+		if p.Name == "model_rows_scored_total" {
+			row.Rows = p.Value
+		} else {
+			row.Seconds = p.Value
+		}
+	})
+	out := make([]CostRow, 0, len(totals))
+	for _, row := range totals {
+		if row.Rows > 0 {
+			row.NsPerRow = row.Seconds * 1e9 / row.Rows
+		}
+		out = append(out, *row)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Model < out[j].Model })
+	return out
+}

@@ -63,11 +63,22 @@ func ParseLevel(s string) (Level, error) {
 // on /metrics before anyone reads the logs.
 var logLines = Default.NewCounterVec("log_lines_total", "Log lines emitted, by level.", "level")
 
+// logDropped counts lines suppressed by the rate limiter, so sampling is
+// itself observable: a large value means something below Error is firing
+// per-row and being (correctly) silenced.
+var logDropped = Default.NewCounter("log_dropped_total",
+	"Log lines dropped by the token-bucket rate limiter.")
+
 // Logger is a leveled key=value logger. Safe for concurrent use.
 type Logger struct {
 	level atomic.Int32
 	mu    sync.Mutex
 	out   io.Writer
+	// limiter, when set, samples lines below Error severity: a line only
+	// writes if the bucket grants a token; denied lines still count in
+	// log_dropped_total. Error lines always pass — rate limiting must
+	// never eat the line that explains an outage.
+	limiter atomic.Pointer[TokenBucket]
 	// now is stubbed in tests for deterministic timestamps.
 	now func() time.Time
 }
@@ -81,6 +92,18 @@ func NewLogger(out io.Writer, lvl Level) *Logger {
 
 // SetLevel adjusts the minimum emitted level.
 func (l *Logger) SetLevel(lvl Level) { l.level.Store(int32(lvl)) }
+
+// SetRateLimit installs a token-bucket sampler over Warn and below:
+// lines beyond rate/sec (burst capacity `burst`) are dropped and counted
+// in log_dropped_total. Error lines are never limited. Use ClearRateLimit
+// to remove sampling entirely; rate<=0 with burst 0 drops every
+// non-error line.
+func (l *Logger) SetRateLimit(rate, burst float64) {
+	l.limiter.Store(NewTokenBucket(rate, burst))
+}
+
+// ClearRateLimit removes the sampler; every enabled line writes again.
+func (l *Logger) ClearRateLimit() { l.limiter.Store(nil) }
 
 // Enabled reports whether lvl would be emitted.
 func (l *Logger) Enabled(lvl Level) bool { return int32(lvl) <= l.level.Load() }
@@ -100,6 +123,12 @@ func (l *Logger) Debug(msg string, kv ...interface{}) { l.log(LevelDebug, msg, k
 func (l *Logger) log(lvl Level, msg string, kv []interface{}) {
 	if !l.Enabled(lvl) {
 		return
+	}
+	if lvl > LevelError {
+		if b := l.limiter.Load(); b != nil && !b.Allow() {
+			logDropped.Inc()
+			return
+		}
 	}
 	logLines.With(lvl.String()).Inc()
 	var b strings.Builder

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Histogram.Quantile accuracy suite: exact interpolation arithmetic on
+// hand-built bucket contents, known distributions against realistic
+// bucket layouts, and the edge-bucket/empty contracts the alert engine's
+// quantile-over-time queries inherit.
+
+// TestHistogramQuantileExactInterpolation pins the linear-interpolation
+// formula on buckets whose contents are chosen by hand, so the expected
+// values are exact (no tolerance).
+func TestHistogramQuantileExactInterpolation(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("exact_seconds", "t", []float64{10, 20, 40})
+	// 10 obs in (0,10], 30 in (10,20], 60 in (20,40]. Total 100.
+	for i := 0; i < 10; i++ {
+		h.Observe(5)
+	}
+	for i := 0; i < 30; i++ {
+		h.Observe(15)
+	}
+	for i := 0; i < 60; i++ {
+		h.Observe(30)
+	}
+	cases := []struct{ q, want float64 }{
+		// rank 5 falls in the first bucket: 0 + 10*(5/10) = 5.
+		{0.05, 5},
+		// rank 10 is exactly the first bucket's cumulative count: 10.
+		{0.10, 10},
+		// rank 25 in second bucket: 10 + 10*(25-10)/30 = 15.
+		{0.25, 15},
+		// rank 70 in third bucket: 20 + 20*(70-40)/60 = 30.
+		{0.70, 30},
+		// rank 100 = top of last finite bucket: 40.
+		{1.00, 40},
+	}
+	for _, tc := range cases {
+		if got := h.Quantile(tc.q); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want exactly %v", tc.q, got, tc.want)
+		}
+	}
+}
+
+// TestHistogramQuantileUniformDefBuckets checks against the true
+// quantiles of a uniform distribution on the default latency buckets —
+// interpolation error is bounded by bucket width, asserted per-case.
+func TestHistogramQuantileUniformDefBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("uni_seconds", "t", DefBuckets)
+	rng := rand.New(rand.NewSource(11))
+	const n = 100000
+	for i := 0; i < n; i++ {
+		h.Observe(rng.Float64()) // uniform on [0,1)
+	}
+	for _, tc := range []struct{ q, want, tol float64 }{
+		{0.5, 0.5, 0.02}, // inside (0.25, 0.5] bucket, width 0.25
+		{0.9, 0.9, 0.03}, // inside (0.5, 1] bucket, width 0.5
+		{0.99, 0.99, 0.03},
+	} {
+		if got := h.Quantile(tc.q); math.Abs(got-tc.want) > tc.tol {
+			t.Errorf("uniform p%v = %v, want %v ±%v", tc.q*100, got, tc.want, tc.tol)
+		}
+	}
+}
+
+// TestHistogramQuantileExponentialScoreBuckets mimics the score
+// distribution shape the detector actually produces.
+func TestHistogramQuantileExponentialScoreBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("exp_score", "t", ScoreBuckets)
+	rng := rand.New(rand.NewSource(13))
+	const n = 100000
+	for i := 0; i < n; i++ {
+		h.Observe(rng.ExpFloat64() * 0.1)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		want := -0.1 * math.Log(1-q)
+		got := h.Quantile(q)
+		// Linear interpolation over geometric-ish buckets: allow the
+		// width of the containing bucket as tolerance.
+		if math.Abs(got-want) > 0.08 {
+			t.Errorf("exp p%v = %v, want ≈%v", q*100, got, want)
+		}
+	}
+	// Monotonicity across the whole range.
+	prev := 0.0
+	for q := 0.05; q < 1; q += 0.05 {
+		cur := h.Quantile(q)
+		if cur < prev {
+			t.Fatalf("quantiles not monotone: Q(%v)=%v < %v", q, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+// TestHistogramQuantileEdgeBuckets pins the boundary contracts: empty
+// histogram, everything in the first bucket, everything in overflow, and
+// a quantile landing in an empty middle bucket.
+func TestHistogramQuantileEdgeBuckets(t *testing.T) {
+	r := NewRegistry()
+	empty := r.NewHistogram("edge_empty", "t", []float64{1, 2})
+	for _, q := range []float64{0.01, 0.5, 0.99} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+
+	first := r.NewHistogram("edge_first", "t", []float64{1, 2, 4})
+	for i := 0; i < 10; i++ {
+		first.Observe(0.5)
+	}
+	// All mass in (0,1]: p50 interpolates to 0.5, p100 to 1.
+	if got := first.Quantile(0.5); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("first-bucket p50 = %v, want 0.5", got)
+	}
+	if got := first.Quantile(1); got != 1 {
+		t.Fatalf("first-bucket p100 = %v, want 1", got)
+	}
+
+	over := r.NewHistogram("edge_over", "t", []float64{1, 2, 4})
+	for i := 0; i < 10; i++ {
+		over.Observe(100)
+	}
+	// Overflow clamps to the largest finite bound — the documented
+	// saturation behavior, so dashboards show "≥4" rather than garbage.
+	if got := over.Quantile(0.5); got != 4 {
+		t.Fatalf("overflow p50 = %v, want 4", got)
+	}
+
+	gap := r.NewHistogram("edge_gap", "t", []float64{1, 2, 4})
+	gap.Observe(0.5)
+	gap.Observe(3) // nothing in (1,2]
+	// rank 1 = cumulative count of bucket 1 = first bucket's edge.
+	if got := gap.Quantile(0.5); got != 1 {
+		t.Fatalf("gap p50 = %v, want 1", got)
+	}
+}

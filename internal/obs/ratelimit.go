@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// TokenBucket is a classic token-bucket rate limiter: capacity `burst`
+// tokens, refilled at `rate` tokens/second, one token per Allow. It backs
+// log sampling on per-row paths — a misbehaving stream that would emit a
+// warning per window must not flood stderr — but is generic enough for
+// any "at most N/sec" gate.
+type TokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time // stubbed in tests
+}
+
+// NewTokenBucket returns a full bucket refilling at rate/sec up to burst.
+// rate <= 0 never refills (after the initial burst drains, everything is
+// denied); burst < 1 denies everything from the start.
+func NewTokenBucket(rate, burst float64) *TokenBucket {
+	b := &TokenBucket{rate: rate, burst: burst, tokens: burst, now: time.Now}
+	b.last = b.now()
+	return b
+}
+
+// Allow consumes one token if available and reports whether it did.
+func (b *TokenBucket) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	if elapsed := now.Sub(b.last).Seconds(); elapsed > 0 && b.rate > 0 {
+		b.tokens += elapsed * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

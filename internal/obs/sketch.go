@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Sketch is a fixed-memory streaming distribution sketch over the
+// positive real axis, built for anomaly scores: Observe is one atomic add
+// into a geometric bin, so per-row scoring instrumentation costs nothing
+// measurable and allocates nothing. Quantiles interpolate inside the
+// containing bin; with sketchBins geometric bins spanning
+// [sketchMin, sketchMax) a quantile estimate is off by at most one bin
+// ratio (~18% relative here, typically far less away from distribution
+// edges) — plenty for distribution-shift detection, where the question is
+// "did the whole CDF move", not "what is the 7th decimal of p99".
+//
+// A Sketch is safe for concurrent Observe/Quantile/Snapshot from any
+// number of goroutines. Snapshots share the fixed bin layout, so two
+// sketches (or a sketch and a snapshot taken earlier) are directly
+// comparable bin-by-bin — the property the score-distribution-shift alert
+// is built on (drift.KSFromCounts).
+type Sketch struct {
+	// counts[0] is the underflow bin (v < sketchMin, including zero and
+	// negatives); counts[1..sketchBins] are the geometric bins;
+	// counts[sketchBins+1] is the overflow bin (v >= sketchMax).
+	counts [sketchBins + 2]atomic.Uint64
+	total  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+const (
+	// sketchBins geometric bins between sketchMin and sketchMax. Anomaly
+	// scores (reconstruction MAE on scaled features) live around 1e-3..3;
+	// the range leaves three decades of headroom on each side.
+	sketchBins = 128
+	sketchMin  = 1e-6
+	sketchMax  = 1e3
+)
+
+// sketchRatio is the per-bin geometric growth factor:
+// sketchMin * sketchRatio^sketchBins == sketchMax.
+var (
+	sketchLogRatio = math.Log(sketchMax/sketchMin) / sketchBins
+	sketchInvRatio = 1 / sketchLogRatio
+)
+
+// NewSketch returns an empty sketch.
+func NewSketch() *Sketch { return &Sketch{} }
+
+// sketchBinOf maps a value to its bin index in [0, sketchBins+1].
+func sketchBinOf(v float64) int {
+	if !(v >= sketchMin) { // negatives, zero, NaN: underflow
+		return 0
+	}
+	if v >= sketchMax {
+		return sketchBins + 1
+	}
+	b := int(math.Log(v/sketchMin)*sketchInvRatio) + 1
+	if b < 1 {
+		b = 1
+	}
+	if b > sketchBins {
+		b = sketchBins
+	}
+	return b
+}
+
+// sketchBound returns the upper bound of bin i (1-based geometric bins).
+func sketchBound(i int) float64 {
+	return sketchMin * math.Exp(float64(i)*sketchLogRatio)
+}
+
+// Observe records one value: two atomic adds and a CAS, no allocation.
+func (s *Sketch) Observe(v float64) {
+	s.counts[sketchBinOf(v)].Add(1)
+	s.total.Add(1)
+	addFloat(&s.sum, v)
+}
+
+// Count returns the number of observations.
+func (s *Sketch) Count() uint64 { return s.total.Load() }
+
+// Sum returns the sum of observed values.
+func (s *Sketch) Sum() float64 { return loadFloat(&s.sum) }
+
+// Quantile estimates the q-quantile (0 < q < 1) by geometric
+// interpolation within the containing bin. Underflow observations report
+// as sketchMin, overflow as sketchMax. Returns 0 with no observations.
+func (s *Sketch) Quantile(q float64) float64 {
+	snap := s.Snapshot()
+	return snap.Quantile(q)
+}
+
+// Snapshot copies the sketch's counts into an immutable snapshot. The
+// copy is not atomic across bins — observations landing mid-copy may be
+// split — which shifts the CDF by at most a few counts and does not
+// matter at the sample sizes where a snapshot is meaningful.
+func (s *Sketch) Snapshot() *SketchSnapshot {
+	snap := &SketchSnapshot{}
+	var total uint64
+	for i := range s.counts {
+		c := s.counts[i].Load()
+		snap.Counts[i] = c
+		total += c
+	}
+	snap.Total = total
+	return snap
+}
+
+// SketchSnapshot is a frozen copy of a Sketch's bins: the baseline the
+// score-distribution-shift alert compares live scoring against. All
+// snapshots share the package-fixed bin layout.
+type SketchSnapshot struct {
+	Counts [sketchBins + 2]uint64
+	Total  uint64
+}
+
+// Quantile estimates the q-quantile of the snapshot.
+func (s *SketchSnapshot) Quantile(q float64) float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	rank := q * float64(s.Total)
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		if float64(cum) >= rank {
+			switch i {
+			case 0:
+				return sketchMin
+			case sketchBins + 1:
+				return sketchMax
+			}
+			lo := sketchBound(i - 1)
+			hi := sketchBound(i)
+			if c == 0 {
+				return hi
+			}
+			frac := (rank - float64(cum-c)) / float64(c)
+			// Geometric interpolation matches the bin spacing.
+			return lo * math.Exp(frac*math.Log(hi/lo))
+		}
+	}
+	return sketchMax
+}
+
+// CountsSlice returns the bin counts as a slice (for KS comparison via
+// drift.KSFromCounts, which wants plain slices).
+func (s *SketchSnapshot) CountsSlice() []uint64 { return s.Counts[:] }

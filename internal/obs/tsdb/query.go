@@ -1,0 +1,417 @@
+package tsdb
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Agg names a windowed aggregation. The closed set keeps /api/timeseries
+// and alert rules honest: anything else is a query error, not a silent
+// zero.
+type Agg string
+
+const (
+	AggRaw      Agg = "raw"       // points as stored
+	AggRate     Agg = "rate"      // counter increase per second, reset-tolerant
+	AggDelta    Agg = "delta"     // last - first over the window (gauges)
+	AggAvg      Agg = "avg"       // mean of points in the window
+	AggMin      Agg = "min"       // minimum point in the window
+	AggMax      Agg = "max"       // maximum point in the window
+	AggQuantile Agg = "quantile"  // histogram quantile over window bucket increases
+	AggFracOver Agg = "frac_over" // fraction of window observations above Bound
+)
+
+// ParseAgg validates an aggregation name from a query string.
+func ParseAgg(s string) (Agg, error) {
+	switch a := Agg(s); a {
+	case "", AggRaw:
+		return AggRaw, nil
+	case AggRate, AggDelta, AggAvg, AggMin, AggMax, AggQuantile, AggFracOver:
+		return a, nil
+	}
+	return "", fmt.Errorf("tsdb: unknown agg %q", s)
+}
+
+// AggQuery is a windowed aggregation request. For AggQuantile and
+// AggFracOver, Name is the histogram family name (the store appends
+// _bucket internally); Q is the quantile in (0,1); Bound is the threshold
+// value for frac_over, snapped up to the nearest bucket bound.
+type AggQuery struct {
+	Name     string
+	Matchers map[string]string
+	Agg      Agg
+	Q        float64
+	Bound    float64
+	Window   time.Duration
+}
+
+// windowSlice returns the points of sr in (toMs-windowMs, toMs]. With
+// includeBase, the one point immediately before the window is prepended —
+// the base a difference aggregation (rate, delta, bucket increase) needs
+// so a single in-window sample still yields a change; point-set
+// aggregations (avg, min, max) must not see it.
+func (sr *series) windowSlice(toMs, windowMs int64, includeBase bool) []Point {
+	fromMs := toMs - windowMs
+	var out []Point
+	var base *Point
+	for i := 0; i < sr.count; i++ {
+		p := sr.at(i)
+		if p.T > toMs {
+			break
+		}
+		if p.T <= fromMs {
+			q := p
+			base = &q
+			continue
+		}
+		out = append(out, p)
+	}
+	if includeBase && base != nil {
+		out = append([]Point{*base}, out...)
+	}
+	return out
+}
+
+// increase is the reset-tolerant counter increase over pts: the sum of
+// positive adjacent deltas (a restart shows as a negative step and is
+// skipped rather than poisoning the rate).
+func increase(pts []Point) float64 {
+	var inc float64
+	for i := 1; i < len(pts); i++ {
+		if d := pts[i].V - pts[i-1].V; d > 0 {
+			inc += d
+		}
+	}
+	return inc
+}
+
+// scalarAgg evaluates a non-histogram aggregation over the window ending
+// at toMs. ok is false when the window holds too few points.
+func scalarAgg(agg Agg, pts []Point, windowMs int64) (float64, bool) {
+	switch agg {
+	case AggRate:
+		if len(pts) < 2 {
+			return 0, false
+		}
+		elapsed := float64(pts[len(pts)-1].T-pts[0].T) / 1000
+		if elapsed <= 0 {
+			return 0, false
+		}
+		return increase(pts) / elapsed, true
+	case AggDelta:
+		if len(pts) < 2 {
+			return 0, false
+		}
+		return pts[len(pts)-1].V - pts[0].V, true
+	case AggAvg, AggMin, AggMax:
+		if len(pts) == 0 {
+			return 0, false
+		}
+		v := pts[0].V
+		sum := 0.0
+		for _, p := range pts {
+			sum += p.V
+			switch agg {
+			case AggMin:
+				if p.V < v {
+					v = p.V
+				}
+			case AggMax:
+				if p.V > v {
+					v = p.V
+				}
+			}
+		}
+		if agg == AggAvg {
+			return sum / float64(len(pts)), true
+		}
+		return v, true
+	}
+	return 0, false
+}
+
+// bucketGroup is the histogram rebuilt from _bucket series sharing all
+// labels except le: ascending upper bounds with their series.
+type bucketGroup struct {
+	labels map[string]string
+	uppers []float64
+	series []*series
+}
+
+// bucketGroups collects and groups the _bucket series of a histogram
+// family. Caller holds s.mu.
+func (s *Store) bucketGroups(name string, matchers map[string]string) []*bucketGroup {
+	groups := map[string]*bucketGroup{}
+	for _, sr := range s.series {
+		if sr.name != name+"_bucket" || !sr.matches(matchers) {
+			continue
+		}
+		le := ""
+		var keyParts []string
+		for i, ln := range sr.labelNames {
+			if ln == "le" {
+				le = sr.labelValues[i]
+				continue
+			}
+			keyParts = append(keyParts, ln+"="+sr.labelValues[i])
+		}
+		if le == "" {
+			continue
+		}
+		upper := math.Inf(1)
+		if le != "+Inf" {
+			v, err := parseFloat(le)
+			if err != nil {
+				continue
+			}
+			upper = v
+		}
+		key := strings.Join(keyParts, "\x1f")
+		g, ok := groups[key]
+		if !ok {
+			lm := sr.labelMap()
+			delete(lm, "le")
+			g = &bucketGroup{labels: lm}
+			groups[key] = g
+		}
+		g.uppers = append(g.uppers, upper)
+		g.series = append(g.series, sr)
+	}
+	out := make([]*bucketGroup, 0, len(groups))
+	for _, g := range groups {
+		sort.Sort(byUpper{g})
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return fmt.Sprint(out[i].labels) < fmt.Sprint(out[j].labels)
+	})
+	return out
+}
+
+type byUpper struct{ g *bucketGroup }
+
+func (b byUpper) Len() int           { return len(b.g.uppers) }
+func (b byUpper) Less(i, j int) bool { return b.g.uppers[i] < b.g.uppers[j] }
+func (b byUpper) Swap(i, j int) {
+	b.g.uppers[i], b.g.uppers[j] = b.g.uppers[j], b.g.uppers[i]
+	b.g.series[i], b.g.series[j] = b.g.series[j], b.g.series[i]
+}
+
+// increases returns each bucket's reset-tolerant increase over the window
+// ending at toMs. The counts are cumulative per scrape, so the increases
+// are cumulative too (up to reset noise, which is clamped monotone).
+func (g *bucketGroup) increases(toMs, windowMs int64) []float64 {
+	inc := make([]float64, len(g.series))
+	for i, sr := range g.series {
+		inc[i] = increase(sr.windowSlice(toMs, windowMs, true))
+		if i > 0 && inc[i] < inc[i-1] {
+			inc[i] = inc[i-1]
+		}
+	}
+	return inc
+}
+
+// quantileOf interpolates the q-quantile from cumulative bucket increases,
+// the same arithmetic as obs.Histogram.Quantile: linear within the
+// containing bucket, overflow clamps to the largest finite bound.
+func quantileOf(uppers []float64, cum []float64, q float64) (float64, bool) {
+	if len(cum) == 0 {
+		return 0, false
+	}
+	total := cum[len(cum)-1]
+	if total <= 0 {
+		return 0, false
+	}
+	rank := q * total
+	for i, c := range cum {
+		if c >= rank {
+			if math.IsInf(uppers[i], 1) {
+				// Overflow: clamp to the largest finite bound.
+				if i == 0 {
+					return 0, false
+				}
+				return uppers[i-1], true
+			}
+			lo, prev := 0.0, 0.0
+			if i > 0 {
+				lo = uppers[i-1]
+				prev = cum[i-1]
+			}
+			if math.IsInf(lo, 1) {
+				return 0, false
+			}
+			inBucket := c - prev
+			if inBucket <= 0 {
+				return uppers[i], true
+			}
+			return lo + (uppers[i]-lo)*(rank-prev)/inBucket, true
+		}
+	}
+	return uppers[len(uppers)-1], true
+}
+
+// fracOver returns the fraction of window observations strictly above the
+// smallest bucket bound ≥ bound. Snapping to a bucket edge keeps the
+// answer exact rather than interpolated.
+func fracOver(uppers []float64, cum []float64, bound float64) (float64, bool) {
+	if len(cum) == 0 {
+		return 0, false
+	}
+	total := cum[len(cum)-1]
+	if total <= 0 {
+		return 0, false
+	}
+	for i, u := range uppers {
+		if u >= bound {
+			return (total - cum[i]) / total, true
+		}
+	}
+	return 0, true
+}
+
+// EvalAgg evaluates one aggregation over the window ending at `at`,
+// combining multiple matching series (sum for rate/delta, pooled points
+// for avg/min/max, merged bucket increases for quantile/frac_over). ok is
+// false when no series has enough data — callers treat that as "rule not
+// evaluable", never as zero.
+func (s *Store) EvalAgg(q AggQuery, at time.Time) (float64, bool) {
+	toMs := at.UnixMilli()
+	windowMs := q.Window.Milliseconds()
+	if windowMs <= 0 {
+		return 0, false
+	}
+
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+
+	switch q.Agg {
+	case AggQuantile, AggFracOver:
+		groups := s.bucketGroups(q.Name, q.Matchers)
+		var uppers []float64
+		var cum []float64
+		for _, g := range groups {
+			inc := g.increases(toMs, windowMs)
+			if uppers == nil {
+				uppers = g.uppers
+				cum = inc
+				continue
+			}
+			if len(inc) != len(cum) {
+				continue // mismatched layouts never merge
+			}
+			for i := range cum {
+				cum[i] += inc[i]
+			}
+		}
+		if q.Agg == AggQuantile {
+			return quantileOf(uppers, cum, q.Q)
+		}
+		return fracOver(uppers, cum, q.Bound)
+	case AggRate, AggDelta:
+		var sum float64
+		any := false
+		for _, sr := range s.series {
+			if sr.name != q.Name || !sr.matches(q.Matchers) {
+				continue
+			}
+			if v, ok := scalarAgg(q.Agg, sr.windowSlice(toMs, windowMs, true), windowMs); ok {
+				sum += v
+				any = true
+			}
+		}
+		return sum, any
+	case AggAvg, AggMin, AggMax:
+		var pool []Point
+		for _, sr := range s.series {
+			if sr.name != q.Name || !sr.matches(q.Matchers) {
+				continue
+			}
+			pool = append(pool, sr.windowSlice(toMs, windowMs, false)...)
+		}
+		return scalarAgg(q.Agg, pool, windowMs)
+	}
+	return 0, false
+}
+
+// QueryAgg returns derived series: the aggregation evaluated over a
+// trailing window at each stored sample timestamp in [from, to] — what
+// the dashboard sparklines draw. AggRaw falls through to Query.
+func (s *Store) QueryAgg(q AggQuery, from, to time.Time) []Result {
+	if q.Agg == AggRaw || q.Agg == "" {
+		return s.Query(q.Name, q.Matchers, from, to)
+	}
+	var fromMs int64
+	if !from.IsZero() {
+		fromMs = from.UnixMilli()
+	}
+	toMs := int64(1<<63 - 1)
+	if !to.IsZero() {
+		toMs = to.UnixMilli()
+	}
+	windowMs := q.Window.Milliseconds()
+	if windowMs <= 0 {
+		return nil
+	}
+
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+
+	switch q.Agg {
+	case AggQuantile, AggFracOver:
+		var out []Result
+		for _, g := range s.bucketGroups(q.Name, q.Matchers) {
+			if len(g.series) == 0 {
+				continue
+			}
+			ref := g.series[len(g.series)-1] // +Inf series carries every scrape
+			res := Result{Name: q.Name + "_" + string(q.Agg), Labels: g.labels}
+			for i := 0; i < ref.count; i++ {
+				t := ref.at(i).T
+				if t < fromMs || t > toMs {
+					continue
+				}
+				inc := g.increases(t, windowMs)
+				var v float64
+				var ok bool
+				if q.Agg == AggQuantile {
+					v, ok = quantileOf(g.uppers, inc, q.Q)
+				} else {
+					v, ok = fracOver(g.uppers, inc, q.Bound)
+				}
+				if ok {
+					res.Points = append(res.Points, Point{T: t, V: v})
+				}
+			}
+			out = append(out, res)
+		}
+		return out
+	default:
+		var out []Result
+		for _, sr := range s.series {
+			if sr.name != q.Name || !sr.matches(q.Matchers) {
+				continue
+			}
+			res := Result{Name: q.Name + "_" + string(q.Agg), Labels: sr.labelMap()}
+			for i := 0; i < sr.count; i++ {
+				t := sr.at(i).T
+				if t < fromMs || t > toMs {
+					continue
+				}
+				if v, ok := scalarAgg(q.Agg, sr.windowSlice(t, windowMs, q.Agg == AggRate || q.Agg == AggDelta), windowMs); ok {
+					res.Points = append(res.Points, Point{T: t, V: v})
+				}
+			}
+			out = append(out, res)
+		}
+		sort.Slice(out, func(i, j int) bool {
+			return fmt.Sprint(out[i].Labels) < fmt.Sprint(out[j].Labels)
+		})
+		return out
+	}
+}
+
+func parseFloat(s string) (float64, error) { return strconv.ParseFloat(s, 64) }

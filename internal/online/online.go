@@ -238,6 +238,20 @@ func (d *Detector) scoreAndEmit(pending []pendingWindow) []Event {
 	return events
 }
 
+// logDrop explains one dropped window at debug level. This is a per-
+// window-per-stream path: a misbehaving stream (wrong schema, constant
+// gaps) would hit it every stride, so the process logger's token-bucket
+// sampler (obs.Logger.SetRateLimit, prodigyd -log-rate) is what keeps it
+// from flooding stderr — drops beyond the budget land in
+// log_dropped_total instead.
+func (d *Detector) logDrop(reason string, key streamKey, start int64) {
+	if !obs.Log.Enabled(obs.LevelDebug) {
+		return
+	}
+	obs.Debug("window dropped", "reason", reason,
+		"job", key.job, "component", key.comp, "window_start", start)
+}
+
 // assembleWindow builds one window's feature vector and prunes rows that
 // can no longer contribute to future windows. Caller holds d.mu.
 func (d *Detector) assembleWindow(key streamKey, b *streamBuffer) (pendingWindow, bool) {
@@ -256,11 +270,13 @@ func (d *Detector) assembleWindow(key streamKey, b *streamBuffer) (pendingWindow
 	}
 	if len(tables) == 0 {
 		windowsDropped.With("empty").Inc()
+		d.logDrop("empty", key, start)
 		return pendingWindow{}, false
 	}
 	window := timeseries.Align(tables...)
 	if window.Len() < int(d.Cfg.Window)/2 {
 		windowsDropped.With("sparse").Inc()
+		d.logDrop("sparse", key, start)
 		return pendingWindow{}, false // too sparse to trust
 	}
 	window.InterpolateAll()
@@ -277,6 +293,7 @@ func (d *Detector) assembleWindow(key streamKey, b *streamBuffer) (pendingWindow
 		// Schema mismatch (e.g. a GPU node against a CPU model): skip
 		// rather than emit garbage.
 		windowsDropped.With("schema").Inc()
+		d.logDrop("schema", key, start)
 		return pendingWindow{}, false
 	}
 	vec := make([]float64, want)

@@ -1,0 +1,55 @@
+package pipeline_test
+
+import (
+	"testing"
+
+	"prodigy/internal/pipeline"
+)
+
+// TestInstrumentationZeroAllocDelta pins the observability cost of the
+// scoring hot path: the score sketch, the cost ledger and the throughput
+// counters must add zero allocations per Scores call — toggling
+// instrumentation off must not change the allocation count.
+func TestInstrumentationZeroAllocDelta(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates and sync.Pool drops Puts under -race")
+	}
+	ds, _ := tinyCampaign(t, 33)
+	artifact := trainProdigyArtifact(t, ds)
+	det, err := artifact.Detector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := ds.X.SelectRows([]int{0, 1, 2, 3})
+
+	measure := func(on bool) float64 {
+		prev := pipeline.SetInstrumentation(on)
+		defer pipeline.SetInstrumentation(prev)
+		det.Scores(batch) // warm the workspace pools outside the count
+		return testing.AllocsPerRun(100, func() { det.Scores(batch) })
+	}
+	withObs := measure(true)
+	withoutObs := measure(false)
+	if withObs != withoutObs {
+		t.Fatalf("instrumentation adds allocations to steady-state scoring: %v allocs/run on vs %v off",
+			withObs, withoutObs)
+	}
+}
+
+// TestSetInstrumentationRoundTrip pins the toggle contract: Swap-style
+// semantics returning the previous state, default on.
+func TestSetInstrumentationRoundTrip(t *testing.T) {
+	prev := pipeline.SetInstrumentation(false)
+	if !prev {
+		// Some other test may have toggled; restore and skip rather than
+		// assert a global default this test does not own.
+		pipeline.SetInstrumentation(prev)
+		t.Skip("instrumentation was already off")
+	}
+	if on := pipeline.SetInstrumentation(true); on {
+		t.Fatal("SetInstrumentation(false) did not stick")
+	}
+	if on := pipeline.SetInstrumentation(true); !on {
+		t.Fatal("SetInstrumentation(true) did not stick")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"prodigy/internal/baselines/usad"
@@ -33,7 +34,21 @@ var (
 		"Scored batches, by execution path (serial vs parallel fan-out).", "path")
 	busyScoreWorkers = obs.Default.NewGauge("pipeline_score_workers_busy",
 		"Scoring workers currently running in the parallel fan-out.")
+	anomaliesTotal = obs.Default.NewCounter("prodigy_anomalies_total",
+		"Samples whose score crossed the deployed threshold (Predict verdicts).")
 )
+
+// instrumentationOn gates the per-batch model-health accounting (cost
+// ledger, score sketch, score histograms). It exists for exactly one
+// consumer: BenchmarkScoringUninstrumented, which proves the accounting
+// costs <5% next to the matrix math. Production never turns it off.
+var instrumentationOn atomic.Bool
+
+func init() { instrumentationOn.Store(true) }
+
+// SetInstrumentation toggles per-batch scoring telemetry (benchmarks
+// only). Returns the previous setting.
+func SetInstrumentation(on bool) bool { return instrumentationOn.Swap(on) }
 
 // ScoreQuantiles summarizes the process-wide reconstruction-error
 // distribution (p50/p95/p99) — the snapshot /api/health and /api/drift
@@ -42,14 +57,24 @@ func ScoreQuantiles() (p50, p95, p99 float64) {
 	return scoreErrors.Quantile(0.50), scoreErrors.Quantile(0.95), scoreErrors.Quantile(0.99)
 }
 
-// recordBatch publishes one finished Scores call.
-func recordBatch(path string, start time.Time, scores []float64) {
-	batchScoreDur.With(path).Observe(time.Since(start).Seconds())
+// recordBatch publishes one finished Scores call: throughput counters and
+// the process-wide score histogram, plus the detector's own cost-ledger
+// entry and distribution sketch (the model-health layer — per-model
+// ns/row on /api/health, live-vs-baseline KS on /api/alerts). Everything
+// here is atomic adds on pre-resolved series: zero allocations per batch.
+func (d *AnomalyDetector) recordBatch(path string, start time.Time, scores []float64) {
+	if !instrumentationOn.Load() {
+		return
+	}
+	elapsed := time.Since(start)
+	batchScoreDur.With(path).Observe(elapsed.Seconds())
 	scoreBatches.With(path).Inc()
 	scoresTotal.Add(float64(len(scores)))
 	for _, s := range scores {
 		scoreErrors.Observe(s)
+		d.sketch.Observe(s)
 	}
+	d.cost.Record(len(scores), elapsed)
 }
 
 // Model is the contract detection models implement: fit on healthy feature
@@ -267,14 +292,21 @@ func TrainAll(jobs []TrainJob) ([]*Artifact, error) {
 	return arts, nil
 }
 
-// Detector returns an AnomalyDetector over this artifact.
+// Detector returns an AnomalyDetector over this artifact. Each detector
+// carries a fresh score-distribution sketch (so a model swap naturally
+// starts a clean distribution) and the cost-ledger entry for its model
+// kind, both resolved here — off the hot path.
 func (a *Artifact) Detector() (*AnomalyDetector, error) {
 	if a.model == nil || a.scaler == nil {
 		if err := a.rehydrate(); err != nil {
 			return nil, err
 		}
 	}
-	return &AnomalyDetector{artifact: a}, nil
+	return &AnomalyDetector{
+		artifact: a,
+		sketch:   obs.NewSketch(),
+		cost:     obs.CostFor(a.ModelKind),
+	}, nil
 }
 
 // rehydrate reconstructs the live model and scaler from the serialized
@@ -339,10 +371,20 @@ func LoadArtifact(path string) (*Artifact, error) {
 // race with them.
 type AnomalyDetector struct {
 	artifact *Artifact
+	// sketch accumulates this detector's score distribution (fixed
+	// memory, lock-free); fresh per Detector() call, so each deployed
+	// generation is tracked separately.
+	sketch *obs.Sketch
+	// cost is the ledger entry for this artifact's model kind.
+	cost *obs.CostEntry
 }
 
 // Artifact exposes the underlying bundle.
 func (d *AnomalyDetector) Artifact() *Artifact { return d.artifact }
+
+// ScoreSketch exposes the live score-distribution sketch — the "live"
+// side of the score-shift alert.
+func (d *AnomalyDetector) ScoreSketch() *obs.Sketch { return d.sketch }
 
 // parallelScoreMinRows is the batch size below which fanning scoring out
 // across workers costs more in goroutine overhead than it recovers.
@@ -363,7 +405,7 @@ func (d *AnomalyDetector) Scores(xFull *mat.Matrix) []float64 {
 	workers := runtime.GOMAXPROCS(0)
 	if x.Rows < parallelScoreMinRows || workers < 2 {
 		out := a.model.Scores(x)
-		recordBatch("serial", start, out)
+		d.recordBatch("serial", start, out)
 		return out
 	}
 	if workers > x.Rows {
@@ -389,18 +431,25 @@ func (d *AnomalyDetector) Scores(xFull *mat.Matrix) []float64 {
 		}(lo, hi)
 	}
 	wg.Wait()
-	recordBatch("parallel", start, out)
+	d.recordBatch("parallel", start, out)
 	return out
 }
 
 // Predict returns binary predictions (1 = anomalous) and the scores.
+// Threshold crossings feed prodigy_anomalies_total — the series the
+// anomaly-rate-spike alert watches.
 func (d *AnomalyDetector) Predict(xFull *mat.Matrix) ([]int, []float64) {
 	scores := d.Scores(xFull)
 	preds := make([]int, len(scores))
+	anomalies := 0
 	for i, s := range scores {
 		if s > d.artifact.Threshold {
 			preds[i] = 1
+			anomalies++
 		}
+	}
+	if anomalies > 0 && instrumentationOn.Load() {
+		anomaliesTotal.Add(float64(anomalies))
 	}
 	return preds, scores
 }

@@ -35,7 +35,8 @@ var apiAnalyses = map[string]bool{
 //lint:labelsafe every return value comes from the closed route-pattern set above
 func routeLabel(path string) string {
 	switch path {
-	case "/api/health", "/api/jobs", "/api/drift", "/api/score", "/metrics", "/debug/vars":
+	case "/api/health", "/api/jobs", "/api/drift", "/api/score", "/metrics", "/debug/vars",
+		"/api/timeseries", "/api/alerts", "/debug/spans", "/dashboard":
 		return path
 	}
 	if rest, ok := strings.CutPrefix(path, "/api/jobs/"); ok {

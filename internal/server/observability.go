@@ -1,0 +1,149 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"prodigy/internal/obs"
+	"prodigy/internal/obs/tsdb"
+)
+
+// tsQueryParams are the reserved /api/timeseries query parameters; every
+// other parameter is treated as an exact-match label matcher, so
+// `?name=pipeline_batch_score_seconds&agg=rate&path=serial` selects the
+// serial scoring path.
+var tsQueryParams = map[string]bool{
+	"name": true, "agg": true, "window": true, "span": true, "q": true, "bound": true,
+}
+
+// handleTimeseries serves windowed queries over the in-process tsdb:
+//
+//	GET /api/timeseries?name=NAME[&agg=rate|delta|avg|min|max|quantile|frac_over]
+//	    [&window=60s][&span=15m][&q=0.99][&bound=0.25][&label=value...]
+//
+// agg defaults to raw points; span bounds how far back results reach;
+// window sizes each aggregation step. The response carries one entry per
+// matching series (for quantile/frac_over, per label set of the
+// underlying histogram).
+func (s *Server) handleTimeseries(w http.ResponseWriter, r *http.Request) {
+	if s.TSDB == nil {
+		writeError(w, r, http.StatusNotImplemented, "no timeseries store deployed")
+		return
+	}
+	params := r.URL.Query()
+	name := params.Get("name")
+	if name == "" {
+		writeError(w, r, http.StatusBadRequest, "name query parameter required")
+		return
+	}
+	agg := tsdb.AggRaw
+	if a := params.Get("agg"); a != "" {
+		var err error
+		if agg, err = tsdb.ParseAgg(a); err != nil {
+			writeError(w, r, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	window, err := durationParam(params.Get("window"), time.Minute)
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, "invalid window: %v", err)
+		return
+	}
+	span, err := durationParam(params.Get("span"), 15*time.Minute)
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, "invalid span: %v", err)
+		return
+	}
+	q := 0.99
+	if qs := params.Get("q"); qs != "" {
+		if q, err = strconv.ParseFloat(qs, 64); err != nil || q <= 0 || q >= 1 {
+			writeError(w, r, http.StatusBadRequest, "q must be a float in (0, 1)")
+			return
+		}
+	}
+	var bound float64
+	if bs := params.Get("bound"); bs != "" {
+		if bound, err = strconv.ParseFloat(bs, 64); err != nil {
+			writeError(w, r, http.StatusBadRequest, "invalid bound %q", bs)
+			return
+		}
+	} else if agg == tsdb.AggFracOver {
+		writeError(w, r, http.StatusBadRequest, "frac_over requires a bound parameter")
+		return
+	}
+	matchers := map[string]string{}
+	for k, vs := range params {
+		if !tsQueryParams[k] && len(vs) > 0 {
+			matchers[k] = vs[0]
+		}
+	}
+
+	now := s.TSDB.Now()
+	from := now.Add(-span)
+	var results []tsdb.Result
+	if agg == tsdb.AggRaw {
+		results = s.TSDB.Query(name, matchers, from, now)
+	} else {
+		results = s.TSDB.QueryAgg(tsdb.AggQuery{
+			Name: name, Matchers: matchers, Agg: agg, Q: q, Bound: bound, Window: window,
+		}, from, now)
+	}
+	if results == nil {
+		results = []tsdb.Result{}
+	}
+	writeJSON(w, map[string]interface{}{
+		"name":    name,
+		"agg":     string(agg),
+		"from_ms": from.UnixMilli(),
+		"to_ms":   now.UnixMilli(),
+		"series":  results,
+	})
+}
+
+// durationParam parses a Go duration string, defaulting when empty and
+// rejecting non-positive results.
+func durationParam(s string, def time.Duration) (time.Duration, error) {
+	if s == "" {
+		return def, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, err
+	}
+	if d <= 0 {
+		return 0, strconv.ErrRange
+	}
+	return d, nil
+}
+
+// handleAlerts reports every configured rule's current state, firing
+// first.
+func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	if s.Alerts == nil {
+		writeError(w, r, http.StatusNotImplemented, "no alert engine deployed")
+		return
+	}
+	writeJSON(w, map[string]interface{}{
+		"firing": s.Alerts.FiringCount(),
+		"alerts": s.Alerts.Alerts(),
+	})
+}
+
+// handleSpans serves the recent-slow-spans ring as JSON — the quick "what
+// was slow lately" view that /debug/vars buries inside the expvar dump.
+func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
+	spans := obs.RecentSlowSpans()
+	writeJSON(w, map[string]interface{}{
+		"count": len(spans),
+		"spans": spans,
+	})
+}
+
+// handleDashboard serves the self-contained operator dashboard. The page
+// is a single HTML document with inline CSS and JS — no external assets —
+// so it renders on an air-gapped cluster login node.
+func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write([]byte(dashboardHTML))
+}

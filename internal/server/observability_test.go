@@ -1,0 +1,286 @@
+package server_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"prodigy/internal/core"
+	"prodigy/internal/dsos"
+	"prodigy/internal/obs"
+	"prodigy/internal/obs/alert"
+	"prodigy/internal/obs/tsdb"
+	"prodigy/internal/server"
+)
+
+// obsClock is a mutex-guarded fake clock for driving the tsdb scrape loop
+// deterministically from tests.
+type obsClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *obsClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *obsClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// obsServer builds a bare server (no trained model) with an isolated
+// registry scraped by an injected-clock tsdb store.
+func obsServer(t *testing.T) (*server.Server, *obs.Registry, *tsdb.Store, *obsClock) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	clk := &obsClock{t: time.Unix(1700000000, 0)}
+	store := tsdb.New(reg, tsdb.Config{Interval: 5 * time.Second, Retention: 64, Now: clk.Now})
+	srv := server.New(dsos.NewStore(), core.New(core.DefaultConfig()))
+	srv.TSDB = store
+	return srv, reg, store, clk
+}
+
+func getObs(t *testing.T, srv http.Handler, path string) (int, []byte) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	return rec.Code, rec.Body.Bytes()
+}
+
+func TestTimeseriesEndpoint(t *testing.T) {
+	srv, reg, store, clk := obsServer(t)
+	ticks := reg.NewCounter("obsviz_ticks_total", "test counter")
+	for i := 0; i < 6; i++ {
+		ticks.Add(10) // 2/s at 5s scrape spacing
+		clk.Advance(5 * time.Second)
+		store.ScrapeOnce()
+	}
+
+	code, body := getObs(t, srv, "/api/timeseries?name=obsviz_ticks_total")
+	if code != http.StatusOK {
+		t.Fatalf("raw query: status %d: %s", code, body)
+	}
+	var resp struct {
+		Name   string `json:"name"`
+		Agg    string `json:"agg"`
+		Series []struct {
+			Points []struct {
+				T int64   `json:"t"`
+				V float64 `json:"v"`
+			} `json:"points"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Agg != "raw" || len(resp.Series) != 1 || len(resp.Series[0].Points) != 6 {
+		t.Fatalf("raw query: agg=%q series=%d, want raw/1 with 6 points: %s", resp.Agg, len(resp.Series), body)
+	}
+
+	code, body = getObs(t, srv, "/api/timeseries?name=obsviz_ticks_total&agg=rate&window=30s")
+	if code != http.StatusOK {
+		t.Fatalf("rate query: status %d: %s", code, body)
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	pts := resp.Series[0].Points
+	last := pts[len(pts)-1].V
+	if last < 1.9 || last > 2.1 {
+		t.Fatalf("steady 2/s counter: rate = %v, want ~2", last)
+	}
+
+	for _, tc := range []struct {
+		path string
+		want int
+	}{
+		{"/api/timeseries", http.StatusBadRequest},
+		{"/api/timeseries?name=obsviz_ticks_total&agg=bogus", http.StatusBadRequest},
+		{"/api/timeseries?name=obsviz_ticks_total&window=nope", http.StatusBadRequest},
+		{"/api/timeseries?name=obsviz_ticks_total&agg=quantile&q=2", http.StatusBadRequest},
+		{"/api/timeseries?name=obsviz_ticks_total&agg=frac_over", http.StatusBadRequest},
+	} {
+		if code, body := getObs(t, srv, tc.path); code != tc.want {
+			t.Errorf("%s: status %d, want %d: %s", tc.path, code, tc.want, body)
+		}
+	}
+}
+
+func TestTimeseriesLabelMatchers(t *testing.T) {
+	srv, reg, store, clk := obsServer(t)
+	vec := reg.NewCounterVec("obsviz_labeled_total", "test counter", "path")
+	vec.With("serial").Add(5)
+	vec.With("parallel").Add(7)
+	clk.Advance(5 * time.Second)
+	store.ScrapeOnce()
+
+	code, body := getObs(t, srv, "/api/timeseries?name=obsviz_labeled_total&path=serial")
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var resp struct {
+		Series []struct {
+			Labels map[string]string `json:"labels"`
+			Points []struct {
+				V float64 `json:"v"`
+			} `json:"points"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Series) != 1 || resp.Series[0].Labels["path"] != "serial" || resp.Series[0].Points[0].V != 5 {
+		t.Fatalf("label matcher did not isolate the serial series: %s", body)
+	}
+}
+
+func TestTimeseriesNotDeployed(t *testing.T) {
+	srv := server.New(dsos.NewStore(), core.New(core.DefaultConfig()))
+	if code, _ := getObs(t, srv, "/api/timeseries?name=x"); code != http.StatusNotImplemented {
+		t.Fatalf("no tsdb: status %d, want 501", code)
+	}
+	if code, _ := getObs(t, srv, "/api/alerts"); code != http.StatusNotImplemented {
+		t.Fatalf("no alert engine: status %d, want 501", code)
+	}
+}
+
+func TestAlertsEndpoint(t *testing.T) {
+	srv, reg, store, clk := obsServer(t)
+	gauge := reg.NewGauge("obsviz_pressure", "test gauge")
+	eng := alert.NewEngine(store, nil, nil)
+	if err := eng.SetRules([]alert.Rule{{
+		Name: "pressure-high", Kind: alert.KindQuery, Metric: "obsviz_pressure", Agg: "max",
+		Window: alert.Duration(30 * time.Second), Op: "gt", Threshold: 10,
+		Severity: "warn",
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	srv.Alerts = eng
+
+	step := func(v float64) {
+		gauge.Set(v)
+		clk.Advance(5 * time.Second)
+		store.ScrapeOnce()
+		eng.Eval(clk.Now())
+	}
+	step(1)
+	step(50) // above threshold, For=0 → fires immediately
+
+	code, body := getObs(t, srv, "/api/alerts")
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var resp struct {
+		Firing int `json:"firing"`
+		Alerts []struct {
+			Rule struct {
+				Name string `json:"name"`
+			} `json:"rule"`
+			State string  `json:"state"`
+			Value float64 `json:"value"`
+		} `json:"alerts"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Firing != 1 || len(resp.Alerts) != 1 || resp.Alerts[0].State != "firing" {
+		t.Fatalf("want one firing alert, got %s", body)
+	}
+	if resp.Alerts[0].Rule.Name != "pressure-high" || resp.Alerts[0].Value != 50 {
+		t.Fatalf("alert payload wrong: %s", body)
+	}
+}
+
+func TestSpansEndpoint(t *testing.T) {
+	obs.SetSlowSpanThreshold(0) // retain every span
+	defer obs.SetSlowSpanThreshold(100 * time.Millisecond)
+
+	srv := server.New(dsos.NewStore(), core.New(core.DefaultConfig()))
+	_, span := obs.StartSpan(context.Background(), "obsviz test span")
+	span.End()
+
+	code, body := getObs(t, srv, "/debug/spans")
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var resp struct {
+		Count int `json:"count"`
+		Spans []struct {
+			Name       string `json:"name"`
+			DurationNs int64  `json:"duration_ns"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Count != len(resp.Spans) || resp.Count < 1 {
+		t.Fatalf("span ring empty or miscounted: %s", body)
+	}
+	found := false
+	for _, sp := range resp.Spans {
+		if sp.Name == "obsviz test span" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("test span missing from /debug/spans: %s", body)
+	}
+}
+
+func TestDashboardSelfContained(t *testing.T) {
+	srv := server.New(dsos.NewStore(), core.New(core.DefaultConfig()))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/dashboard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Fatalf("content type %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := string(raw)
+	if !strings.Contains(page, "Prodigy model health") {
+		t.Fatal("dashboard body missing title")
+	}
+	// The page must be fully self-contained: no stylesheet links, no
+	// script/image/font sources, nothing fetched from another origin. The
+	// only absolute URL allowed is the SVG XML namespace identifier, which
+	// is never dereferenced.
+	for _, banned := range []string{"<link", "src=", "@import", "url("} {
+		if strings.Contains(page, banned) {
+			t.Errorf("dashboard contains external-asset marker %q", banned)
+		}
+	}
+	stripped := strings.ReplaceAll(page, "http://www.w3.org/2000/svg", "")
+	for _, banned := range []string{"http://", "https://"} {
+		if strings.Contains(stripped, banned) {
+			t.Errorf("dashboard references an absolute URL (%s)", banned)
+		}
+	}
+	// Every API the inline script polls must exist on this server.
+	for _, path := range []string{"/api/health", "/api/alerts", "/api/timeseries"} {
+		if !strings.Contains(page, fmt.Sprintf("%q", path)) && !strings.Contains(page, path) {
+			t.Errorf("dashboard does not poll %s", path)
+		}
+	}
+}

@@ -30,6 +30,8 @@ import (
 	"prodigy/internal/dsos"
 	"prodigy/internal/ldms"
 	"prodigy/internal/obs"
+	"prodigy/internal/obs/alert"
+	"prodigy/internal/obs/tsdb"
 	"prodigy/internal/pipeline"
 	"prodigy/internal/timeseries"
 )
@@ -47,6 +49,12 @@ type Server struct {
 	// Drift, when set, accumulates healthy-predicted scores from the
 	// anomaly dashboard and serves /api/drift — the model-staleness check.
 	Drift *drift.Monitor
+	// TSDB, when set, serves /api/timeseries and backs /dashboard — the
+	// in-process metric history (windowed rates, quantiles-over-time).
+	TSDB *tsdb.Store
+	// Alerts, when set, serves /api/alerts — the rule engine's current
+	// firing/pending/resolved states.
+	Alerts *alert.Engine
 
 	mu      sync.Mutex // guards Drift observations
 	mux     *http.ServeMux
@@ -65,6 +73,10 @@ func New(store *dsos.Store, p *core.Prodigy) *Server {
 	s.mux.HandleFunc("/api/jobs/", s.handleJob)
 	s.mux.HandleFunc("/api/drift", s.handleDrift)
 	s.mux.HandleFunc("/api/score", s.handleScore)
+	s.mux.HandleFunc("/api/timeseries", s.handleTimeseries)
+	s.mux.HandleFunc("/api/alerts", s.handleAlerts)
+	s.mux.HandleFunc("/debug/spans", s.handleSpans)
+	s.mux.HandleFunc("/dashboard", s.handleDashboard)
 	obs.PublishExpvar()
 	s.mux.Handle("/metrics", obs.Handler())
 	s.mux.Handle("/debug/vars", expvar.Handler())
@@ -132,6 +144,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"score_p50":       p50,
 		"score_p95":       p95,
 		"score_p99":       p99,
+		"cost_ledger":     obs.LedgerSnapshot(),
 	})
 }
 
