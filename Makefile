@@ -2,7 +2,7 @@
 # `make bench-json` backs the per-commit BENCH_*.json artifacts and
 # `make bench-diff` gates a fresh emission against the committed ones.
 
-.PHONY: check build vet test race lint fmt-check fuzz bench bench-json bench-train bench-features bench-diff
+.PHONY: check build vet test race lint lint-json fmt-check fuzz bench bench-json bench-train bench-features bench-diff
 
 build:
 	go build ./...
@@ -19,10 +19,19 @@ race:
 	go test -race ./...
 
 # prodigy-lint turns the repo's prose contracts into machine-checked ones
-# (DESIGN.md §9): stateless inference, bounded metric labels, seeded
-# randomness, no float equality in the numeric core.
+# (DESIGN.md §9, §14): stateless inference, bounded metric labels, seeded
+# randomness, no float equality in the numeric core, joined bounded
+# goroutines, lock-guarded fields, deterministic iteration order.
 lint:
 	go run ./cmd/prodigy-lint
+
+# Machine-readable lint report (one JSON record per diagnostic, suppressed
+# ones included) into lint-out/ — what CI uploads as an artifact so the
+# suppression inventory is auditable per commit. Exit status still gates
+# on unsuppressed findings.
+lint-json:
+	mkdir -p $(CURDIR)/lint-out
+	go run ./cmd/prodigy-lint -format=json > $(CURDIR)/lint-out/lint.json
 
 # gofmt cleanliness gate: fails listing any file gofmt would rewrite.
 fmt-check:

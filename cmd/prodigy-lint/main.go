@@ -1,19 +1,24 @@
 // Command prodigy-lint runs the repository's static-analysis suite
 // (internal/analysis): stdlib-only go/ast+go/types analyzers that enforce
 // the concurrency, reproducibility and observability contracts of
-// DESIGN.md §7–§9. It type-checks every module package, runs the default
-// analyzers, prints file:line:col: [analyzer] message diagnostics, and
-// exits 1 when any survive suppression.
+// DESIGN.md §7–§9 and §14. It type-checks every module package in
+// parallel, runs the default analyzers concurrently, prints
+// file:line:col: [analyzer] message diagnostics in deterministic order,
+// and exits 1 when any survive suppression.
 //
 // Usage:
 //
-//	prodigy-lint [-list] [dir]
+//	prodigy-lint [-list] [-format=text|json] [dir]
 //
 // dir defaults to the current directory; the module containing it is
-// analyzed. -list prints the analyzers and exits.
+// analyzed. -list prints the analyzers and exits. -format=json emits one
+// machine-readable record per diagnostic — suppressed ones included, so
+// dashboards can audit what the suppressions are hiding — while the exit
+// status still reflects only unsuppressed findings.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,8 +27,22 @@ import (
 	"prodigy/internal/analysis"
 )
 
+// record is the JSON shape of one diagnostic. Fields are stable: CI
+// artifacts and dashboards parse them.
+type record struct {
+	Analyzer string `json:"analyzer"`
+	Pos      struct {
+		File string `json:"file"`
+		Line int    `json:"line"`
+		Col  int    `json:"col"`
+	} `json:"pos"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
+	format := flag.String("format", "text", "output format: text or json")
 	flag.Parse()
 
 	if *list {
@@ -31,6 +50,10 @@ func main() {
 			fmt.Printf("%-16s %s\n", a.Name(), a.Doc())
 		}
 		return
+	}
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "prodigy-lint: unknown -format %q (want text or json)\n", *format)
+		os.Exit(2)
 	}
 
 	dir := "."
@@ -43,11 +66,39 @@ func main() {
 		fmt.Fprintln(os.Stderr, "prodigy-lint:", err)
 		os.Exit(2)
 	}
+
+	unsuppressed := 0
 	for _, d := range diags {
-		fmt.Println(d)
+		if !d.Suppressed {
+			unsuppressed++
+		}
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "prodigy-lint: %d finding(s)\n", len(diags))
+
+	switch *format {
+	case "json":
+		enc := json.NewEncoder(os.Stdout)
+		for _, d := range diags {
+			var r record
+			r.Analyzer = d.Analyzer
+			r.Pos.File = d.Pos.Filename
+			r.Pos.Line = d.Pos.Line
+			r.Pos.Col = d.Pos.Column
+			r.Message = d.Message
+			r.Suppressed = d.Suppressed
+			if err := enc.Encode(&r); err != nil {
+				fmt.Fprintln(os.Stderr, "prodigy-lint:", err)
+				os.Exit(2)
+			}
+		}
+	default:
+		for _, d := range diags {
+			if !d.Suppressed {
+				fmt.Println(d)
+			}
+		}
+	}
+	if unsuppressed > 0 {
+		fmt.Fprintf(os.Stderr, "prodigy-lint: %d finding(s)\n", unsuppressed)
 		os.Exit(1)
 	}
 }
@@ -61,7 +112,7 @@ func run(dir string) ([]analysis.Diagnostic, error) {
 	if err != nil {
 		return nil, err
 	}
-	diags := analysis.Lint(unit, analysis.DefaultAnalyzers()...)
+	diags := analysis.LintAll(unit, analysis.DefaultAnalyzers()...)
 	// Report module-relative paths: stable across checkouts, and what the
 	// golden tests and CI logs expect.
 	for i := range diags {

@@ -1,11 +1,11 @@
 // Package analysis is prodigy-lint: a static-analysis suite, written
 // purely against the standard library (go/parser, go/ast, go/types,
 // go/importer), that turns the repository's prose contracts into
-// machine-checked ones (DESIGN.md §9). Five analyzers enforce the
-// concurrency contract (statelessinfer), the hot-path memory discipline
-// (hotalloc), the observability naming and cardinality rules
-// (obsconventions), experiment reproducibility (seededrand) and numeric
-// hygiene (floateq).
+// machine-checked ones (DESIGN.md §9, §14). Eight analyzers enforce the
+// concurrency contract (statelessinfer, spawnsafe, lockguard), the
+// hot-path memory discipline (hotalloc), the observability naming and
+// cardinality rules (obsconventions), experiment reproducibility
+// (seededrand, detorder) and numeric hygiene (floateq).
 //
 // A finding can be suppressed at the offending line (same line or the
 // line directly above) with an explanation:
@@ -22,13 +22,18 @@ import (
 	"go/token"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Diagnostic is one finding, attributed to the analyzer that produced it.
+// Suppressed marks findings silenced by a well-formed //lint:ignore
+// directive: Lint drops them, LintAll keeps them for the machine-readable
+// report (a CI annotation pipeline wants to see what was waived, too).
 type Diagnostic struct {
-	Pos      token.Position
-	Analyzer string
-	Message  string
+	Pos        token.Position
+	Analyzer   string
+	Message    string
+	Suppressed bool
 }
 
 func (d Diagnostic) String() string {
@@ -59,21 +64,48 @@ type ignoreDirective struct {
 
 // Lint runs the analyzers over the unit, applies suppression directives,
 // and returns the surviving diagnostics sorted by position. Directives
-// naming unknown analyzers or missing a reason are reported under the
-// pseudo-analyzer "lint".
+// naming unknown analyzers, missing a reason, or suppressing nothing are
+// reported under the pseudo-analyzer "lint".
 func Lint(u *Unit, analyzers ...Analyzer) []Diagnostic {
+	all := LintAll(u, analyzers...)
+	out := all[:0]
+	for _, d := range all {
+		if !d.Suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// LintAll is Lint keeping the suppressed diagnostics, marked, for
+// machine-readable reports. The analyzers run concurrently — each is
+// independent and reports into its own buffer — and the merged result is
+// sorted by position, so the output is deterministic for any schedule.
+func LintAll(u *Unit, analyzers ...Analyzer) []Diagnostic {
 	known := make(map[string]bool, len(analyzers))
-	var diags []Diagnostic
 	for _, a := range analyzers {
-		a := a
 		known[a.Name()] = true
-		a.Run(u, func(pos token.Pos, format string, args ...interface{}) {
-			diags = append(diags, Diagnostic{
-				Pos:      u.Fset.Position(pos),
-				Analyzer: a.Name(),
-				Message:  fmt.Sprintf(format, args...),
+	}
+	perAnalyzer := make([][]Diagnostic, len(analyzers))
+	var wg sync.WaitGroup
+	for i, a := range analyzers {
+		i, a := i, a
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a.Run(u, func(pos token.Pos, format string, args ...interface{}) {
+				perAnalyzer[i] = append(perAnalyzer[i], Diagnostic{
+					Pos:      u.Fset.Position(pos),
+					Analyzer: a.Name(),
+					Message:  fmt.Sprintf(format, args...),
+				})
 			})
-		})
+		}()
+	}
+	wg.Wait()
+	var diags []Diagnostic
+	for _, d := range perAnalyzer {
+		diags = append(diags, d...)
 	}
 
 	directives := collectDirectives(u)
@@ -90,6 +122,7 @@ func Lint(u *Unit, analyzers ...Analyzer) []Diagnostic {
 		}
 		suppressed[file][line][analyzer] = true
 	}
+	wellFormed := make([]ignoreDirective, 0, len(directives))
 	for _, d := range directives {
 		switch {
 		case !known[d.analyzer]:
@@ -101,18 +134,37 @@ func Lint(u *Unit, analyzers ...Analyzer) []Diagnostic {
 		default:
 			mark(d.pos.Filename, d.pos.Line, d.analyzer)
 			mark(d.pos.Filename, d.pos.Line+1, d.analyzer)
+			wellFormed = append(wellFormed, d)
 		}
 	}
 
-	out := diags[:0]
-	for _, d := range diags {
-		if suppressed[d.Pos.Filename][d.Pos.Line][d.Analyzer] {
-			continue
+	for i, d := range diags {
+		if d.Analyzer != "lint" && suppressed[d.Pos.Filename][d.Pos.Line][d.Analyzer] {
+			diags[i].Suppressed = true
 		}
-		out = append(out, d)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
+
+	// Unused-suppression audit: a directive that silences zero diagnostics
+	// is a stale waiver — the analyzer it apologizes to no longer objects,
+	// so the inventory must shrink with it (DESIGN.md §14).
+	for _, d := range wellFormed {
+		used := false
+		for _, diag := range diags {
+			if diag.Suppressed && diag.Analyzer == d.analyzer &&
+				diag.Pos.Filename == d.pos.Filename &&
+				(diag.Pos.Line == d.pos.Line || diag.Pos.Line == d.pos.Line+1) {
+				used = true
+				break
+			}
+		}
+		if !used {
+			diags = append(diags, Diagnostic{Pos: d.pos, Analyzer: "lint",
+				Message: fmt.Sprintf("lint:ignore %s suppresses no diagnostic; remove the stale directive", d.analyzer)})
+		}
+	}
+
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}
@@ -124,7 +176,7 @@ func Lint(u *Unit, analyzers ...Analyzer) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return out
+	return diags
 }
 
 // collectDirectives parses every //lint:ignore comment in the unit.
@@ -168,5 +220,8 @@ func DefaultAnalyzers() []Analyzer {
 		&ObsConventions{},
 		&SeededRand{},
 		&FloatEq{Packages: DefaultFloatEqPackages()},
+		&SpawnSafe{},
+		&LockGuard{},
+		&DetOrder{Packages: DefaultDetOrderPackages()},
 	}
 }

@@ -141,6 +141,29 @@ func TestFloatEq(t *testing.T) {
 	checkAgainstMarkers(t, u, diags)
 }
 
+func TestSpawnSafe(t *testing.T) {
+	u := loadFixtures(t, [2]string{"fixture/spawnsafe", "spawnsafe"})
+	diags := Lint(u, &SpawnSafe{})
+	checkAgainstMarkers(t, u, diags)
+}
+
+func TestLockGuard(t *testing.T) {
+	u := loadFixtures(t, [2]string{"fixture/lockguard", "lockguard"})
+	diags := Lint(u, &LockGuard{})
+	checkAgainstMarkers(t, u, diags)
+}
+
+func TestDetOrder(t *testing.T) {
+	// nn loads inside the contract-package scope, util outside it: the
+	// util file repeats the violations and must stay silent.
+	u := loadFixtures(t,
+		[2]string{"fixture/det/internal/nn", "detorder/nn"},
+		[2]string{"fixture/det/internal/util", "detorder/util"},
+	)
+	diags := Lint(u, &DetOrder{Packages: DefaultDetOrderPackages()})
+	checkAgainstMarkers(t, u, diags)
+}
+
 // TestSuppression pins the exact output of the suppress fixture with a
 // golden file: well-formed directives silence their line, a reasonless
 // directive and an unknown-analyzer directive are themselves findings.

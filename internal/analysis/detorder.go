@@ -1,0 +1,252 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DetOrder enforces the bit-for-bit determinism contract of DESIGN.md §5
+// and §11 inside the deterministic-contract packages (nn, vae, usad, mat,
+// features, pipeline — the packages whose outputs the determinism
+// regression tests pin). Three sources of run-to-run divergence are
+// flagged:
+//
+//   - Map iteration feeding ordered output: a `range` over a map whose
+//     body appends to a slice declared outside the loop, accumulates into
+//     an outer floating-point or string variable, or sends on a channel.
+//     Go randomizes map order, so each of these bakes the runtime's coin
+//     flips into dataset rows, gradient sums or stream order. The
+//     collect-then-sort idiom stays clean: an appended slice that is
+//     passed to a sort.* / slices.Sort* call later in the same function
+//     is not reported.
+//
+//   - Implicit randomness: the global math/rand generators (also policed
+//     module-wide by seededrand) and any crypto/rand draw — entropy can
+//     never produce reproducible weights.
+//
+//   - Wall-clock reads: time.Now() inside a contract package. Epoch
+//     timing for metrics is legitimate but must say so with a
+//     //lint:ignore detorder explaining that the value feeds
+//     observability, not scores or weights.
+//
+// The package scope is an over-approximation of "reachable from the
+// training and scoring roots": everything in these packages sits on or
+// next to those paths, and a suppression with a written reason is cheaper
+// than a missed nondeterminism (DESIGN.md §14).
+type DetOrder struct {
+	// Packages restricts the check to import paths with one of these
+	// suffixes; empty selects the default contract packages.
+	Packages []string
+}
+
+// DefaultDetOrderPackages scopes the check to the packages covered by the
+// PR 5/6 determinism regression tests.
+func DefaultDetOrderPackages() []string {
+	return []string{
+		"internal/nn",
+		"internal/vae",
+		"internal/baselines/usad",
+		"internal/mat",
+		"internal/features",
+		"internal/pipeline",
+	}
+}
+
+// Name implements Analyzer.
+func (a *DetOrder) Name() string { return "detorder" }
+
+// Doc implements Analyzer.
+func (a *DetOrder) Doc() string {
+	return "no map-order-dependent output, implicit randomness, or wall-clock reads in the deterministic-contract packages (DESIGN.md §14)"
+}
+
+func (a *DetOrder) inScope(path string) bool {
+	pkgs := a.Packages
+	if len(pkgs) == 0 {
+		pkgs = DefaultDetOrderPackages()
+	}
+	for _, p := range pkgs {
+		if strings.HasSuffix(path, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Run implements Analyzer.
+func (a *DetOrder) Run(u *Unit, report Reporter) {
+	for _, pkg := range u.Pkgs {
+		if !a.inScope(pkg.Path) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkMapRanges(pkg, fd, report)
+			}
+		}
+		checkTimeAndRand(pkg, report)
+	}
+}
+
+// checkTimeAndRand flags wall-clock and implicit-randomness calls in one
+// package.
+func checkTimeAndRand(pkg *Package, report Reporter) {
+	for id, obj := range pkg.Info.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			continue
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() != nil {
+			continue
+		}
+		switch fn.Pkg().Path() {
+		case "time":
+			if fn.Name() == "Now" {
+				report(id.Pos(), "time.Now() in a deterministic-contract package: wall clock must not feed scores or weights; if this is observability-only, say so in a //lint:ignore detorder")
+			}
+		case "crypto/rand":
+			report(id.Pos(), "crypto/rand.%s draws entropy: deterministic training and scoring must use an explicitly seeded *math/rand.Rand", fn.Name())
+		case "math/rand", "math/rand/v2":
+			if !allowedRandFuncs[fn.Name()] {
+				report(id.Pos(), "global %s.%s in a deterministic-contract package: draw from an explicitly seeded *rand.Rand threaded from the config seed", fn.Pkg().Path(), fn.Name())
+			}
+		}
+	}
+}
+
+// checkMapRanges flags range-over-map loops in fd whose iteration order
+// leaks into ordered output.
+func checkMapRanges(pkg *Package, fd *ast.FuncDecl, report Reporter) {
+	sorted := sortedSlices(pkg, fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pkg.Info.Types[rs.X]
+		if !ok || tv.Type == nil {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRangeBody(pkg, rs, sorted, report)
+		return true
+	})
+}
+
+// sortedSlices collects the objects of slices passed to a sort.* or
+// slices.Sort* call anywhere in the function — the "collected then
+// sorted" destinations map-range appends may legitimately target.
+func sortedSlices(pkg *Package, fd *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		path := fn.Pkg().Path()
+		if (path != "sort" && path != "slices") || !strings.HasPrefix(fn.Name(), "Sort") && !strings.HasPrefix(fn.Name(), "Stable") && fn.Name() != "Strings" && fn.Name() != "Ints" && fn.Name() != "Float64s" {
+			return true
+		}
+		if len(call.Args) == 0 {
+			return true
+		}
+		if obj := exprObject(pkg, call.Args[0]); obj != nil {
+			out[obj] = true
+		}
+		return true
+	})
+	return out
+}
+
+// exprObject resolves a simple expression (ident, possibly parenthesized)
+// to its object.
+func exprObject(pkg *Package, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := pkg.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return pkg.Info.Defs[id]
+}
+
+// checkMapRangeBody scans one map-range body for order-dependent sinks.
+func checkMapRangeBody(pkg *Package, rs *ast.RangeStmt, sorted map[types.Object]bool, report Reporter) {
+	declaredInside := func(obj types.Object) bool {
+		return obj != nil && obj.Pos() >= rs.Pos() && obj.Pos() <= rs.End()
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			report(n.Pos(), "channel send inside a range over a map: receivers observe Go's randomized map order; iterate a sorted key slice instead")
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isAppendCall(pkg, call) || i >= len(n.Lhs) {
+					continue
+				}
+				dst := exprObject(pkg, n.Lhs[i])
+				if dst == nil || declaredInside(dst) || sorted[dst] {
+					continue
+				}
+				report(call.Pos(), "append inside a range over a map builds map-order-dependent contents in %s; iterate sorted keys, or sort %s before use in this function", dst.Name(), dst.Name())
+			}
+			if n.Tok == token.ADD_ASSIGN || n.Tok == token.SUB_ASSIGN || n.Tok == token.MUL_ASSIGN || n.Tok == token.QUO_ASSIGN {
+				for _, lhs := range n.Lhs {
+					obj := exprObject(pkg, lhs)
+					if obj == nil || declaredInside(obj) {
+						continue
+					}
+					if isOrderSensitiveAccum(pkg, lhs) {
+						report(n.TokPos, "%s accumulation over randomized map order is not associative bit-for-bit; iterate sorted keys (fixed-order reduction, DESIGN.md §11)", n.Tok)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isAppendCall reports whether call is the builtin append.
+func isAppendCall(pkg *Package, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pkg.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// isOrderSensitiveAccum reports whether accumulating into e depends on
+// order at the bit level: floating point (rounding is order-dependent)
+// and strings (concatenation order is the content). Integer sums commute
+// exactly and stay clean.
+func isOrderSensitiveAccum(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&(types.IsFloat|types.IsComplex|types.IsString) != 0
+}

@@ -11,6 +11,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -44,16 +45,34 @@ type Unit struct {
 // (the standard library) is resolved from compiler export data located
 // with `go list -export`, so no package outside the module is ever
 // re-type-checked from source.
+//
+// The loader is safe for concurrent LoadDir calls: LoadModule fans
+// packages out across GOMAXPROCS workers, and a package needed by two
+// type-checks concurrently is parsed and checked exactly once (the
+// second caller blocks on the first one's completion channel). Valid Go
+// import graphs are acyclic, so the blocking cannot deadlock; a cyclic
+// fixture would hang rather than error, which the compiler rejects long
+// before the analyzers see it.
 type Loader struct {
 	Fset    *token.FileSet
 	ModPath string // module path from go.mod
 	ModDir  string // module root directory
 
 	mu      sync.Mutex
-	pkgs    map[string]*Package // loaded source packages by import path
-	loading map[string]bool     // cycle guard
-	exports map[string]string   // import path -> export data file
-	gcimp   types.Importer      // export-data importer for non-module deps
+	pkgs    map[string]*loadEntry // in-flight and completed loads by import path
+	exports map[string]string     // import path -> export data file
+
+	gcmu  sync.Mutex     // serializes the (not concurrency-safe) gc importer
+	gcimp types.Importer // export-data importer for non-module deps
+}
+
+// loadEntry is one package's load slot: done closes when pkg/err are
+// final, so concurrent requesters of the same path wait instead of
+// re-type-checking.
+type loadEntry struct {
+	done chan struct{}
+	pkg  *Package
+	err  error
 }
 
 // NewLoader builds a loader rooted at the module containing dir. It runs
@@ -68,8 +87,7 @@ func NewLoader(dir string) (*Loader, error) {
 		Fset:    token.NewFileSet(),
 		ModPath: modPath,
 		ModDir:  modDir,
-		pkgs:    make(map[string]*Package),
-		loading: make(map[string]bool),
+		pkgs:    make(map[string]*loadEntry),
 		exports: make(map[string]string),
 	}
 	l.gcimp = importer.ForCompiler(l.Fset, "gc", l.lookupExport)
@@ -116,6 +134,8 @@ func (l *Loader) fillExports(args ...string) error {
 		}
 		return fmt.Errorf("analysis: go list -export %v failed%s", args, msg)
 	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	for _, line := range strings.Split(string(out), "\n") {
 		path, file, ok := strings.Cut(strings.TrimSpace(line), "\t")
 		if ok && file != "" {
@@ -154,10 +174,14 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 		return types.Unsafe, nil
 	}
 	l.mu.Lock()
-	p, ok := l.pkgs[path]
+	e, ok := l.pkgs[path]
 	l.mu.Unlock()
 	if ok {
-		return p.Types, nil
+		<-e.done
+		if e.err != nil {
+			return nil, e.err
+		}
+		return e.pkg.Types, nil
 	}
 	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
 		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModPath), "/")
@@ -167,29 +191,34 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 		}
 		return p.Types, nil
 	}
+	l.gcmu.Lock()
+	defer l.gcmu.Unlock()
 	return l.gcimp.Import(path)
 }
 
 // LoadDir parses and type-checks the non-test .go files of one directory
-// under the given import path. Results are memoized by import path.
+// under the given import path. Results are memoized by import path;
+// concurrent calls for the same path coalesce onto one load.
 func (l *Loader) LoadDir(dir, path string) (*Package, error) {
 	l.mu.Lock()
-	if p, ok := l.pkgs[path]; ok {
-		l.mu.Unlock()
-		return p, nil
+	e, ok := l.pkgs[path]
+	if !ok {
+		e = &loadEntry{done: make(chan struct{})}
+		l.pkgs[path] = e
 	}
-	if l.loading[path] {
-		l.mu.Unlock()
-		return nil, fmt.Errorf("analysis: import cycle through %q", path)
-	}
-	l.loading[path] = true
 	l.mu.Unlock()
-	defer func() {
-		l.mu.Lock()
-		delete(l.loading, path)
-		l.mu.Unlock()
-	}()
+	if ok {
+		<-e.done
+		return e.pkg, e.err
+	}
+	e.pkg, e.err = l.loadDirUncached(dir, path)
+	close(e.done)
+	return e.pkg, e.err
+}
 
+// loadDirUncached does the parse + type-check for one directory. Callers
+// hold the package's load slot, never the loader mutex.
+func (l *Loader) loadDirUncached(dir, path string) (*Package, error) {
 	names, err := sourceFiles(dir)
 	if err != nil {
 		return nil, err
@@ -217,16 +246,16 @@ func (l *Loader) LoadDir(dir, path string) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
 	}
-	p := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
-	l.mu.Lock()
-	l.pkgs[path] = p
-	l.mu.Unlock()
-	return p, nil
+	return &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}, nil
 }
 
 // LoadModule loads every package of the module (every directory holding
 // non-test .go files, skipping testdata and hidden directories) and
-// returns them as one Unit, sorted by import path.
+// returns them as one Unit, sorted by import path. Packages load in
+// parallel across GOMAXPROCS workers; the import-path memoization
+// deduplicates the shared dependency prefixes, and the final sort makes
+// the unit order — and therefore every diagnostic order — independent of
+// the load schedule.
 func (l *Loader) LoadModule() (*Unit, error) {
 	var dirs []string
 	err := filepath.WalkDir(l.ModDir, func(path string, d os.DirEntry, err error) error {
@@ -252,19 +281,49 @@ func (l *Loader) LoadModule() (*Unit, error) {
 	if err != nil {
 		return nil, err
 	}
-	u := &Unit{Fset: l.Fset}
-	for _, dir := range dirs {
+
+	paths := make([]string, len(dirs))
+	for i, dir := range dirs {
 		rel, err := filepath.Rel(l.ModDir, dir)
 		if err != nil {
 			return nil, err
 		}
-		path := l.ModPath
+		paths[i] = l.ModPath
 		if rel != "." {
-			path = l.ModPath + "/" + filepath.ToSlash(rel)
+			paths[i] = l.ModPath + "/" + filepath.ToSlash(rel)
 		}
-		p, err := l.LoadDir(dir, path)
-		if err != nil {
-			return nil, err
+	}
+
+	pkgs := make([]*Package, len(dirs))
+	errs := make([]error, len(dirs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(dirs) {
+		workers = len(dirs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				pkgs[i], errs[i] = l.LoadDir(dirs[i], paths[i])
+			}
+		}()
+	}
+	for i := range dirs {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	u := &Unit{Fset: l.Fset}
+	for i, p := range pkgs {
+		if errs[i] != nil {
+			return nil, errs[i]
 		}
 		u.Pkgs = append(u.Pkgs, p)
 	}

@@ -1,0 +1,533 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockGuard enforces the mutex discipline the concurrency-heavy packages
+// (pipeline, online, server, obs, dsos) rely on (DESIGN.md §14), in two
+// parts.
+//
+// Guarded-field inference: for every struct that embeds a sync.Mutex or
+// sync.RWMutex field, the analyzer classifies each access to the struct's
+// other fields as locked (a Lock/RLock on the same receiver's mutex is
+// held at the access, per statement-order tracking within the function)
+// or unlocked. A field whose accesses are majority-locked (strictly more
+// locked than unlocked sites, with at least two locked sites) is inferred
+// mutex-guarded, and every unlocked access to it is reported. Accesses
+// inside *Locked methods count as locked — that is the convention's
+// meaning — and accesses to a value freshly built by a composite literal
+// in the same function are exempt (the construct-then-publish idiom).
+//
+// *Locked convention: a method whose name ends in "Locked" asserts its
+// caller holds the owning lock. Every call site of such a method must
+// either hold some mutex lock at the call (the owning lock may belong to
+// a different struct, as with dsos buffers owned by the Store's lock) or
+// sit inside another *Locked function — the property that makes the
+// convention transitive through the call graph.
+//
+// Known approximations, documented in DESIGN.md §14: lock state is
+// tracked per statement list (a Lock inside a branch does not leak out of
+// it), function literals other than goroutine bodies are neutral ground
+// (no evidence collected, nothing reported), goroutine bodies start
+// unlocked, and package-level mutexes guarding package-level state are
+// out of scope.
+type LockGuard struct{}
+
+// Name implements Analyzer.
+func (a *LockGuard) Name() string { return "lockguard" }
+
+// Doc implements Analyzer.
+func (a *LockGuard) Doc() string {
+	return "majority-locked struct fields must always be accessed under their mutex, and *Locked methods only called with a lock held (DESIGN.md §14)"
+}
+
+// isMutexType reports whether t (possibly behind a pointer) is
+// sync.Mutex or sync.RWMutex.
+func isMutexType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// mutexOwner maps struct types to their mutex field(s).
+type mutexOwner struct {
+	typ     *types.Named
+	mutexes []*types.Var // the sync.Mutex / sync.RWMutex fields
+}
+
+// fieldAccess is one classified access to a guarded-candidate field.
+type fieldAccess struct {
+	pos    token.Pos
+	field  *types.Var
+	locked bool
+}
+
+// lockedCall is one call site of a *Locked method.
+type lockedCall struct {
+	pos    token.Pos
+	callee *types.Func
+	locked bool // some mutex lock held, or caller itself *Locked
+}
+
+// Run implements Analyzer.
+func (a *LockGuard) Run(u *Unit, report Reporter) {
+	owners := collectMutexOwners(u)
+	if len(owners) == 0 {
+		return
+	}
+	var accesses []fieldAccess
+	var calls []lockedCall
+	for _, pkg := range u.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				lw := &lockWalker{pkg: pkg, owners: owners, fresh: freshLocals(pkg, fd)}
+				lw.held = make(map[types.Object]bool)
+				if strings.HasSuffix(fd.Name.Name, "Locked") {
+					lw.callerHolds = true
+				}
+				lw.walkStmts(fd.Body.List)
+				accesses = append(accesses, lw.accesses...)
+				calls = append(calls, lw.calls...)
+			}
+		}
+	}
+
+	reportFieldFindings(u, accesses, report)
+	for _, c := range calls {
+		if !c.locked {
+			report(c.pos, "call to %s without a lock held: *Locked methods assert their caller holds the owning mutex; acquire it first or rename the callee",
+				qualifiedName(c.callee))
+		}
+	}
+}
+
+// reportFieldFindings applies the majority vote and reports unlocked
+// accesses to inferred-guarded fields, deterministically ordered by the
+// caller's position sort.
+func reportFieldFindings(u *Unit, accesses []fieldAccess, report Reporter) {
+	lockedN := make(map[*types.Var]int)
+	unlockedN := make(map[*types.Var]int)
+	for _, acc := range accesses {
+		if acc.locked {
+			lockedN[acc.field]++
+		} else {
+			unlockedN[acc.field]++
+		}
+	}
+	guarded := make(map[*types.Var]bool)
+	for f, n := range lockedN {
+		if n >= 2 && n > unlockedN[f] {
+			guarded[f] = true
+		}
+	}
+	// Deterministic iteration: report in access-slice order (file walk
+	// order), the final sort in Lint orders by position anyway.
+	for _, acc := range accesses {
+		if !acc.locked && guarded[acc.field] {
+			report(acc.pos, "unguarded access to %s.%s: %d of %d accesses hold the mutex, so this field is lock-guarded; acquire the lock or move the access under it",
+				fieldOwnerName(acc.field), acc.field.Name(), lockedN[acc.field], lockedN[acc.field]+unlockedN[acc.field])
+		}
+	}
+}
+
+// fieldOwnerName names the struct a field belongs to, best-effort, for
+// diagnostics.
+func fieldOwnerName(f *types.Var) string {
+	// The field's package plus the struct name is not directly recoverable
+	// from the Var; the package name is enough to anchor the message.
+	if f.Pkg() != nil {
+		return f.Pkg().Name()
+	}
+	return "struct"
+}
+
+// collectMutexOwners finds every module struct with a mutex field.
+func collectMutexOwners(u *Unit) map[*types.Named]*mutexOwner {
+	owners := make(map[*types.Named]*mutexOwner)
+	for _, pkg := range u.Pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			st, ok := named.Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			var mus []*types.Var
+			for i := 0; i < st.NumFields(); i++ {
+				if isMutexType(st.Field(i).Type()) {
+					mus = append(mus, st.Field(i))
+				}
+			}
+			if len(mus) > 0 {
+				owners[named] = &mutexOwner{typ: named, mutexes: mus}
+			}
+		}
+	}
+	return owners
+}
+
+// freshLocals returns the objects of local variables initialized from a
+// composite literal, new(T), or a direct constructor-style address-of in
+// fd — values still private to the function, whose field accesses are
+// construction, not sharing.
+func freshLocals(pkg *Package, fd *ast.FuncDecl) map[types.Object]bool {
+	fresh := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || i >= len(as.Rhs) {
+				continue
+			}
+			if isFreshExpr(pkg, as.Rhs[i]) {
+				if obj := pkg.Info.Defs[id]; obj != nil {
+					fresh[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// isFreshExpr reports whether e builds a brand-new value: a composite
+// literal, &composite, or new(T).
+func isFreshExpr(pkg *Package, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			_, ok := ast.Unparen(e.X).(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+			if b, ok := pkg.Info.Uses[id].(*types.Builtin); ok {
+				return b.Name() == "new"
+			}
+		}
+	}
+	return false
+}
+
+// lockWalker tracks lock state through one function body in statement
+// order and classifies field accesses and *Locked calls.
+type lockWalker struct {
+	pkg         *Package
+	owners      map[*types.Named]*mutexOwner
+	fresh       map[types.Object]bool
+	callerHolds bool // function is itself *Locked-named
+
+	// held maps base objects (the `s` of s.mu.Lock()) to lock state. A
+	// package-level mutex locked directly (mu.Lock()) is keyed by the
+	// mutex object itself.
+	held     map[types.Object]bool
+	anyHeld  int // count of currently held locks, for the *Locked rule
+	accesses []fieldAccess
+	calls    []lockedCall
+}
+
+// walkStmts processes a statement list in order, mutating lock state as
+// Lock/Unlock calls appear. Nested blocks inherit the current state;
+// state changes inside them persist (dsos's lock-then-branch pattern),
+// which over-approximates branches that unlock on one arm only — the
+// race detector still covers those.
+func (w *lockWalker) walkStmts(list []ast.Stmt) {
+	for _, st := range list {
+		w.walkStmt(st)
+	}
+}
+
+func (w *lockWalker) walkStmt(stmt ast.Stmt) {
+	if stmt == nil {
+		return
+	}
+	switch st := stmt.(type) {
+	case *ast.BlockStmt:
+		w.walkStmts(st.List)
+	case *ast.ExprStmt:
+		w.walkExpr(st.X)
+	case *ast.AssignStmt:
+		for _, r := range st.Rhs {
+			w.walkExpr(r)
+		}
+		for _, l := range st.Lhs {
+			w.walkExpr(l)
+		}
+	case *ast.IncDecStmt:
+		w.walkExpr(st.X)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock held to function end: record
+		// the Lock effect of Lock calls but ignore the deferred Unlock.
+		if w.lockStateCall(st.Call, true) {
+			return
+		}
+		w.walkCallArgs(st.Call)
+	case *ast.IfStmt:
+		w.walkStmt(st.Init)
+		w.walkExpr(st.Cond)
+		w.walkStmt(st.Body)
+		w.walkStmt(st.Else)
+	case *ast.ForStmt:
+		w.walkStmt(st.Init)
+		w.walkExpr(st.Cond)
+		w.walkStmt(st.Post)
+		w.walkStmt(st.Body)
+	case *ast.RangeStmt:
+		w.walkExpr(st.X)
+		w.walkStmt(st.Body)
+	case *ast.SwitchStmt:
+		w.walkStmt(st.Init)
+		w.walkExpr(st.Tag)
+		w.walkStmt(st.Body)
+	case *ast.TypeSwitchStmt:
+		w.walkStmt(st.Init)
+		w.walkStmt(st.Assign)
+		w.walkStmt(st.Body)
+	case *ast.CaseClause:
+		for _, e := range st.List {
+			w.walkExpr(e)
+		}
+		w.walkStmts(st.Body)
+	case *ast.SelectStmt:
+		w.walkStmt(st.Body)
+	case *ast.CommClause:
+		w.walkStmt(st.Comm)
+		w.walkStmts(st.Body)
+	case *ast.SendStmt:
+		w.walkExpr(st.Chan)
+		w.walkExpr(st.Value)
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			w.walkExpr(r)
+		}
+	case *ast.LabeledStmt:
+		w.walkStmt(st.Stmt)
+	case *ast.GoStmt:
+		// The goroutine body runs concurrently: analyze it as a fresh
+		// unlocked context.
+		if lit, ok := ast.Unparen(st.Call.Fun).(*ast.FuncLit); ok {
+			inner := &lockWalker{pkg: w.pkg, owners: w.owners, fresh: w.fresh,
+				held: make(map[types.Object]bool)}
+			inner.walkStmts(lit.Body.List)
+			w.accesses = append(w.accesses, inner.accesses...)
+			w.calls = append(w.calls, inner.calls...)
+		} else {
+			w.walkCallArgs(st.Call)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.walkExpr(v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// lockStateCall applies the state effect of mu.Lock/RLock/Unlock/RUnlock
+// calls and reports whether call was one. isDefer suppresses the Unlock
+// effect (a deferred unlock fires at return, after everything below it).
+func (w *lockWalker) lockStateCall(call *ast.CallExpr, isDefer bool) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	method := sel.Sel.Name
+	switch method {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return false
+	}
+	tv, ok := w.pkg.Info.Types[sel.X]
+	if !ok || !isMutexType(tv.Type) {
+		return false
+	}
+	base := lockBaseObject(w.pkg, sel.X)
+	if base == nil {
+		return true // a mutex we can't name; treat as no-op
+	}
+	switch method {
+	case "Lock", "RLock":
+		if !w.held[base] {
+			w.held[base] = true
+			w.anyHeld++
+		}
+	case "Unlock", "RUnlock":
+		if !isDefer && w.held[base] {
+			delete(w.held, base)
+			w.anyHeld--
+		}
+	}
+	return true
+}
+
+// lockBaseObject resolves the owner of a mutex expression: for s.mu the
+// base object s; for a bare package-level mu, the mutex object itself.
+func lockBaseObject(pkg *Package, mutexExpr ast.Expr) types.Object {
+	switch e := ast.Unparen(mutexExpr).(type) {
+	case *ast.SelectorExpr:
+		return chanObject(pkg, e.X)
+	case *ast.Ident:
+		if obj := pkg.Info.Uses[e]; obj != nil {
+			return obj
+		}
+		return pkg.Info.Defs[e]
+	}
+	return nil
+}
+
+// walkCallArgs visits a call's arguments without treating it as a lock
+// operation.
+func (w *lockWalker) walkCallArgs(call *ast.CallExpr) {
+	for _, a := range call.Args {
+		w.walkExpr(a)
+	}
+}
+
+// walkExpr classifies field accesses and *Locked calls inside an
+// expression evaluated at the current lock state.
+func (w *lockWalker) walkExpr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		if w.lockStateCall(e, false) {
+			return
+		}
+		w.checkLockedCall(e)
+		if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+			// Visit the receiver expression (s.buf.Row(i): the s.buf access
+			// classifies) but not the method selector itself.
+			w.walkExpr(sel.X)
+		}
+		w.walkCallArgs(e)
+	case *ast.SelectorExpr:
+		w.checkFieldAccess(e)
+		w.walkExpr(e.X)
+	case *ast.Ident, *ast.BasicLit:
+	case *ast.BinaryExpr:
+		w.walkExpr(e.X)
+		w.walkExpr(e.Y)
+	case *ast.UnaryExpr:
+		w.walkExpr(e.X)
+	case *ast.StarExpr:
+		w.walkExpr(e.X)
+	case *ast.ParenExpr:
+		w.walkExpr(e.X)
+	case *ast.IndexExpr:
+		w.walkExpr(e.X)
+		w.walkExpr(e.Index)
+	case *ast.SliceExpr:
+		w.walkExpr(e.X)
+		w.walkExpr(e.Low)
+		w.walkExpr(e.High)
+		w.walkExpr(e.Max)
+	case *ast.TypeAssertExpr:
+		w.walkExpr(e.X)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				w.walkExpr(kv.Value)
+			} else {
+				w.walkExpr(el)
+			}
+		}
+	case *ast.KeyValueExpr:
+		w.walkExpr(e.Value)
+	case *ast.FuncLit:
+		// Neutral ground: a literal passed to a call may run under the
+		// current lock (sync.Once.Do) or far later (callbacks) — neither
+		// evidence nor findings come from it.
+	}
+}
+
+// checkFieldAccess classifies sel if it reads or writes a non-mutex field
+// of a mutex-owning struct through a simple base.
+func (w *lockWalker) checkFieldAccess(sel *ast.SelectorExpr) {
+	s, ok := w.pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return
+	}
+	field, ok := s.Obj().(*types.Var)
+	if !ok || isMutexType(field.Type()) {
+		return
+	}
+	recvT := s.Recv()
+	if p, ok := recvT.(*types.Pointer); ok {
+		recvT = p.Elem()
+	}
+	named, ok := recvT.(*types.Named)
+	if !ok {
+		return
+	}
+	if _, owns := w.owners[named]; !owns {
+		return
+	}
+	// Only direct one-level accesses (base ident) participate: deeper
+	// chains have ambiguous lock ownership.
+	base := chanObject(w.pkg, sel.X)
+	if base == nil {
+		return
+	}
+	if w.fresh[base] {
+		return // construction before publication
+	}
+	locked := w.callerHolds || w.held[base]
+	w.accesses = append(w.accesses, fieldAccess{pos: sel.Sel.Pos(), field: field, locked: locked})
+}
+
+// checkLockedCall records a call to a *Locked method with the current
+// lock state. Any held lock satisfies the convention: the owning lock may
+// belong to a containing struct (dsos buffers under the Store's mutex).
+func (w *lockWalker) checkLockedCall(call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	s, ok := w.pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return
+	}
+	fn, ok := s.Obj().(*types.Func)
+	if !ok || !strings.HasSuffix(fn.Name(), "Locked") {
+		return
+	}
+	w.calls = append(w.calls, lockedCall{
+		pos:    call.Pos(),
+		callee: fn,
+		locked: w.callerHolds || w.anyHeld > 0,
+	})
+}

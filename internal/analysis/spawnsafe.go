@@ -1,0 +1,424 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SpawnSafe enforces the goroutine lifecycle contract the serving tier
+// depends on (DESIGN.md §14): every `go` statement must have a provable
+// join, and its fan-out must be bounded.
+//
+// Join evidence, checked per spawn site:
+//
+//   - WaitGroup pairing: a `wg.Add(...)` on the same *sync.WaitGroup
+//     object precedes the spawn in the enclosing function, the goroutine
+//     body runs `defer wg.Done()` (a bare, non-deferred Done is itself a
+//     finding — a panic between spawn and Done deadlocks Wait forever),
+//     and a `wg.Wait()` on the same object exists somewhere in the
+//     module. An Add inside the goroutine body is reported too: it races
+//     Wait.
+//
+//   - Channel collection: the goroutine sends on or closes a channel,
+//     and a receive from the same channel object (a local collected in
+//     the spawning function, or a struct-field channel received anywhere
+//     in the module — the Start/Stop split) is found.
+//
+// Bounded fan-out, checked from the loop structure around the spawn: a
+// `go` statement directly inside a condition-less `for {}` loop or a
+// `range` over a channel is the per-request unbounded spawn pattern
+// (accept loops, stream consumers) and is reported; counted loops and
+// ranges over slices, maps and integers are bounded by their input.
+// Both judgments are syntactic per function: a WaitGroup threaded
+// through a helper or a join protocol spread across packages needs a
+// //lint:ignore spawnsafe with the protocol spelled out.
+type SpawnSafe struct{}
+
+// Name implements Analyzer.
+func (a *SpawnSafe) Name() string { return "spawnsafe" }
+
+// Doc implements Analyzer.
+func (a *SpawnSafe) Doc() string {
+	return "every go statement needs a provable join (WaitGroup Add/defer-Done/Wait or channel collection) and bounded fan-out (DESIGN.md §14)"
+}
+
+// Run implements Analyzer.
+func (a *SpawnSafe) Run(u *Unit, report Reporter) {
+	chans := collectChannelReceives(u)
+	waits := collectWaitGroupWaits(u)
+	for _, pkg := range u.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				s := &spawnScan{pkg: pkg, report: report, recvs: chans, waits: waits}
+				s.scanFunc(fd)
+			}
+		}
+	}
+}
+
+// chanObject resolves the channel operand of a send, close or receive to
+// a stable identity: a local/package variable's object, or the struct
+// field object for selector expressions (s.done in Start and Stop resolve
+// to the same field *types.Var, which is how the cross-method join of the
+// background-loop pattern is recognized).
+func chanObject(pkg *Package, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := pkg.Info.Uses[e]; obj != nil {
+			return obj
+		}
+		return pkg.Info.Defs[e]
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			return sel.Obj()
+		}
+		return pkg.Info.Uses[e.Sel]
+	}
+	return nil
+}
+
+// collectChannelReceives indexes every channel object the module receives
+// from: <-ch expressions, range-over-channel loops, and select receive
+// clauses all count as collection points.
+func collectChannelReceives(u *Unit) map[types.Object]bool {
+	recvs := make(map[types.Object]bool)
+	for _, pkg := range u.Pkgs {
+		pkg := pkg
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.UnaryExpr:
+					if n.Op == token.ARROW {
+						if obj := chanObject(pkg, n.X); obj != nil {
+							recvs[obj] = true
+						}
+					}
+				case *ast.RangeStmt:
+					if isChanType(pkg, n.X) {
+						if obj := chanObject(pkg, n.X); obj != nil {
+							recvs[obj] = true
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return recvs
+}
+
+// collectWaitGroupWaits indexes every WaitGroup object the module calls
+// Wait on.
+func collectWaitGroupWaits(u *Unit) map[types.Object]bool {
+	waits := make(map[types.Object]bool)
+	for _, pkg := range u.Pkgs {
+		pkg := pkg
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if obj := waitGroupCall(pkg, call, "Wait"); obj != nil {
+					waits[obj] = true
+				}
+				return true
+			})
+		}
+	}
+	return waits
+}
+
+// waitGroupCall matches a call of the form wg.<method>() where wg has
+// type sync.WaitGroup (or *sync.WaitGroup) and returns wg's object.
+func waitGroupCall(pkg *Package, call *ast.CallExpr, method string) types.Object {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return nil
+	}
+	tv, ok := pkg.Info.Types[sel.X]
+	if !ok || !isWaitGroup(tv.Type) {
+		return nil
+	}
+	return chanObject(pkg, sel.X)
+}
+
+func isWaitGroup(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}
+
+func isChanType(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isChan := tv.Type.Underlying().(*types.Chan)
+	return isChan
+}
+
+// spawnScan analyzes the go statements of one function.
+type spawnScan struct {
+	pkg    *Package
+	report Reporter
+	recvs  map[types.Object]bool
+	waits  map[types.Object]bool
+
+	// adds maps WaitGroup objects to the position of their last Add seen
+	// so far in statement order — the "Add precedes the spawn" evidence.
+	adds map[types.Object]token.Pos
+}
+
+// loopKind classifies the innermost loops enclosing a statement.
+type loopKind int
+
+const (
+	loopNone      loopKind = iota
+	loopBounded            // counted for / range over a finite collection
+	loopUnbounded          // for {} without condition, or range over a channel
+)
+
+func (s *spawnScan) scanFunc(fd *ast.FuncDecl) {
+	s.adds = make(map[types.Object]token.Pos)
+	s.walk(fd.Body, loopNone)
+}
+
+// walk visits statements in source order, recording WaitGroup Adds and
+// judging each go statement against the evidence accumulated so far.
+// enclosing is the strongest loop kind wrapping the current statement.
+func (s *spawnScan) walk(stmt ast.Stmt, enclosing loopKind) {
+	if stmt == nil {
+		return
+	}
+	switch st := stmt.(type) {
+	case *ast.BlockStmt:
+		for _, inner := range st.List {
+			s.walk(inner, enclosing)
+		}
+	case *ast.ExprStmt:
+		s.noteAdds(st.X)
+	case *ast.AssignStmt:
+		for _, r := range st.Rhs {
+			s.noteAdds(r)
+		}
+	case *ast.IfStmt:
+		s.walk(st.Init, enclosing)
+		s.noteAdds(st.Cond)
+		s.walk(st.Body, enclosing)
+		s.walk(st.Else, enclosing)
+	case *ast.ForStmt:
+		kind := loopBounded
+		if st.Cond == nil {
+			kind = loopUnbounded
+		}
+		if enclosing == loopUnbounded {
+			kind = loopUnbounded
+		}
+		s.walk(st.Init, enclosing)
+		s.walk(st.Body, kind)
+	case *ast.RangeStmt:
+		kind := loopBounded
+		if isChanType(s.pkg, st.X) {
+			kind = loopUnbounded
+		}
+		if enclosing == loopUnbounded {
+			kind = loopUnbounded
+		}
+		s.walk(st.Body, kind)
+	case *ast.SwitchStmt:
+		s.walk(st.Init, enclosing)
+		s.walk(st.Body, enclosing)
+	case *ast.TypeSwitchStmt:
+		s.walk(st.Init, enclosing)
+		s.walk(st.Body, enclosing)
+	case *ast.CaseClause:
+		for _, inner := range st.Body {
+			s.walk(inner, enclosing)
+		}
+	case *ast.SelectStmt:
+		s.walk(st.Body, enclosing)
+	case *ast.CommClause:
+		s.walk(st.Comm, enclosing)
+		for _, inner := range st.Body {
+			s.walk(inner, enclosing)
+		}
+	case *ast.LabeledStmt:
+		s.walk(st.Stmt, enclosing)
+	case *ast.DeclStmt:
+		// const/var declarations carry no spawn or Add evidence.
+	case *ast.GoStmt:
+		s.checkSpawn(st, enclosing)
+	case *ast.DeferStmt:
+		s.noteAdds(st.Call)
+	case *ast.SendStmt, *ast.ReturnStmt, *ast.IncDecStmt, *ast.BranchStmt, *ast.EmptyStmt:
+		// No spawn or Add evidence.
+	}
+}
+
+// noteAdds records wg.Add(...) calls appearing in an expression evaluated
+// at this point in the function body.
+func (s *spawnScan) noteAdds(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false // closure bodies run later; their Adds don't precede anything here
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if obj := waitGroupCall(s.pkg, call, "Add"); obj != nil {
+				s.adds[obj] = call.Pos()
+			}
+		}
+		return true
+	})
+}
+
+// checkSpawn judges one go statement.
+func (s *spawnScan) checkSpawn(st *ast.GoStmt, enclosing loopKind) {
+	if enclosing == loopUnbounded {
+		s.report(st.Pos(), "goroutine spawned inside an unbounded loop (no loop condition, or range over a channel): fan-out must be bounded by a worker count or input size")
+	}
+
+	body := goBody(st)
+	if body == nil {
+		// go f(x): the spawned function's internals are out of view, so no
+		// join can be proven at this site.
+		s.report(st.Pos(), "go statement has no provable join: spawn a closure that defers wg.Done() or sends its result on a collected channel")
+		return
+	}
+
+	ev := s.collectBodyEvidence(body)
+	for _, pos := range ev.bareDones {
+		s.report(pos, "wg.Done() must run in a defer: a panic between spawn and Done deadlocks every Wait")
+	}
+	for _, pos := range ev.innerAdds {
+		s.report(pos, "wg.Add inside the goroutine races Wait: Add must precede the go statement in the spawning function")
+	}
+
+	// WaitGroup join: deferred Done on a group with a preceding Add and a
+	// module-visible Wait.
+	for _, wg := range ev.deferredDones {
+		if _, added := s.adds[wg]; added && s.waits[wg] {
+			return
+		}
+	}
+	// Channel join: the body sends on or closes a channel some code
+	// receives from.
+	for _, ch := range ev.signals {
+		if s.recvs[ch] {
+			return
+		}
+	}
+
+	switch {
+	case len(ev.deferredDones) > 0:
+		// A Done exists but its Add or Wait is missing: say which.
+		wg := ev.deferredDones[0]
+		if _, added := s.adds[wg]; !added {
+			s.report(st.Pos(), "goroutine defers wg.Done() but no wg.Add precedes the go statement in this function")
+		} else {
+			s.report(st.Pos(), "goroutine defers wg.Done() but no wg.Wait() on this WaitGroup exists in the module")
+		}
+	case len(ev.signals) > 0:
+		s.report(st.Pos(), "goroutine signals a channel nothing receives from: add a collecting receive or close the loop with a WaitGroup")
+	default:
+		s.report(st.Pos(), "go statement has no provable join: pair wg.Add / defer wg.Done() / wg.Wait, or send the result on a channel the spawner receives from")
+	}
+}
+
+// goBody returns the body of a go statement spawning a function literal,
+// or nil for direct calls.
+func goBody(st *ast.GoStmt) *ast.BlockStmt {
+	if lit, ok := ast.Unparen(st.Call.Fun).(*ast.FuncLit); ok {
+		return lit.Body
+	}
+	return nil
+}
+
+// bodyEvidence is the join-relevant behavior of one goroutine body.
+type bodyEvidence struct {
+	deferredDones []types.Object // WaitGroups with a defer wg.Done()
+	bareDones     []token.Pos    // wg.Done() outside a defer
+	innerAdds     []token.Pos    // wg.Add inside the body
+	signals       []types.Object // channels sent on or closed
+}
+
+// collectBodyEvidence scans a goroutine body for joins: deferred Dones,
+// channel sends and closes — including those behind nested blocks, loops
+// and selects (a worker that sends each result counts).
+func (s *spawnScan) collectBodyEvidence(body *ast.BlockStmt) bodyEvidence {
+	var ev bodyEvidence
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if obj := waitGroupCall(s.pkg, n.Call, "Done"); obj != nil {
+				ev.deferredDones = append(ev.deferredDones, obj)
+				return true
+			}
+			if isCloseCall(s.pkg, n.Call) {
+				if obj := chanObject(s.pkg, n.Call.Args[0]); obj != nil {
+					ev.signals = append(ev.signals, obj)
+				}
+			}
+			return true
+		case *ast.CallExpr:
+			if obj := waitGroupCall(s.pkg, n, "Done"); obj != nil {
+				if !deferredIn(body, n) {
+					ev.bareDones = append(ev.bareDones, n.Pos())
+				}
+				return true
+			}
+			if waitGroupCall(s.pkg, n, "Add") != nil {
+				ev.innerAdds = append(ev.innerAdds, n.Pos())
+				return true
+			}
+			if isCloseCall(s.pkg, n) {
+				if obj := chanObject(s.pkg, n.Args[0]); obj != nil {
+					ev.signals = append(ev.signals, obj)
+				}
+			}
+		case *ast.SendStmt:
+			if obj := chanObject(s.pkg, n.Chan); obj != nil {
+				ev.signals = append(ev.signals, obj)
+			}
+		}
+		return true
+	})
+	return ev
+}
+
+// isCloseCall reports whether call is the builtin close(ch).
+func isCloseCall(pkg *Package, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || len(call.Args) != 1 {
+		return false
+	}
+	b, ok := pkg.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "close"
+}
+
+// deferredIn reports whether call appears as the call of a defer
+// statement anywhere in body.
+func deferredIn(body *ast.BlockStmt, call *ast.CallExpr) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok && d.Call == call {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,67 @@
+// Package nn exercises detorder inside a deterministic-contract package:
+// its import path ends in internal/nn, so map-order leaks, implicit
+// randomness and wall-clock reads are all findings here.
+package nn
+
+import (
+	"crypto/rand"
+	"sort"
+	"time"
+)
+
+// Flatten leaks map order three ways: appended rows, a float
+// accumulation, and a channel send.
+func Flatten(m map[string]float64, out chan float64) ([]float64, float64) {
+	rows := make([]float64, 0, len(m))
+	var sum float64
+	for _, v := range m {
+		rows = append(rows, v) //want:detorder
+		sum += v               //want:detorder
+		out <- v               //want:detorder
+	}
+	return rows, sum
+}
+
+// SortedKeys is the clean collect-then-sort idiom: the appended slice is
+// sorted before use in the same function.
+func SortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Count accumulates an integer, which commutes exactly: clean.
+func Count(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// PerKey appends into a slice scoped to the loop body, so iteration order
+// cannot leak out: clean.
+func PerKey(m map[string][]float64) int {
+	n := 0
+	for _, vs := range m {
+		local := make([]float64, 0, len(vs))
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+
+// Stamp reads the wall clock on a contract-package path.
+func Stamp() int64 {
+	return time.Now().UnixNano() //want:detorder
+}
+
+// Entropy draws from crypto/rand: never reproducible.
+func Entropy() []byte {
+	buf := make([]byte, 8)
+	_, _ = rand.Read(buf) //want:detorder
+	return buf
+}

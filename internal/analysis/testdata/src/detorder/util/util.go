@@ -1,0 +1,17 @@
+// Package util sits outside the deterministic-contract scope: the same
+// patterns the nn fixture flags must pass without findings here.
+package util
+
+import "time"
+
+// Stamp matches the nn fixture's violation but is out of scope.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Flatten matches the nn fixture's map-order leak but is out of scope.
+func Flatten(m map[string]float64) []float64 {
+	out := make([]float64, 0, len(m))
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+// Package lockguard exercises the lockguard analyzer: inferred
+// mutex-guarded fields and the *Locked calling convention.
+package lockguard
+
+import "sync"
+
+// Counter's n is majority-locked (four accesses under c.mu, two outside):
+// the analyzer infers the guard and flags both unlocked accesses.
+type Counter struct {
+	mu   sync.Mutex
+	n    int
+	peak int
+}
+
+// New writes a field on a freshly built value: construction before
+// publication is exempt from guard inference.
+func New() *Counter {
+	c := &Counter{}
+	c.peak = 1
+	return c
+}
+
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	if c.n > c.peak {
+		c.peak = c.n
+	}
+}
+
+func (c *Counter) Get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Racy reads the guarded field with no lock held.
+func (c *Counter) Racy() int {
+	return c.n //want:lockguard
+}
+
+// Spawn holds the lock at the go statement, but the goroutine body runs
+// concurrently in its own unlocked context.
+func (c *Counter) Spawn() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.n++ //want:lockguard
+	}()
+}
+
+// Store's *Locked chain: Flush holds the lock before calling in, and
+// flushLocked may delegate to compactLocked because the convention is
+// transitive through *Locked callers. BadFlush calls in with nothing
+// held.
+type Store struct {
+	mu  sync.Mutex
+	buf []int
+}
+
+func (s *Store) Flush() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.flushLocked()
+}
+
+func (s *Store) flushLocked() {
+	s.compactLocked()
+}
+
+func (s *Store) compactLocked() {
+	s.buf = s.buf[:0]
+}
+
+func (s *Store) BadFlush() {
+	s.flushLocked() //want:lockguard
+}
+
+// Pair shows the any-lock rule: p.mu is not the Store's own mutex, but a
+// caller holding any lock satisfies the convention — lock ownership is
+// the caller's claim, not inferred (the dsos buffer-under-Store's-lock
+// shape).
+type Pair struct {
+	mu    sync.Mutex
+	inner *Store
+}
+
+func (p *Pair) Sync() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.inner.flushLocked()
+}

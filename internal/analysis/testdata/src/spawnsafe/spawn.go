@@ -1,0 +1,134 @@
+// Package spawnsafe exercises the spawnsafe analyzer: every go statement
+// needs a provable join (WaitGroup pairing or channel collection) and
+// bounded fan-out.
+package spawnsafe
+
+import "sync"
+
+// workerPool is the clean WaitGroup pattern: Add precedes the spawn, the
+// body defers Done, and Wait closes the protocol.
+func workerPool(jobs []int) int {
+	var wg sync.WaitGroup
+	results := make([]int, len(jobs))
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i, j int) {
+			defer wg.Done()
+			results[i] = j * 2
+		}(i, j)
+	}
+	wg.Wait()
+	total := 0
+	for _, r := range results {
+		total += r
+	}
+	return total
+}
+
+// fanOut is the clean channel-collection pattern: every spawn sends its
+// result on a channel the spawner receives from.
+func fanOut(jobs []int) int {
+	ch := make(chan int)
+	for _, j := range jobs {
+		go func(j int) {
+			ch <- j * j
+		}(j)
+	}
+	total := 0
+	for range jobs {
+		total += <-ch
+	}
+	return total
+}
+
+// loop is the clean Start/Stop split: the goroutine closes a struct-field
+// channel that Stop receives from, so the join crosses methods but stays
+// on one channel object.
+type loop struct {
+	done chan struct{}
+	stop chan struct{}
+}
+
+func (l *loop) Start() {
+	go func() {
+		defer close(l.done)
+		<-l.stop
+	}()
+}
+
+func (l *loop) Stop() {
+	close(l.stop)
+	<-l.done
+}
+
+// fireAndForget spawns a named function: nothing in view joins it.
+func fireAndForget() {
+	go orphanWork() //want:spawnsafe
+}
+
+func orphanWork() {}
+
+// bareDone pairs Add and Wait but calls Done outside a defer: a panic in
+// the body deadlocks Wait, and the non-deferred Done is no join evidence.
+func bareDone() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { //want:spawnsafe
+		wg.Done() //want:spawnsafe
+	}()
+	wg.Wait()
+}
+
+// missingWait defers Done on a WaitGroup nothing ever Waits on.
+func missingWait() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { //want:spawnsafe
+		defer wg.Done()
+	}()
+}
+
+// addInside counts correctly up front but re-Adds inside the body, racing
+// any Wait that observes the count between spawn and increment.
+func addInside(jobs []int) {
+	var wg sync.WaitGroup
+	wg.Add(len(jobs))
+	for _, j := range jobs {
+		go func(j int) {
+			wg.Add(1) //want:spawnsafe
+			defer wg.Done()
+			_ = j
+		}(j)
+	}
+	wg.Wait()
+}
+
+// server carries the channels of the unbounded-spawn cases as fields so
+// the joins themselves are provable — only the fan-out is at fault.
+type server struct {
+	conns   chan int
+	results chan int
+}
+
+// acceptLoop spawns per iteration of a condition-less for: per-request
+// unbounded fan-out.
+func (s *server) acceptLoop() {
+	for {
+		c := <-s.conns
+		go func(c int) { //want:spawnsafe
+			s.results <- c
+		}(c)
+	}
+}
+
+// streamLoop spawns per received message: a range over a channel is just
+// as unbounded.
+func (s *server) streamLoop() {
+	for c := range s.conns {
+		go func(c int) { //want:spawnsafe
+			s.results <- c
+		}(c)
+	}
+}
+
+func (s *server) drain() int { return <-s.results }

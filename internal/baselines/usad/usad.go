@@ -211,6 +211,7 @@ func (u *USAD) Fit(x *mat.Matrix, progress func(epoch int, l1, l2 float64)) erro
 		warmup = 0
 	}
 	for epoch := 1; epoch <= warmup+u.Cfg.Epochs; epoch++ {
+		//lint:ignore detorder observability-only: epoch wall-clock feeds the progress callback, never the adversarial schedule or weights
 		epochStart := time.Now()
 		// Warmup: pure reconstruction (a=1, b=0); then the USAD schedule
 		// with n counting adversarial epochs. Unlike the original, the

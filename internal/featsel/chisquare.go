@@ -182,8 +182,8 @@ func Select(x *mat.Matrix, y []int, names []string, k int) (*Selection, error) {
 }
 
 // Apply returns the sub-matrix of x restricted to the selected columns.
-//
-//lint:ignore hotalloc compat wrapper returns a fresh caller-owned matrix
+// Off the hot path since the batch scorers moved to ApplyInto; it
+// allocates freely.
 func (s *Selection) Apply(x *mat.Matrix) *mat.Matrix { return x.SelectCols(s.Indices) }
 
 // ApplyInto is Apply writing into a caller-supplied destination — the

@@ -125,6 +125,7 @@ func Train(n *Network, x, y *mat.Matrix, loss Loss, opt Optimizer, cfg TrainConf
 	params := n.Params()
 	finalLoss := 0.0
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		//lint:ignore detorder observability-only: epoch wall-clock feeds the progress callback and metrics, never weights or scores
 		epochStart := time.Now()
 		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 		epochLoss := 0.0

@@ -142,9 +142,9 @@ type bucketGroup struct {
 	series []*series
 }
 
-// bucketGroups collects and groups the _bucket series of a histogram
-// family. Caller holds s.mu.
-func (s *Store) bucketGroups(name string, matchers map[string]string) []*bucketGroup {
+// bucketGroupsLocked collects and groups the _bucket series of a
+// histogram family. Caller holds s.mu.
+func (s *Store) bucketGroupsLocked(name string, matchers map[string]string) []*bucketGroup {
 	groups := map[string]*bucketGroup{}
 	for _, sr := range s.series {
 		if sr.name != name+"_bucket" || !sr.matches(matchers) {
@@ -290,7 +290,7 @@ func (s *Store) EvalAgg(q AggQuery, at time.Time) (float64, bool) {
 
 	switch q.Agg {
 	case AggQuantile, AggFracOver:
-		groups := s.bucketGroups(q.Name, q.Matchers)
+		groups := s.bucketGroupsLocked(q.Name, q.Matchers)
 		var uppers []float64
 		var cum []float64
 		for _, g := range groups {
@@ -363,7 +363,7 @@ func (s *Store) QueryAgg(q AggQuery, from, to time.Time) []Result {
 	switch q.Agg {
 	case AggQuantile, AggFracOver:
 		var out []Result
-		for _, g := range s.bucketGroups(q.Name, q.Matchers) {
+		for _, g := range s.bucketGroupsLocked(q.Name, q.Matchers) {
 			if len(g.series) == 0 {
 				continue
 			}

@@ -396,6 +396,7 @@ const parallelScoreMinRows = 128
 // run through a pooled workspace, so repeated batch scoring reuses the
 // same buffers instead of allocating two full-batch matrices per call.
 func (d *AnomalyDetector) Scores(xFull *mat.Matrix) []float64 {
+	//lint:ignore detorder observability-only: scoring latency is recorded to the obs registry, never mixed into the scores
 	start := time.Now()
 	a := d.artifact
 	ws := mat.GetWorkspace()

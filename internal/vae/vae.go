@@ -318,6 +318,7 @@ func (v *VAE) Fit(x *mat.Matrix, progress func(epoch int, loss, recon, kl float6
 	params := v.params()
 	stats := &TrainStats{Epochs: v.Cfg.Epochs}
 	for epoch := 0; epoch < v.Cfg.Epochs; epoch++ {
+		//lint:ignore detorder observability-only: epoch wall-clock feeds TrainStats and the progress callback, never weights or scores
 		epochStart := time.Now()
 		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 		var epochLoss, epochRecon, epochKL float64
