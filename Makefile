@@ -2,7 +2,7 @@
 # `make bench-json` backs the per-commit BENCH_*.json artifacts and
 # `make bench-diff` gates a fresh emission against the committed ones.
 
-.PHONY: check build vet test race lint lint-json fmt-check fuzz bench bench-json bench-train bench-features bench-diff
+.PHONY: check build vet test race lint lint-json fmt-check fuzz bench bench-json bench-train bench-features bench-serving bench-diff
 
 build:
 	go build ./...
@@ -52,13 +52,15 @@ bench: bench-json
 	go test -bench=. -benchmem -run=^$$ ./...
 
 # Benchmark snapshots — the perf trajectory tracked across PRs (see
-# DESIGN.md §8): scoring paths, raw mat kernels, training loops. Each
-# emitter is one gated test so a single file can be refreshed alone.
+# DESIGN.md §8): scoring paths, raw mat kernels, training loops, the
+# feature extractor, and the coalescing serving tier. Each emitter is
+# one gated test so a single file can be refreshed alone.
 bench-json:
 	BENCH_JSON=$(CURDIR)/BENCH_scoring.json go test -run '^TestEmitScoringBenchJSON$$' -count=1 .
 	BENCH_MATMUL_JSON=$(CURDIR)/BENCH_matmul.json go test -run '^TestEmitMatmulBenchJSON$$' -count=1 .
 	BENCH_TRAIN_JSON=$(CURDIR)/BENCH_train.json go test -run '^TestEmitTrainBenchJSON$$' -count=1 .
 	BENCH_FEATURES_JSON=$(CURDIR)/BENCH_features.json go test -run '^TestEmitFeaturesBenchJSON$$' -count=1 .
+	BENCH_SERVING_JSON=$(CURDIR)/BENCH_serving.json go test -run '^TestEmitServingBenchJSON$$' -count=1 .
 
 # Refresh only the training-loop snapshot (W1 + W8 fan-outs) — the file
 # the data-parallel training work of DESIGN.md §11 reports against.
@@ -70,6 +72,13 @@ bench-train:
 bench-features:
 	BENCH_FEATURES_JSON=$(CURDIR)/BENCH_features.json go test -run '^TestEmitFeaturesBenchJSON$$' -count=1 .
 
+# Refresh only the serving-tier snapshot — closed-loop coalescing
+# benchmarks plus the open-loop/saturation sweep of DESIGN.md §15. The
+# emitter also enforces the tier's acceptance bounds (≥5× coalescing
+# speedup, shed-not-latency under overload).
+bench-serving:
+	BENCH_SERVING_JSON=$(CURDIR)/BENCH_serving.json go test -run '^TestEmitServingBenchJSON$$' -count=1 .
+
 # Fresh emission into bench-out/, diffed against the committed baselines:
 # >10% ns/op slowdown warns, >25% fails (cmd/benchdiff). CI's bench job
 # runs exactly this.
@@ -79,7 +88,9 @@ bench-diff:
 	BENCH_MATMUL_JSON=$(CURDIR)/bench-out/BENCH_matmul.json go test -run '^TestEmitMatmulBenchJSON$$' -count=1 .
 	BENCH_TRAIN_JSON=$(CURDIR)/bench-out/BENCH_train.json go test -run '^TestEmitTrainBenchJSON$$' -count=1 .
 	BENCH_FEATURES_JSON=$(CURDIR)/bench-out/BENCH_features.json go test -run '^TestEmitFeaturesBenchJSON$$' -count=1 .
+	BENCH_SERVING_JSON=$(CURDIR)/bench-out/BENCH_serving.json go test -run '^TestEmitServingBenchJSON$$' -count=1 .
 	go run ./cmd/benchdiff -baseline BENCH_scoring.json -current bench-out/BENCH_scoring.json
 	go run ./cmd/benchdiff -baseline BENCH_matmul.json -current bench-out/BENCH_matmul.json
 	go run ./cmd/benchdiff -baseline BENCH_train.json -current bench-out/BENCH_train.json
 	go run ./cmd/benchdiff -baseline BENCH_features.json -current bench-out/BENCH_features.json
+	go run ./cmd/benchdiff -baseline BENCH_serving.json -current bench-out/BENCH_serving.json

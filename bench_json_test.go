@@ -29,6 +29,15 @@ type benchEntry struct {
 	// SamplesPerSec is the samples/s custom metric, when the benchmark
 	// reports one.
 	SamplesPerSec float64 `json:"samples_per_s,omitempty"`
+	// Open-loop saturation entries (BENCH_serving.json) carry latency
+	// quantiles and shed behavior instead of ns/op; they set NsPerOp to 0
+	// so benchdiff reports them without gating — open-loop tails are too
+	// machine-sensitive for a ±25% gate.
+	OfferedRPS  float64 `json:"offered_rows_per_s,omitempty"`
+	P50Ns       float64 `json:"p50_ns,omitempty"`
+	P99Ns       float64 `json:"p99_ns,omitempty"`
+	ClientP99Ns float64 `json:"client_p99_ns,omitempty"`
+	ShedFrac    float64 `json:"shed_frac,omitempty"`
 }
 
 type benchReport struct {

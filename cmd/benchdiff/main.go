@@ -28,6 +28,13 @@ type benchEntry struct {
 	AllocsPerOp   int64   `json:"allocs_per_op"`
 	BytesPerOp    int64   `json:"bytes_per_op"`
 	SamplesPerSec float64 `json:"samples_per_s,omitempty"`
+	// Open-loop saturation entries (BENCH_serving.json) set NsPerOp to 0
+	// and carry these instead; they are reported but never gated.
+	OfferedRPS  float64 `json:"offered_rows_per_s,omitempty"`
+	P50Ns       float64 `json:"p50_ns,omitempty"`
+	P99Ns       float64 `json:"p99_ns,omitempty"`
+	ClientP99Ns float64 `json:"client_p99_ns,omitempty"`
+	ShedFrac    float64 `json:"shed_frac,omitempty"`
 }
 
 type benchReport struct {
@@ -102,6 +109,10 @@ func diff(base, cur *benchReport, warnPct, failPct float64) bool {
 			continue
 		}
 		if b.NsPerOp <= 0 {
+			if c.P99Ns > 0 {
+				fmt.Printf("%-24s open-loop: p99 %.1fms -> %.1fms, shed %.1f%% -> %.1f%% (informational)\n",
+					c.Name, b.P99Ns/1e6, c.P99Ns/1e6, 100*b.ShedFrac, 100*c.ShedFrac)
+			}
 			continue
 		}
 		pct := (c.NsPerOp - b.NsPerOp) / b.NsPerOp * 100

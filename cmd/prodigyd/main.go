@@ -54,6 +54,7 @@ import (
 	"prodigy/internal/obs/tsdb"
 	"prodigy/internal/online"
 	"prodigy/internal/pipeline"
+	"prodigy/internal/serve"
 	"prodigy/internal/server"
 )
 
@@ -72,6 +73,9 @@ func main() {
 	retention := flag.Int("retention", 720, "points retained per tsdb series (memory is retention × series × 16 bytes)")
 	alertRules := flag.String("alert-rules", "", "JSON alert-rules file (empty = built-in defaults)")
 	logRate := flag.Float64("log-rate", 0, "max non-error log lines per second, 0 = unlimited (errors are never limited; drops land in log_dropped_total)")
+	replicas := flag.Int("replicas", 2, "detector replicas behind the coalescing serving tier")
+	coalesceWindow := flag.Duration("coalesce-window", 2*time.Millisecond, "max time a scoring request waits to be micro-batched with concurrent requests")
+	maxQueue := flag.Int("max-queue", 16384, "admission-queue bound in rows per replica shard; requests beyond it are shed with 429")
 	flag.Parse()
 
 	lvl, err := obs.ParseLevel(*logLevel)
@@ -172,7 +176,17 @@ func main() {
 		replayStream(sys, streamDet, appNames, *duration, *seed, *streamJobs)
 	}
 
-	srv := server.New(store, p)
+	// The serving tier fronts /api/score: concurrent requests coalesce into
+	// the pipeline's parallel batch path, job-affine endpoints hash across
+	// replicas, and overload sheds instead of queueing without bound.
+	tierCfg := serve.DefaultConfig()
+	tierCfg.Replicas = *replicas
+	tierCfg.Window = *coalesceWindow
+	tierCfg.MaxQueue = *maxQueue
+	srv := server.NewWithTier(store, p, serve.NewTier(p, tierCfg))
+	defer srv.Close()
+	obs.Info("serving tier up", "replicas", srv.Tier.Replicas(),
+		"coalesce_window", *coalesceWindow, "max_queue_rows", *maxQueue)
 	// Optional production extras: anomaly-type diagnosis (needs ≥2 labeled
 	// types in the campaign) and the model-staleness monitor.
 	if clf, err := diagnose.New(ds, 3); err == nil {

@@ -53,6 +53,11 @@ func DefaultHotPathRoots() []RootSpec {
 		RootSpec{"Sharder", "Reduce"},
 		RootSpec{"Catalog", "ExtractSeriesInto"},
 		RootSpec{"Catalog", "ExtractTableInto"},
+		// Job-assembly Into path of DESIGN.md §15: query + align draw every
+		// slice and table shell from the caller's arena, so the per-request
+		// AnalyzeJob path stays off the heap until feature extraction.
+		RootSpec{"Store", "QueryJobInto"},
+		RootSpec{"DataGenerator", "JobTablesInto"},
 	)
 }
 

@@ -95,3 +95,40 @@ var (
 	badRuleScheme = obslib.Rule{Name: "scheme", Kind: "query",
 		Metric: "queueDepth", Agg: "max", Op: "gt"} //want:obsconventions
 )
+
+// Serving-tier metric shapes: a shed counter labeled by a closed reason
+// set, a queue gauge, and the per-replica generation labels produced by a
+// clamped index formatter.
+const shedReasonFull = "queue_full"
+
+var (
+	servShed = obslib.Default.NewCounterVec("serve_shed_total",
+		"Requests shed instead of queued, by reason.", "reason")
+	servQueue = obslib.Default.NewGauge("serve_queue_depth",
+		"Rows admitted but not yet staged into a batch.")
+	servBatch = obslib.Default.NewHistogramVec("serve_batch_rows",
+		"Rows per coalesced batch.", []float64{1, 64, 4096}, "trigger")
+)
+
+// replicaLabel formats a replica index that construction clamps to a
+// small fixed range, so the label set is bounded despite being computed.
+//
+//lint:labelsafe replica indices are clamped to [0, 8) at construction
+func replicaLabel(even bool) string {
+	if even {
+		return "0"
+	}
+	return "1"
+}
+
+func recordServe(even bool) {
+	servShed.With(shedReasonFull).Inc()
+	servQueue.Set(0)
+	servBatch.With("window").Observe(64)
+	servShed.With(replicaLabel(even)).Inc()
+}
+
+// recordShedRaw leaks an arbitrary reason string into the label space.
+func recordShedRaw(reason string) {
+	servShed.With(reason).Inc() //want:obsconventions
+}

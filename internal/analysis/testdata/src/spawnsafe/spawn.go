@@ -132,3 +132,36 @@ func (s *server) streamLoop() {
 }
 
 func (s *server) drain() int { return <-s.results }
+
+// tier is the serving-shard shape: each shard's flusher loop is a method,
+// spawned through a closure that defers Done on the struct WaitGroup, and
+// Stop joins by closing the request channel and Waiting. The join crosses
+// methods but stays on one WaitGroup object.
+type tier struct {
+	wg   sync.WaitGroup
+	reqC chan int
+}
+
+func (t *tier) startShard() {
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		t.run()
+	}()
+}
+
+func (t *tier) run() {
+	for range t.reqC {
+	}
+}
+
+func (t *tier) Stop() {
+	close(t.reqC)
+	t.wg.Wait()
+}
+
+// directSpawn launches the method without the joining closure: whatever
+// run does internally, no join is provable at this spawn site.
+func (t *tier) directSpawn() {
+	go t.run() //want:spawnsafe
+}

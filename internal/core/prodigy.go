@@ -29,6 +29,7 @@ import (
 	"prodigy/internal/mat"
 	"prodigy/internal/obs"
 	"prodigy/internal/pipeline"
+	"prodigy/internal/timeseries"
 	"prodigy/internal/vae"
 )
 
@@ -300,8 +301,14 @@ func (p *Prodigy) AnalyzeJob(store *dsos.Store, jobID int64) ([]NodePrediction, 
 	if p.Cfg.TrimSeconds > 0 {
 		gen.TrimSeconds = p.Cfg.TrimSeconds
 	}
+	// Table assembly runs out of a pooled arena: timestamp axes, metric
+	// columns and table shells are slab-carved and recycled wholesale when
+	// the request finishes, so steady-state analysis allocates only the
+	// result slice and the per-job table map.
+	arena := timeseries.GetArena()
+	defer timeseries.PutArena(arena)
 	_, qspan := obs.StartSpan(ctx, "query")
-	tables, err := gen.JobTables(jobID)
+	tables, err := gen.JobTablesInto(arena, jobID)
 	qspan.End()
 	if err != nil {
 		return nil, err
@@ -317,7 +324,7 @@ func (p *Prodigy) AnalyzeJob(store *dsos.Store, jobID int64) ([]NodePrediction, 
 	row := mat.NewFromData(1, len(vec), vec)
 	ws := features.GetWorkspace()
 	defer features.PutWorkspace(ws)
-	var out []NodePrediction
+	out := make([]NodePrediction, 0, len(tables))
 	for _, comp := range store.Components(jobID) {
 		tb, ok := tables[comp]
 		if !ok {
@@ -371,7 +378,9 @@ func (p *Prodigy) JobNodeVector(store *dsos.Store, jobID int64, component int) (
 	if p.Cfg.TrimSeconds > 0 {
 		gen.TrimSeconds = p.Cfg.TrimSeconds
 	}
-	tables, err := gen.JobTables(jobID)
+	arena := timeseries.GetArena()
+	defer timeseries.PutArena(arena)
+	tables, err := gen.JobTablesInto(arena, jobID)
 	if err != nil {
 		return nil, err
 	}
@@ -430,6 +439,28 @@ func Load(path string, cfg Config) (*Prodigy, error) {
 	if err != nil {
 		return nil, err
 	}
+	return FromArtifact(artifact, cfg)
+}
+
+// SetExplainPool provides the healthy training pool needed by Explain on a
+// loaded model.
+func (p *Prodigy) SetExplainPool(healthy *mat.Matrix) { p.healthyTrain.Store(healthy) }
+
+// ExplainPool returns the healthy training pool backing Explain, or nil if
+// none was set. Replica constructors share one pool across instances — it
+// is only ever read.
+func (p *Prodigy) ExplainPool() *mat.Matrix { return p.healthyTrain.Load() }
+
+// Artifact returns the deployed model artifact — the unit of snapshot
+// replication: a serving tier hands it to FromArtifact to stamp out
+// replicas, and to Swap to roll a retrain across them.
+func (p *Prodigy) Artifact() *pipeline.Artifact { return p.det().Artifact() }
+
+// FromArtifact builds a trained Prodigy directly from an in-memory
+// artifact — Load without the filesystem round-trip. As with Load, the
+// artifact's extraction settings override cfg, and the CoMTE distractor
+// pool must be supplied via SetExplainPool.
+func FromArtifact(artifact *pipeline.Artifact, cfg Config) (*Prodigy, error) {
 	det, err := artifact.Detector()
 	if err != nil {
 		return nil, err
@@ -441,9 +472,15 @@ func Load(path string, cfg Config) (*Prodigy, error) {
 	return p, nil
 }
 
-// SetExplainPool provides the healthy training pool needed by Explain on a
-// loaded model.
-func (p *Prodigy) SetExplainPool(healthy *mat.Matrix) { p.healthyTrain.Store(healthy) }
+// DetectBatch scores a batch against one atomically-loaded model snapshot,
+// returning the predictions and scores together with the threshold they
+// were judged against — one detector load for all three, so a serving tier
+// reports a self-consistent verdict even when a hot swap lands mid-flight.
+func (p *Prodigy) DetectBatch(xFull *mat.Matrix) (preds []int, scores []float64, threshold float64) {
+	det := p.det()
+	preds, scores = det.Predict(xFull)
+	return preds, scores, det.Threshold()
+}
 
 // DetectVector classifies a single full-feature-space vector — the
 // streaming entry point used by the online-detection extension.

@@ -31,6 +31,29 @@ type buffer struct {
 	timestamps []int64
 	columns    map[string][]float64
 	sorted     bool
+	// names caches the lexicographically sorted metric list and qualified
+	// caches the matching "metric::sampler" forms, so steady-state queries
+	// neither re-sort the key set nor rebuild the name strings. Both are
+	// invalidated by length whenever ingestion grows the column set.
+	names     []string
+	qualified []string
+}
+
+// ensureNamesLocked (re)builds the sorted metric and qualified-name caches;
+// caller holds mu.
+func (b *buffer) ensureNamesLocked(sampler ldms.SamplerName) {
+	if len(b.names) == len(b.columns) {
+		return
+	}
+	b.names = b.names[:0]
+	for m := range b.columns {
+		b.names = append(b.names, m)
+	}
+	sort.Strings(b.names)
+	b.qualified = b.qualified[:0]
+	for _, m := range b.names {
+		b.qualified = append(b.qualified, m+"::"+string(sampler))
+	}
 }
 
 // Store is a concurrent telemetry store.
@@ -127,35 +150,35 @@ func (s *Store) NumRows() int {
 // one (job, component), with metric names qualified as "metric::sampler".
 // Missing seconds appear as gaps in the timestamp axis (dropped readings).
 func (s *Store) QuerySampler(job int64, component int, sampler ldms.SamplerName) (*timeseries.Table, error) {
+	return s.QuerySamplerInto(nil, job, component, sampler)
+}
+
+// QuerySamplerInto is QuerySampler with the result's timestamp axis,
+// columns and table shell carved out of the arena (nil falls back to plain
+// allocation). The returned table is valid until the arena is reset.
+func (s *Store) QuerySamplerInto(a *timeseries.Arena, job int64, component int, sampler ldms.SamplerName) (*timeseries.Table, error) {
 	key := seriesKey{job: job, component: component, sampler: sampler}
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	b, ok := s.data[key]
-	if ok && !b.sorted {
-		b.sortLocked()
-	}
-	s.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("dsos: no %s data for job %d component %d", sampler, job, component)
 	}
-
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	ts := make([]int64, len(b.timestamps))
-	copy(ts, b.timestamps)
-	out := timeseries.NewTable(ts)
-	metrics := make([]string, 0, len(b.columns))
-	for m := range b.columns {
-		metrics = append(metrics, m)
+	if !b.sorted {
+		b.sortLocked()
 	}
-	sort.Strings(metrics)
-	for _, m := range metrics {
+	b.ensureNamesLocked(sampler)
+	ts := a.Ints(len(b.timestamps))
+	copy(ts, b.timestamps)
+	out := a.NewTable(ts)
+	for i, m := range b.names {
 		src := b.columns[m]
-		col := make([]float64, len(ts))
+		col := a.Floats(len(ts))
 		copy(col, src)
-		for i := len(src); i < len(ts); i++ {
-			col[i] = timeseries.Missing
+		for j := len(src); j < len(ts); j++ {
+			col[j] = timeseries.Missing
 		}
-		out.AddColumn(fmt.Sprintf("%s::%s", m, sampler), col)
+		out.AddColumn(b.qualified[i], col)
 	}
 	return out, nil
 }
@@ -190,15 +213,26 @@ func (b *buffer) sortLocked() {
 // three samplers' metrics (the DataGenerator input, §4.2.1). Components
 // with no data for some sampler get only the samplers they have.
 func (s *Store) QueryJob(job int64) (map[int]*timeseries.Table, error) {
+	return s.QueryJobInto(nil, job)
+}
+
+// QueryJobInto is QueryJob backed by an arena: per-sampler tables, the
+// aligned output and every column in between come from a, so a pooled
+// caller assembles a job's tables with only the per-call result map
+// allocated. Alignment uses the sorted-merge AlignSortedInto — buffers are
+// sorted on demand by QuerySamplerInto, so the hash-map intersection of
+// timeseries.Align is unnecessary here.
+func (s *Store) QueryJobInto(a *timeseries.Arena, job int64) (map[int]*timeseries.Table, error) {
 	comps := s.Components(job)
 	if len(comps) == 0 {
 		return nil, fmt.Errorf("dsos: unknown job %d", job)
 	}
 	out := make(map[int]*timeseries.Table, len(comps))
+	tables := make([]*timeseries.Table, 0, len(ldms.AllSamplers))
 	for _, c := range comps {
-		var tables []*timeseries.Table
+		tables = tables[:0]
 		for _, sampler := range ldms.AllSamplers {
-			t, err := s.QuerySampler(job, c, sampler)
+			t, err := s.QuerySamplerInto(a, job, c, sampler)
 			if err == nil {
 				tables = append(tables, t)
 			}
@@ -206,7 +240,7 @@ func (s *Store) QueryJob(job int64) (map[int]*timeseries.Table, error) {
 		if len(tables) == 0 {
 			continue
 		}
-		out[c] = timeseries.Align(tables...)
+		out[c] = timeseries.AlignSortedInto(a, tables...)
 	}
 	return out, nil
 }

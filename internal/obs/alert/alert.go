@@ -472,5 +472,16 @@ func DefaultRules() []Rule {
 			For:       Duration(60 * time.Second),
 			Severity:  "warn",
 		},
+		{
+			Name:      "serve-shed-rate",
+			Kind:      KindQuery,
+			Metric:    "serve_shed_total",
+			Agg:       "rate",
+			Window:    Duration(60 * time.Second),
+			Op:        "gt",
+			Threshold: 1, // >1 shed scoring request/sec sustained for 60s
+			For:       Duration(60 * time.Second),
+			Severity:  "warn",
+		},
 	}
 }

@@ -120,7 +120,16 @@ func NewDataGenerator(store *dsos.Store) *DataGenerator {
 // JobTables returns the preprocessed per-component telemetry tables of a
 // job, ready for feature extraction.
 func (g *DataGenerator) JobTables(jobID int64) (map[int]*timeseries.Table, error) {
-	raw, err := g.Store.QueryJob(jobID)
+	return g.JobTablesInto(nil, jobID)
+}
+
+// JobTablesInto is JobTables with table storage carved out of the arena
+// (nil falls back to plain allocation): the per-request serving path pools
+// arenas so steady-state job assembly stops allocating per column. The
+// preprocessing steps (interpolation, differencing, trimming, column sort)
+// all run in place, so only the query/align stage touches the arena.
+func (g *DataGenerator) JobTablesInto(a *timeseries.Arena, jobID int64) (map[int]*timeseries.Table, error) {
+	raw, err := g.Store.QueryJobInto(a, jobID)
 	if err != nil {
 		return nil, err
 	}

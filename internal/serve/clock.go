@@ -1,0 +1,29 @@
+package serve
+
+import "time"
+
+// Clock abstracts wall time for the coalescer so the shed/deadline tests
+// can drive the flush window deterministically. The zero Config uses the
+// real clock.
+type Clock interface {
+	Now() time.Time
+	// NewTimer returns a timer that delivers one tick on its channel after
+	// d has elapsed.
+	NewTimer(d time.Duration) Timer
+}
+
+// Timer is the subset of *time.Timer the coalescer needs.
+type Timer interface {
+	C() <-chan time.Time
+	Stop() bool
+}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time                 { return time.Now() }
+func (realClock) NewTimer(d time.Duration) Timer { return realTimer{time.NewTimer(d)} }
+
+type realTimer struct{ t *time.Timer }
+
+func (t realTimer) C() <-chan time.Time { return t.t.C }
+func (t realTimer) Stop() bool          { return t.t.Stop() }

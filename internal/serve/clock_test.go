@@ -1,0 +1,205 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually-advanced Clock for deterministic window and
+// deadline tests.
+type fakeClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	timers []*fakeTimer
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{now: time.Unix(1000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) NewTimer(d time.Duration) Timer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ft := &fakeTimer{clock: c, at: c.now.Add(d), ch: make(chan time.Time, 1)}
+	if !ft.at.After(c.now) {
+		ft.ch <- c.now
+	} else {
+		c.timers = append(c.timers, ft)
+	}
+	return ft
+}
+
+// Advance moves the clock and fires every timer that has come due.
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+	kept := c.timers[:0]
+	for _, ft := range c.timers {
+		if !ft.at.After(c.now) {
+			ft.ch <- c.now
+		} else {
+			kept = append(kept, ft)
+		}
+	}
+	c.timers = kept
+}
+
+// waitTimers blocks until n timers are pending (the coalescer has opened
+// a batch and armed its window).
+func (c *fakeClock) waitTimers(t *testing.T, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c.mu.Lock()
+		pending := len(c.timers)
+		c.mu.Unlock()
+		if pending >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d pending timers (have %d)", n, pending)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+type fakeTimer struct {
+	clock *fakeClock
+	at    time.Time
+	ch    chan time.Time
+}
+
+func (t *fakeTimer) C() <-chan time.Time { return t.ch }
+
+func (t *fakeTimer) Stop() bool {
+	c := t.clock
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, ft := range c.timers {
+		if ft == t {
+			c.timers = append(c.timers[:i], c.timers[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// waitStaged blocks until the shard has moved n rows from its queue into
+// batches.
+func waitStaged(t *testing.T, sh *shard, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for sh.staged.Load() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d staged rows (have %d)", n, sh.staged.Load())
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// TestFakeClockWindowAndDeadline drives the coalescer on a fake clock:
+//
+//   - Phase A (healthy): requests staged within the window are flushed
+//     when it elapses, each having waited exactly the window — the
+//     latency bound.
+//   - Phase B (overload): requests stuck past their deadline are shed at
+//     the flush boundary with ErrOverloaded instead of being scored late.
+//
+// Together they pin the shed policy's p99 claim: every *scored* request
+// waited at most the window; overload converts would-be tail latency into
+// sheds.
+func TestFakeClockWindowAndDeadline(t *testing.T) {
+	p := testProdigy(t)
+	width := len(p.FeatureNames())
+	fc := newFakeClock()
+	const (
+		window   = 10 * time.Millisecond
+		deadline = 25 * time.Millisecond
+	)
+	tier := NewTier(p, Config{Window: window, Deadline: deadline, Clock: fc})
+	defer tier.Stop()
+	sh := tier.shards[0]
+
+	type reply struct {
+		res *Result
+		err error
+	}
+	submit := func(n int) chan reply {
+		ch := make(chan reply, n)
+		vecs := randVectorsSeeded(int64(n), n, width)
+		for i := 0; i < n; i++ {
+			go func(i int) {
+				res, err := tier.ScoreBatch(context.Background(), vecs[i:i+1])
+				ch <- reply{res, err}
+			}(i)
+		}
+		return ch
+	}
+
+	// Phase A: open a batch, join it, let the window elapse.
+	chA := submit(1)
+	fc.waitTimers(t, 1) // batch open, window armed
+	chB := submit(3)
+	waitStaged(t, sh, 4)
+	fc.Advance(window)
+	for i := 0; i < 1; i++ {
+		r := <-chA
+		if r.err != nil {
+			t.Fatalf("phase A request: %v", r.err)
+		}
+		if r.res.Waited != window {
+			t.Fatalf("opener waited %v, want exactly the %v window", r.res.Waited, window)
+		}
+		if r.res.BatchRows != 4 {
+			t.Fatalf("batch carried %d rows, want 4", r.res.BatchRows)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if r := <-chB; r.err != nil {
+			t.Fatalf("phase A joiner: %v", r.err)
+		} else if r.res.Waited > window {
+			t.Fatalf("joiner waited %v > window %v", r.res.Waited, window)
+		}
+	}
+
+	// Phase B: stage a batch, then stall it past the deadline before the
+	// flush — every request must shed, none may be scored late.
+	shedBefore := shedTotal.With(shedDeadline).Value()
+	chC := submit(1)
+	fc.waitTimers(t, 1)
+	chD := submit(2)
+	waitStaged(t, sh, 7)
+	fc.Advance(deadline + window) // blow straight past every deadline
+	for i := 0; i < 1; i++ {
+		if r := <-chC; !errors.Is(r.err, ErrOverloaded) {
+			t.Fatalf("stalled opener returned %v, want ErrOverloaded", r.err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if r := <-chD; !errors.Is(r.err, ErrOverloaded) {
+			t.Fatalf("stalled joiner returned %v, want ErrOverloaded", r.err)
+		}
+	}
+	if got := shedTotal.With(shedDeadline).Value() - shedBefore; got != 3 {
+		t.Fatalf("deadline shed counter advanced by %v, want 3", got)
+	}
+
+	// Phase C: after shedding, the shard still serves.
+	chE := submit(1)
+	fc.waitTimers(t, 1)
+	waitStaged(t, sh, 8)
+	fc.Advance(window)
+	if r := <-chE; r.err != nil {
+		t.Fatalf("post-shed request: %v", r.err)
+	} else if r.res.Waited > window {
+		t.Fatalf("post-shed request waited %v > window %v", r.res.Waited, window)
+	}
+}

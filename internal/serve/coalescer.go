@@ -1,0 +1,238 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"time"
+
+	"prodigy/internal/core"
+	"prodigy/internal/mat"
+)
+
+// request is one waiter's stake in a coalesced batch.
+type request struct {
+	vectors [][]float64
+	rows    int
+	// deadline is the admission deadline: a request still unflushed past
+	// it is shed.
+	deadline time.Time
+	enqueued time.Time
+	// off is the request's first row within the flushed batch.
+	off  int
+	done chan outcome
+}
+
+type outcome struct {
+	res *Result
+	err error
+}
+
+// shard is one replica plus its coalescer: an admission queue bounded in
+// rows, and a flusher goroutine that drains it into size- or
+// window-bounded batches.
+type shard struct {
+	tier    *Tier
+	id      int
+	replica *core.Prodigy
+	reqC    chan *request
+	// queued counts rows admitted but not yet staged into a batch; it is
+	// the admission bound and backs the serve_queue_depth gauge.
+	queued atomic.Int64
+	// staged counts rows ever moved from the queue into a batch (a test
+	// synchronization hook).
+	staged atomic.Int64
+	// mu guards stopped and orders submissions against close(reqC):
+	// senders hold it shared, close holds it exclusive, so no send can
+	// race the close.
+	mu      sync.RWMutex
+	stopped bool
+	// batch is flusher-owned scratch, reused across flushes.
+	batch []*request
+}
+
+// submit admits the vectors into the shard's next batch and blocks until
+// the batch flushes, the request is shed, or ctx ends. The row
+// reservation against MaxQueue happens before the channel send, and the
+// channel's capacity equals MaxQueue rows, so an admitted send never
+// blocks — which is what makes close(reqC) under the exclusive lock a
+// safe shutdown signal.
+func (s *shard) submit(ctx context.Context, vectors [][]float64) (*Result, error) {
+	cfg := &s.tier.cfg
+	rows := len(vectors)
+	if rows == 0 {
+		return nil, fmt.Errorf("serve: empty request")
+	}
+	if rows > cfg.MaxBatch {
+		return nil, ErrBatchTooLarge
+	}
+	if !s.replica.Trained() {
+		return nil, ErrUntrained
+	}
+	width := len(s.replica.FeatureNames())
+	for i, v := range vectors {
+		if len(v) != width {
+			return nil, fmt.Errorf("serve: vector %d has %d features, model expects %d", i, len(v), width)
+		}
+	}
+	now := cfg.Clock.Now()
+	deadline := now.Add(cfg.Deadline)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	req := &request{vectors: vectors, rows: rows, deadline: deadline, enqueued: now, done: make(chan outcome, 1)}
+
+	s.mu.RLock()
+	if s.stopped {
+		s.mu.RUnlock()
+		shedTotal.With(shedStopped).Inc()
+		return nil, ErrStopped
+	}
+	if q := s.queued.Add(int64(rows)); q > int64(cfg.MaxQueue) {
+		s.queued.Add(int64(-rows))
+		s.mu.RUnlock()
+		shedTotal.With(shedQueueFull).Inc()
+		return nil, ErrOverloaded
+	}
+	queueDepth.Add(float64(rows))
+	s.reqC <- req
+	s.mu.RUnlock()
+	requestsTotal.Inc()
+
+	select {
+	case out := <-req.done:
+		return out.res, out.err
+	case <-ctx.Done():
+		// The request is already in the pipeline; the flusher still scores
+		// or sheds it and parks the outcome in the buffered done channel.
+		return nil, ctx.Err()
+	}
+}
+
+// close marks the shard stopped and closes the admission channel; the
+// flusher drains what was admitted and exits.
+func (s *shard) close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped {
+		return
+	}
+	s.stopped = true
+	close(s.reqC)
+}
+
+// run is the shard's flusher: each admitted request either opens a new
+// batch or joins the one being collected. The spawner in NewTier owns the
+// WaitGroup join.
+func (s *shard) run() {
+	ws := mat.GetWorkspace()
+	defer mat.Release(ws)
+	for {
+		first, ok := <-s.reqC
+		if !ok {
+			return
+		}
+		// A request that overflows the open batch (size bound) carries
+		// over to open the next one.
+		for first != nil {
+			first = s.batchOnce(ws, first)
+		}
+	}
+}
+
+// batchOnce collects one batch starting from first and flushes it. The
+// flush rules: the batch closes when the coalescing window elapses
+// (latency bound), the staged rows reach MaxBatch (size bound), or the
+// admission channel closes (drain). Returns the request that arrived but
+// did not fit, if any — it opens the next batch.
+func (s *shard) batchOnce(ws *mat.Workspace, first *request) (overflow *request) {
+	cfg := &s.tier.cfg
+	batch := s.batch[:0]
+	rows := 0
+	stage := func(r *request) {
+		s.queued.Add(int64(-r.rows))
+		queueDepth.Add(float64(-r.rows))
+		s.staged.Add(int64(r.rows))
+		rows += r.rows
+		batch = append(batch, r)
+	}
+	stage(first)
+	trigger := flushWindow
+	timer := cfg.Clock.NewTimer(cfg.Window)
+collect:
+	for rows < cfg.MaxBatch {
+		select {
+		case r, ok := <-s.reqC:
+			if !ok {
+				trigger = flushDrain
+				break collect
+			}
+			if rows+r.rows > cfg.MaxBatch {
+				overflow = r
+				trigger = flushSize
+				break collect
+			}
+			stage(r)
+		case <-timer.C():
+			break collect
+		}
+	}
+	if rows >= cfg.MaxBatch {
+		trigger = flushSize
+	}
+	timer.Stop()
+	s.flush(ws, batch, trigger)
+	s.batch = batch[:0] // keep the grown capacity for the next batch
+	return overflow
+}
+
+// flush stages the batch's rows into a pooled workspace buffer, scores
+// them in one detector call, and demuxes per-request subslices of the
+// output back to the waiters. Deadline-aware shedding happens here, at
+// the flush boundary: a request that already waited past its deadline is
+// answered ErrOverloaded instead of being scored late, so overload shows
+// up as sheds, not as unbounded tail latency.
+func (s *shard) flush(ws *mat.Workspace, batch []*request, trigger string) {
+	cfg := &s.tier.cfg
+	now := cfg.Clock.Now()
+	width := len(s.replica.FeatureNames())
+	buf := ws.Get(cfg.MaxBatch, width)
+	defer ws.Put(buf)
+	live, rows := 0, 0
+	for _, r := range batch {
+		if now.After(r.deadline) {
+			shedTotal.With(shedDeadline).Inc()
+			r.done <- outcome{err: ErrOverloaded}
+			continue
+		}
+		for i, v := range r.vectors {
+			copy(buf.Data[(rows+i)*width:(rows+i+1)*width], v)
+		}
+		r.off = rows
+		rows += r.rows
+		batch[live] = r
+		live++
+	}
+	if rows == 0 {
+		return
+	}
+	batchRows.Observe(float64(rows))
+	flushTotal.With(trigger).Inc()
+	view := mat.NewFromData(rows, width, buf.Data[:rows*width])
+	preds, scores, threshold := s.replica.DetectBatch(view)
+	gen := s.replica.Generation()
+	for _, r := range batch[:live] {
+		waited := now.Sub(r.enqueued)
+		coalesceWait.Observe(waited.Seconds())
+		r.done <- outcome{res: &Result{
+			Scores:     scores[r.off : r.off+r.rows],
+			Preds:      preds[r.off : r.off+r.rows],
+			Threshold:  threshold,
+			Generation: gen,
+			BatchRows:  rows,
+			Waited:     waited,
+		}}
+	}
+}

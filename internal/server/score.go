@@ -7,7 +7,7 @@ import (
 	"io"
 	"net/http"
 
-	"prodigy/internal/mat"
+	"prodigy/internal/serve"
 )
 
 // Request-body limits for /api/score: enough for a full node-day of
@@ -64,26 +64,19 @@ func decodeScoreRequest(r io.Reader) (*scoreRequest, error) {
 	return &req, nil
 }
 
-// matrixFromVectors packs validated request vectors into one scoring
-// batch.
-func matrixFromVectors(vectors [][]float64) *mat.Matrix {
-	rows, cols := len(vectors), len(vectors[0])
-	data := make([]float64, 0, rows*cols)
-	for _, v := range vectors {
-		data = append(data, v...)
-	}
-	return mat.NewFromData(rows, cols, data)
-}
-
-// handleScore scores a batch of raw feature vectors with the deployed
-// model: POST {"vectors": [[...], ...]} returns per-vector scores and
-// verdicts plus the threshold they were judged against.
+// handleScore scores a batch of raw feature vectors: POST {"vectors":
+// [[...], ...]} returns per-vector scores and verdicts plus the threshold
+// they were judged against. Every request routes through the coalescing
+// serving tier — single-row requests are micro-batched with their
+// concurrent company into one pipeline batch (results are bit-identical
+// to solo scoring) — and overload answers 429 with Retry-After instead
+// of queueing without bound.
 func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, r, http.StatusMethodNotAllowed, "POST a JSON body to /api/score")
 		return
 	}
-	if s.Prodigy == nil || !s.Prodigy.Trained() {
+	if s.Tier == nil || s.Prodigy == nil || !s.Prodigy.Trained() {
 		writeError(w, r, http.StatusServiceUnavailable, "no trained model deployed")
 		return
 	}
@@ -98,13 +91,29 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 			"vectors have %d features, deployed model expects %d", got, want)
 		return
 	}
-	preds, scores := s.Prodigy.Detect(matrixFromVectors(req.Vectors))
-	results := make([]scoreResult, len(scores))
-	for i := range scores {
-		results[i] = scoreResult{Score: scores[i], Anomalous: preds[i] == 1}
+	res, err := s.Tier.ScoreBatch(r.Context(), req.Vectors)
+	if err != nil {
+		switch {
+		case errors.Is(err, serve.ErrOverloaded), errors.Is(err, serve.ErrStopped):
+			// Shed, not failed: the client should back off and retry.
+			w.Header().Set("Retry-After", "1")
+			writeError(w, r, http.StatusTooManyRequests, "%v", err)
+		case errors.Is(err, serve.ErrBatchTooLarge):
+			writeError(w, r, http.StatusBadRequest, "%v; split the batch", err)
+		case r.Context().Err() != nil:
+			// The client went away while the request waited.
+			writeError(w, r, http.StatusServiceUnavailable, "%v", err)
+		default:
+			writeError(w, r, http.StatusInternalServerError, "%v", err)
+		}
+		return
+	}
+	results := make([]scoreResult, len(res.Scores))
+	for i := range res.Scores {
+		results[i] = scoreResult{Score: res.Scores[i], Anomalous: res.Preds[i] == 1}
 	}
 	writeJSON(w, map[string]interface{}{
-		"threshold": s.Prodigy.Threshold(),
+		"threshold": res.Threshold,
 		"results":   results,
 	})
 }

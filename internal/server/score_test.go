@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 )
@@ -75,5 +76,39 @@ func TestScoreEndpoint(t *testing.T) {
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Fatalf("POST %q: status %d, want 400", bad, resp.StatusCode)
 		}
+	}
+}
+
+// TestScoreShedReturns429 pins the degradation contract of the serving
+// tier at the HTTP layer: a shed scoring request answers 429 with a
+// Retry-After hint, not a generic 500. A stopped tier sheds everything,
+// which makes the shed path deterministic to exercise.
+func TestScoreShedReturns429(t *testing.T) {
+	srv, _, _ := deployServer(t)
+	srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	width := len(srv.Prodigy.FeatureNames())
+	zeros := strings.TrimSuffix(strings.Repeat("0,", width), ",")
+	resp, out := postJSON(t, ts.URL+"/api/score", fmt.Sprintf(`{"vectors":[[%s]]}`, zeros))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("shed score status %d, want 429 (%v)", resp.StatusCode, out)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("shed response carries no Retry-After header")
+	}
+
+	// Non-scoring endpoints keep working after Close.
+	health := getJSON(t, ts.URL+"/api/health", http.StatusOK)
+	if health["trained"] != true {
+		t.Fatalf("health degraded after Close: %v", health)
+	}
+	sv, ok := health["serve"].(map[string]interface{})
+	if !ok {
+		t.Fatalf("health carries no serve section: %v", health)
+	}
+	if sv["converged"] != true {
+		t.Fatalf("single-replica tier not converged: %v", sv)
 	}
 }

@@ -33,6 +33,7 @@ import (
 	"prodigy/internal/obs/alert"
 	"prodigy/internal/obs/tsdb"
 	"prodigy/internal/pipeline"
+	"prodigy/internal/serve"
 	"prodigy/internal/timeseries"
 )
 
@@ -55,6 +56,11 @@ type Server struct {
 	// Alerts, when set, serves /api/alerts — the rule engine's current
 	// firing/pending/resolved states.
 	Alerts *alert.Engine
+	// Tier is the coalescing serving tier every scoring request routes
+	// through (see internal/serve): /api/score submissions are
+	// micro-batched into it, and the job-affine analyses pick their
+	// replica from it. New constructs one automatically; Close stops it.
+	Tier *serve.Tier
 
 	mu      sync.Mutex // guards Drift observations
 	mux     *http.ServeMux
@@ -67,7 +73,18 @@ type Server struct {
 // the slow-span ring) and /debug/pprof (the stdlib profiler, for
 // profiling the scoring hot paths under live traffic).
 func New(store *dsos.Store, p *core.Prodigy) *Server {
-	s := &Server{Store: store, Prodigy: p, mux: http.NewServeMux()}
+	var tier *serve.Tier
+	if p != nil {
+		tier = serve.NewTier(p, serve.DefaultConfig())
+	}
+	return NewWithTier(store, p, tier)
+}
+
+// NewWithTier is New with a caller-configured serving tier (replica
+// count, coalescing window, queue bound — see serve.Config). The server
+// takes ownership: Close stops it.
+func NewWithTier(store *dsos.Store, p *core.Prodigy, tier *serve.Tier) *Server {
+	s := &Server{Store: store, Prodigy: p, Tier: tier, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/api/health", s.handleHealth)
 	s.mux.HandleFunc("/api/jobs", s.handleJobs)
 	s.mux.HandleFunc("/api/jobs/", s.handleJob)
@@ -91,6 +108,25 @@ func New(store *dsos.Store, p *core.Prodigy) *Server {
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
+
+// Close stops the serving tier, draining queued scoring requests and
+// joining its flusher goroutines. The non-scoring endpoints keep working;
+// scoring requests after Close are shed with 429.
+func (s *Server) Close() {
+	if s.Tier != nil {
+		s.Tier.Stop()
+	}
+}
+
+// prodigyFor returns the detector replica job-affine analyses should use:
+// the tier's consistent-hash pick when a tier is mounted, the bare
+// Prodigy otherwise.
+func (s *Server) prodigyFor(jobID int64) *core.Prodigy {
+	if s.Tier != nil {
+		return s.Tier.ReplicaForJob(jobID)
+	}
+	return s.Prodigy
+}
 
 // writeJSON writes v with a 200 status.
 func writeJSON(w http.ResponseWriter, v interface{}) {
@@ -132,7 +168,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		featureCount = len(s.Prodigy.FeatureNames())
 	}
 	p50, p95, p99 := pipeline.ScoreQuantiles()
-	writeJSON(w, map[string]interface{}{
+	resp := map[string]interface{}{
 		"status":          "ok",
 		"trained":         trained,
 		"jobs":            len(s.Store.Jobs()),
@@ -145,7 +181,19 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"score_p95":       p95,
 		"score_p99":       p99,
 		"cost_ledger":     obs.LedgerSnapshot(),
-	})
+	}
+	if s.Tier != nil {
+		// Serving-tier convergence surface: during a Swap roll the
+		// generations diverge and converged goes false until every replica
+		// serves the new artifact.
+		resp["serve"] = map[string]interface{}{
+			"replicas":    s.Tier.Replicas(),
+			"generations": s.Tier.Generations(),
+			"converged":   s.Tier.Converged(),
+			"queued_rows": s.Tier.QueuedRows(),
+		}
+	}
+	writeJSON(w, resp)
 }
 
 func (s *Server) thresholdOrZero() float64 {
@@ -203,7 +251,7 @@ func (s *Server) handleAnomalies(w http.ResponseWriter, r *http.Request, jobID i
 		writeError(w, r, http.StatusServiceUnavailable, "no trained model deployed")
 		return
 	}
-	report, err := s.Prodigy.AnalyzeJob(s.Store, jobID)
+	report, err := s.prodigyFor(jobID).AnalyzeJob(s.Store, jobID)
 	if err != nil {
 		writeError(w, r, http.StatusNotFound, "%v", err)
 		return
@@ -237,12 +285,13 @@ func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request, jobID in
 		writeError(w, r, http.StatusBadRequest, "component query parameter required")
 		return
 	}
-	vec, err := s.Prodigy.JobNodeVector(s.Store, jobID, comp)
+	p := s.prodigyFor(jobID)
+	vec, err := p.JobNodeVector(s.Store, jobID, comp)
 	if err != nil {
 		writeError(w, r, http.StatusNotFound, "%v", err)
 		return
 	}
-	anomalous, score := s.Prodigy.DetectVector(vec)
+	anomalous, score := p.DetectVector(vec)
 	if !anomalous {
 		writeError(w, r, http.StatusUnprocessableEntity,
 			"component %d is predicted healthy (score %.5f); nothing to diagnose", comp, score)
@@ -300,7 +349,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request, jobID int
 		writeError(w, r, http.StatusBadRequest, "component query parameter required")
 		return
 	}
-	expl, err := s.Prodigy.ExplainJobNode(s.Store, jobID, comp)
+	expl, err := s.prodigyFor(jobID).ExplainJobNode(s.Store, jobID, comp)
 	if expl == nil {
 		if err == nil {
 			writeError(w, r, http.StatusUnprocessableEntity,

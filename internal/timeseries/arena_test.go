@@ -1,0 +1,71 @@
+package timeseries
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randSortedTable builds a table with a sorted timestamp axis where each
+// step has a 50% chance of duplicating the previous timestamp — the
+// densest duplicate mix the dsos buffers can produce.
+func randSortedTable(rng *rand.Rand, name string) *Table {
+	n := rng.Intn(8)
+	ts := make([]int64, n)
+	v := int64(0)
+	for i := range ts {
+		v += int64(rng.Intn(2))
+		ts[i] = v
+	}
+	tb := NewTable(ts)
+	col := make([]float64, n)
+	for i := range col {
+		col[i] = float64(i)
+	}
+	tb.AddColumn(name, col)
+	return tb
+}
+
+// TestAlignSortedIntoMatchesAlign differential-tests the k-way merge
+// against the hash-map reference over random small sorted inputs,
+// including empty tables and heavy duplicate runs. Regression for two
+// out-of-bounds scans: an empty input table zeroes the intersection
+// capacity but the scan wrote position entries before discovering the
+// exhaustion, and a duplicate-free shortest table could be fully
+// consumed with the outer scan still running.
+func TestAlignSortedIntoMatchesAlign(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 20000; iter++ {
+		tables := make([]*Table, 2+rng.Intn(3))
+		for j := range tables {
+			tables[j] = randSortedTable(rng, fmt.Sprintf("m%d", j))
+		}
+		want := Align(tables...)
+		got := AlignSortedInto(nil, tables...)
+		if len(got.Timestamps) != len(want.Timestamps) {
+			t.Fatalf("iter %d: %d common timestamps, want %d (axes %v)",
+				iter, len(got.Timestamps), len(want.Timestamps), axes(tables))
+		}
+		for i := range want.Timestamps {
+			if got.Timestamps[i] != want.Timestamps[i] {
+				t.Fatalf("iter %d: timestamp %d differs (axes %v)", iter, i, axes(tables))
+			}
+		}
+		for _, m := range want.Order {
+			for i := range want.Timestamps {
+				if got.Columns[m][i] != want.Columns[m][i] {
+					t.Fatalf("iter %d: column %s row %d = %v, want %v (axes %v)",
+						iter, m, i, got.Columns[m][i], want.Columns[m][i], axes(tables))
+				}
+			}
+		}
+	}
+}
+
+func axes(tables []*Table) []string {
+	out := make([]string, len(tables))
+	for i, tb := range tables {
+		out[i] = fmt.Sprint(tb.Timestamps)
+	}
+	return out
+}
