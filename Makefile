@@ -2,7 +2,7 @@
 # `make bench-json` backs the per-commit BENCH_*.json artifacts and
 # `make bench-diff` gates a fresh emission against the committed ones.
 
-.PHONY: check build vet test race lint lint-json fmt-check fuzz bench bench-json bench-train bench-features bench-serving bench-diff
+.PHONY: check build vet test race lint lint-json fmt-check fuzz bench bench-json bench-train bench-features bench-serving bench-ensemble bench-diff
 
 build:
 	go build ./...
@@ -61,6 +61,7 @@ bench-json:
 	BENCH_TRAIN_JSON=$(CURDIR)/BENCH_train.json go test -run '^TestEmitTrainBenchJSON$$' -count=1 .
 	BENCH_FEATURES_JSON=$(CURDIR)/BENCH_features.json go test -run '^TestEmitFeaturesBenchJSON$$' -count=1 .
 	BENCH_SERVING_JSON=$(CURDIR)/BENCH_serving.json go test -run '^TestEmitServingBenchJSON$$' -count=1 .
+	BENCH_ENSEMBLE_JSON=$(CURDIR)/BENCH_ensemble.json go test -run '^TestEmitEnsembleBenchJSON$$' -count=1 -timeout 30m .
 
 # Refresh only the training-loop snapshot (W1 + W8 fan-outs) — the file
 # the data-parallel training work of DESIGN.md §11 reports against.
@@ -79,6 +80,14 @@ bench-features:
 bench-serving:
 	BENCH_SERVING_JSON=$(CURDIR)/BENCH_serving.json go test -run '^TestEmitServingBenchJSON$$' -count=1 .
 
+# Refresh only the cascade-ensemble snapshot — cascade vs
+# full-fleet-every-row vs solo VAE on a ≥95%-normal stream, plus the
+# fused-vs-solo F1/AUC table (DESIGN.md §16). The emitter enforces the
+# cascade's acceptance bounds (≥3× over full fleet, quality within 0.01
+# of solo), and the eval half trains real campaigns, hence the timeout.
+bench-ensemble:
+	BENCH_ENSEMBLE_JSON=$(CURDIR)/BENCH_ensemble.json go test -run '^TestEmitEnsembleBenchJSON$$' -count=1 -timeout 30m .
+
 # Fresh emission into bench-out/, diffed against the committed baselines:
 # >10% ns/op slowdown warns, >25% fails (cmd/benchdiff). CI's bench job
 # runs exactly this.
@@ -89,8 +98,10 @@ bench-diff:
 	BENCH_TRAIN_JSON=$(CURDIR)/bench-out/BENCH_train.json go test -run '^TestEmitTrainBenchJSON$$' -count=1 .
 	BENCH_FEATURES_JSON=$(CURDIR)/bench-out/BENCH_features.json go test -run '^TestEmitFeaturesBenchJSON$$' -count=1 .
 	BENCH_SERVING_JSON=$(CURDIR)/bench-out/BENCH_serving.json go test -run '^TestEmitServingBenchJSON$$' -count=1 .
+	BENCH_ENSEMBLE_JSON=$(CURDIR)/bench-out/BENCH_ensemble.json go test -run '^TestEmitEnsembleBenchJSON$$' -count=1 -timeout 30m .
 	go run ./cmd/benchdiff -baseline BENCH_scoring.json -current bench-out/BENCH_scoring.json
 	go run ./cmd/benchdiff -baseline BENCH_matmul.json -current bench-out/BENCH_matmul.json
 	go run ./cmd/benchdiff -baseline BENCH_train.json -current bench-out/BENCH_train.json
 	go run ./cmd/benchdiff -baseline BENCH_features.json -current bench-out/BENCH_features.json
 	go run ./cmd/benchdiff -baseline BENCH_serving.json -current bench-out/BENCH_serving.json
+	go run ./cmd/benchdiff -baseline BENCH_ensemble.json -current bench-out/BENCH_ensemble.json

@@ -38,6 +38,13 @@ type benchEntry struct {
 	P99Ns       float64 `json:"p99_ns,omitempty"`
 	ClientP99Ns float64 `json:"client_p99_ns,omitempty"`
 	ShedFrac    float64 `json:"shed_frac,omitempty"`
+	// Cascade-ensemble entries (BENCH_ensemble.json): the observed
+	// pre-filter pass rate on the benchmark stream, and — on the
+	// informational NsPerOp=0 eval entries — the detection-quality table
+	// the throughput win is conditioned on.
+	PrefilterPassFrac float64 `json:"prefilter_pass_frac,omitempty"`
+	F1                float64 `json:"f1,omitempty"`
+	AUC               float64 `json:"auc,omitempty"`
 }
 
 type benchReport struct {

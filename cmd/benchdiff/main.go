@@ -35,6 +35,12 @@ type benchEntry struct {
 	P99Ns       float64 `json:"p99_ns,omitempty"`
 	ClientP99Ns float64 `json:"client_p99_ns,omitempty"`
 	ShedFrac    float64 `json:"shed_frac,omitempty"`
+	// Cascade-ensemble eval entries (BENCH_ensemble.json) also set
+	// NsPerOp to 0: detection quality is reported, never gated on here —
+	// the emitter itself enforces the fused-vs-solo bound.
+	PrefilterPassFrac float64 `json:"prefilter_pass_frac,omitempty"`
+	F1                float64 `json:"f1,omitempty"`
+	AUC               float64 `json:"auc,omitempty"`
 }
 
 type benchReport struct {
@@ -112,6 +118,10 @@ func diff(base, cur *benchReport, warnPct, failPct float64) bool {
 			if c.P99Ns > 0 {
 				fmt.Printf("%-24s open-loop: p99 %.1fms -> %.1fms, shed %.1f%% -> %.1f%% (informational)\n",
 					c.Name, b.P99Ns/1e6, c.P99Ns/1e6, 100*b.ShedFrac, 100*c.ShedFrac)
+			}
+			if c.F1 > 0 {
+				fmt.Printf("%-24s eval: F1 %.3f -> %.3f, AUC %.3f -> %.3f (informational)\n",
+					c.Name, b.F1, c.F1, b.AUC, c.AUC)
 			}
 			continue
 		}

@@ -45,6 +45,7 @@ import (
 	"prodigy/internal/diagnose"
 	"prodigy/internal/drift"
 	"prodigy/internal/dsos"
+	"prodigy/internal/ensemble"
 	"prodigy/internal/experiments"
 	"prodigy/internal/features"
 	"prodigy/internal/hpas"
@@ -73,6 +74,9 @@ func main() {
 	retention := flag.Int("retention", 720, "points retained per tsdb series (memory is retention × series × 16 bytes)")
 	alertRules := flag.String("alert-rules", "", "JSON alert-rules file (empty = built-in defaults)")
 	logRate := flag.Float64("log-rate", 0, "max non-error log lines per second, 0 = unlimited (errors are never limited; drops land in log_dropped_total)")
+	ensembleOn := flag.Bool("ensemble", false, "deploy the budgeted cascade ensemble (naive z-score pre-filter + vae/usad/lof fleet) instead of the solo VAE")
+	fusion := flag.String("fusion", "rank", "ensemble fleet-score fusion rule: rank, max or weighted")
+	budgetNs := flag.Float64("score-budget-ns", 0, "ensemble scoring budget in ns/row; the scheduler sheds expensive fleet members above it (0 = unlimited)")
 	replicas := flag.Int("replicas", 2, "detector replicas behind the coalescing serving tier")
 	coalesceWindow := flag.Duration("coalesce-window", 2*time.Millisecond, "max time a scoring request waits to be micro-batched with concurrent requests")
 	maxQueue := flag.Int("max-queue", 16384, "admission-queue bound in rows per replica shard; requests beyond it are shed with 429")
@@ -164,13 +168,29 @@ func main() {
 	cfg.Trainer.Workers = *trainWorkers
 	experiments.TopKFor(&cfg, ds.X.Cols)
 	p := core.New(cfg)
-	if err := p.Fit(ds, nil); err != nil {
+	if *ensembleOn {
+		ecfg := ensemble.DefaultConfig()
+		ecfg.Fusion = ensemble.Fusion(*fusion)
+		ecfg.BudgetNs = *budgetNs
+		ecfg.Seed = *seed
+		usadCfg := experiments.USADConfig(experiments.Quick, *seed)
+		newMember := func(kind string, inputDim int) (pipeline.Model, error) {
+			if kind == "usad" {
+				return pipeline.NewUSADModel(usadCfg(inputDim))
+			}
+			return nil, nil // core fills vae from cfg, pipeline fills the baselines
+		}
+		if err := p.FitEnsemble(ds, nil, ecfg, newMember); err != nil {
+			obs.Error("ensemble train failed", "err", err)
+			os.Exit(1)
+		}
+	} else if err := p.Fit(ds, nil); err != nil {
 		obs.Error("train failed", "err", err)
 		os.Exit(1)
 	}
 	conf := p.Evaluate(ds)
-	obs.Info("trained", "threshold", p.Threshold(), "campaign_macro_f1", conf.MacroF1(),
-		"features", len(p.FeatureNames()))
+	obs.Info("trained", "model", p.ModelKind(), "threshold", p.Threshold(),
+		"campaign_macro_f1", conf.MacroF1(), "features", len(p.FeatureNames()))
 
 	if streamDet != nil {
 		replayStream(sys, streamDet, appNames, *duration, *seed, *streamJobs)
@@ -187,6 +207,14 @@ func main() {
 	defer srv.Close()
 	obs.Info("serving tier up", "replicas", srv.Tier.Replicas(),
 		"coalesce_window", *coalesceWindow, "max_queue_rows", *maxQueue)
+	if *ensembleOn {
+		// Feed the tier's queue-depth signal (and the ns/row budget) into
+		// the cascade's budget scheduler: a backed-up admission queue sheds
+		// fleet members before the tier starts shedding requests.
+		n := srv.Tier.ConfigureEnsemble(*budgetNs)
+		obs.Info("ensemble budget scheduler armed", "ensembles", n,
+			"budget_ns_per_row", *budgetNs, "fusion", *fusion)
+	}
 	// Optional production extras: anomaly-type diagnosis (needs ≥2 labeled
 	// types in the campaign) and the model-staleness monitor.
 	if clf, err := diagnose.New(ds, 3); err == nil {

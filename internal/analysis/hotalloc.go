@@ -58,6 +58,10 @@ func DefaultHotPathRoots() []RootSpec {
 		// AnalyzeJob path stays off the heap until feature extraction.
 		RootSpec{"Store", "QueryJobInto"},
 		RootSpec{"DataGenerator", "JobTablesInto"},
+		// Offline dataset assembly rides the same arena discipline: the
+		// builder's job-collection stage must stay on arena storage end to
+		// end, so campaign builds don't regress to per-column allocation.
+		RootSpec{"DatasetBuilder", "collectTasks"},
 	)
 }
 

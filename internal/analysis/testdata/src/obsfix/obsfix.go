@@ -132,3 +132,41 @@ func recordServe(even bool) {
 func recordShedRaw(reason string) {
 	servShed.With(reason).Inc() //want:obsconventions
 }
+
+// Cascade-ensemble metric shapes (internal/ensemble): pass-fraction and
+// fleet-size gauges without the counter suffix, per-stage latency
+// labeled by a closed stage set, row counters with it, and the budget
+// scheduler's transition counter labeled by a constant action.
+const ensembleActionShed = "shed"
+
+var (
+	ensPassFrac = obslib.Default.NewGauge("ensemble_prefilter_pass_frac",
+		"Fraction of scored rows the pre-filter passed to the fleet.")
+	ensActive = obslib.Default.NewGauge("ensemble_models_active",
+		"Fleet members currently scheduled to score.")
+	ensStage = obslib.Default.NewHistogramVec("ensemble_stage_seconds",
+		"Per-stage scoring latency.", []float64{0.001, 0.1}, "stage")
+	ensRows = obslib.Default.NewCounterVec("ensemble_rows_total",
+		"Rows scored by the cascade.", "stage")
+	ensSched = obslib.Default.NewCounterVec("ensemble_sched_transitions_total",
+		"Budget scheduler shed/restore transitions.", "action")
+
+	badEnsGauge = obslib.Default.NewGauge("ensemble_models_active_total", //want:obsconventions
+		"Gauge with the counter suffix.")
+	badEnsCounter = obslib.Default.NewCounterVec("ensemble_sched_transitions", //want:obsconventions
+		"Counter without _total.", "action")
+)
+
+func recordEnsemble() {
+	ensPassFrac.Set(0.01)
+	ensActive.Set(3)
+	ensStage.With("prefilter").Observe(0.002)
+	ensRows.With("fleet").Inc()
+	ensSched.With(ensembleActionShed).Inc()
+}
+
+// recordSchedRaw leaks an arbitrary scheduler action into the label
+// space.
+func recordSchedRaw(action string) {
+	ensSched.With(action).Inc() //want:obsconventions
+}

@@ -1,0 +1,80 @@
+package iforest
+
+import "encoding/json"
+
+// JSON round-trip for a fitted forest, so isolation forests can live
+// inside pipeline artifacts (solo baseline artifacts and ensemble
+// pre-filters alike). Trees serialize recursively; depth is bounded by
+// ceil(log2(max samples)) so the recursion is shallow.
+
+type nodeJSON struct {
+	Feature int       `json:"f"`
+	Split   float64   `json:"s,omitempty"`
+	Size    int       `json:"n,omitempty"`
+	Left    *nodeJSON `json:"l,omitempty"`
+	Right   *nodeJSON `json:"r,omitempty"`
+}
+
+type forestJSON struct {
+	Cfg       Config      `json:"cfg"`
+	Trees     []*nodeJSON `json:"trees"`
+	Subsample int         `json:"subsample"`
+	Threshold float64     `json:"threshold"`
+}
+
+func encodeNode(n *node) *nodeJSON {
+	if n == nil {
+		return nil
+	}
+	return &nodeJSON{
+		Feature: n.feature,
+		Split:   n.split,
+		Size:    n.size,
+		Left:    encodeNode(n.left),
+		Right:   encodeNode(n.right),
+	}
+}
+
+func decodeNode(n *nodeJSON) *node {
+	if n == nil {
+		return nil
+	}
+	return &node{
+		feature: n.Feature,
+		split:   n.Split,
+		size:    n.Size,
+		left:    decodeNode(n.Left),
+		right:   decodeNode(n.Right),
+	}
+}
+
+// MarshalJSON serializes the fitted forest including its calibrated
+// threshold.
+func (f *Forest) MarshalJSON() ([]byte, error) {
+	fj := forestJSON{
+		Cfg:       f.Cfg,
+		Trees:     make([]*nodeJSON, len(f.trees)),
+		Subsample: f.subsample,
+		Threshold: f.threshold,
+	}
+	for i, t := range f.trees {
+		fj.Trees[i] = encodeNode(t)
+	}
+	return json.Marshal(fj)
+}
+
+// UnmarshalJSON restores a fitted forest.
+func (f *Forest) UnmarshalJSON(blob []byte) error {
+	var fj forestJSON
+	if err := json.Unmarshal(blob, &fj); err != nil {
+		return err
+	}
+	f.Cfg = fj.Cfg
+	f.subsample = fj.Subsample
+	f.threshold = fj.Threshold
+	f.trees = make([]*node, len(fj.Trees))
+	for i, t := range fj.Trees {
+		f.trees[i] = decodeNode(t)
+	}
+	return nil
+}

@@ -1,0 +1,35 @@
+package kmeans
+
+import (
+	"encoding/json"
+
+	"prodigy/internal/mat"
+)
+
+// JSON round-trip for a fitted model, so K-means can live inside
+// pipeline artifacts. Centroids are already exported; the calibrated
+// threshold is the only hidden state.
+
+type kmeansJSON struct {
+	Cfg       Config      `json:"cfg"`
+	Centroids *mat.Matrix `json:"centroids"`
+	Threshold float64     `json:"threshold"`
+}
+
+// MarshalJSON serializes the fitted model including its calibrated
+// threshold.
+func (km *KMeans) MarshalJSON() ([]byte, error) {
+	return json.Marshal(kmeansJSON{Cfg: km.Cfg, Centroids: km.Centroids, Threshold: km.threshold})
+}
+
+// UnmarshalJSON restores a fitted model.
+func (km *KMeans) UnmarshalJSON(blob []byte) error {
+	var kj kmeansJSON
+	if err := json.Unmarshal(blob, &kj); err != nil {
+		return err
+	}
+	km.Cfg = kj.Cfg
+	km.Centroids = kj.Centroids
+	km.threshold = kj.Threshold
+	return nil
+}

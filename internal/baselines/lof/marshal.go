@@ -1,0 +1,50 @@
+package lof
+
+import (
+	"encoding/json"
+
+	"prodigy/internal/mat"
+)
+
+// JSON round-trip for a fitted LOF model, so it can live inside pipeline
+// artifacts (fleet member of the cascade ensemble). LOF is a lazy
+// learner: the fitted state is the training matrix plus the per-point
+// k-distances and reachability densities, all of which serialize
+// directly.
+
+type lofJSON struct {
+	Cfg       Config      `json:"cfg"`
+	Train     *mat.Matrix `json:"train"`
+	KDist     []float64   `json:"k_dist"`
+	LRD       []float64   `json:"lrd"`
+	Neighbors [][]int     `json:"neighbors"`
+	Threshold float64     `json:"threshold"`
+}
+
+// MarshalJSON serializes the fitted model including its calibrated
+// threshold.
+func (l *LOF) MarshalJSON() ([]byte, error) {
+	return json.Marshal(lofJSON{
+		Cfg:       l.Cfg,
+		Train:     l.train,
+		KDist:     l.kDist,
+		LRD:       l.lrd,
+		Neighbors: l.neighbors,
+		Threshold: l.threshold,
+	})
+}
+
+// UnmarshalJSON restores a fitted model.
+func (l *LOF) UnmarshalJSON(blob []byte) error {
+	var lj lofJSON
+	if err := json.Unmarshal(blob, &lj); err != nil {
+		return err
+	}
+	l.Cfg = lj.Cfg
+	l.train = lj.Train
+	l.kDist = lj.KDist
+	l.lrd = lj.LRD
+	l.neighbors = lj.Neighbors
+	l.threshold = lj.Threshold
+	return nil
+}

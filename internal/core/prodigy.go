@@ -20,9 +20,11 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"prodigy/internal/baselines/usad"
 	"prodigy/internal/comte"
 	"prodigy/internal/drift"
 	"prodigy/internal/dsos"
+	"prodigy/internal/ensemble"
 	"prodigy/internal/eval"
 	"prodigy/internal/featsel"
 	"prodigy/internal/features"
@@ -218,6 +220,60 @@ func (p *Prodigy) FitWithSelection(train, selectionSet *pipeline.Dataset, sel *f
 	return nil
 }
 
+// FitEnsemble trains and deploys the budgeted cascade of
+// internal/ensemble instead of the solo VAE: the fleet declared in cfg
+// trains concurrently under this instance's Trainer settings, so the
+// cascade's VAE member is bit-identical to what Fit would deploy.
+// newMember may override fleet-member construction per kind; nil (or a
+// (nil, nil) return) falls back to this config's VAE, USAD defaults at
+// the selected width, and the baseline defaults of pipeline.
+func (p *Prodigy) FitEnsemble(train, selectionSet *pipeline.Dataset, cfg ensemble.Config,
+	newMember func(kind string, inputDim int) (pipeline.Model, error)) error {
+	if train == nil || train.Len() == 0 {
+		return errors.New("core: empty training dataset")
+	}
+	if selectionSet == nil {
+		selectionSet = train
+	}
+	member := func(kind string, inputDim int) (pipeline.Model, error) {
+		if newMember != nil {
+			m, err := newMember(kind, inputDim)
+			if err != nil || m != nil {
+				return m, err
+			}
+		}
+		switch kind {
+		case "vae":
+			vcfg := p.Cfg.VAE
+			vcfg.InputDim = inputDim
+			return pipeline.NewVAEModel(vcfg)
+		case "usad":
+			return pipeline.NewUSADModel(usad.DefaultConfig(inputDim))
+		}
+		return nil, nil // pipeline.NewModelOfKind handles the baselines
+	}
+	artifact, err := ensemble.Train(ensemble.TrainOptions{
+		Cfg:       cfg,
+		Trainer:   p.Cfg.Trainer,
+		NewMember: member,
+		Train:     train,
+		Select:    selectionSet,
+	})
+	if err != nil {
+		return err
+	}
+	artifact.CatalogTier = int(p.Cfg.catalog().MaxTier)
+	artifact.TrimSeconds = p.Cfg.TrimSeconds
+	det, err := artifact.Detector()
+	if err != nil {
+		return err
+	}
+	healthy := train.Subset(train.HealthyIndices())
+	p.healthyTrain.Store(healthy.X)
+	p.deploy(det)
+	return nil
+}
+
 // Swap atomically deploys a retrained artifact, replacing the current model
 // without stalling concurrent readers: requests in flight finish against
 // the old model, later requests score with the new one. The artifact must
@@ -260,16 +316,33 @@ func (p *Prodigy) Threshold() float64 {
 }
 
 // TuneThreshold sweeps thresholds over the given scored set and adopts the
-// best macro-F1 threshold (the §5.4.4 sweep: 0 to 1 in 0.001 increments).
-// Deployment-time only: it mutates the live threshold, so do not race it
-// against concurrent scoring.
+// best macro-F1 threshold (the §5.4.4 sweep: 0.001 increments from 0 to
+// the top of the observed score range — reconstruction errors live in
+// [0, 1], the cascade ensemble's fleet band reaches 2). Deployment-time
+// only: it mutates the live threshold, so do not race it against
+// concurrent scoring.
 func (p *Prodigy) TuneThreshold(ds *pipeline.Dataset) float64 {
 	det := p.det()
 	scores := det.Scores(ds.X)
-	best, _ := eval.BestThreshold(scores, ds.Labels(), 0, 1, 0.001)
+	hi := 1.0
+	for _, s := range scores {
+		if s > hi {
+			hi = s
+		}
+	}
+	best, _ := eval.BestThreshold(scores, ds.Labels(), 0, hi, 0.001)
 	det.SetThreshold(best)
 	modelThreshold.Set(best)
 	return best
+}
+
+// ModelKind reports the deployed artifact's model kind ("vae",
+// "ensemble", ...), or "" before Fit/Load.
+func (p *Prodigy) ModelKind() string {
+	if d := p.detector.Load(); d != nil {
+		return d.Artifact().ModelKind
+	}
+	return ""
 }
 
 // Evaluate runs detection over a labeled dataset and returns the confusion

@@ -219,6 +219,56 @@ func Threshold(scores []float64, th float64) []int {
 	return preds
 }
 
+// AUC returns the area under the ROC curve for anomaly scores against
+// binary truth (1 = anomalous), computed rank-based (the Mann-Whitney U
+// statistic): the probability a random anomalous sample outscores a
+// random healthy one, with tied scores counted half — midranks, so
+// score distributions with plateaus (the cascade's cleared band) are
+// handled exactly. Returns 0.5 when either class is absent, the
+// no-information value.
+func AUC(scores []float64, truth []int) float64 {
+	if len(scores) != len(truth) {
+		panic("eval: scores/truth length mismatch")
+	}
+	type pair struct {
+		s float64
+		y int
+	}
+	pairs := make([]pair, len(scores))
+	pos, neg := 0, 0
+	for i, s := range scores {
+		pairs[i] = pair{s, truth[i]}
+		if truth[i] == 1 {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return 0.5
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].s < pairs[j].s })
+	// Sum of midranks over the anomalous samples; ties share the average
+	// rank of their run.
+	rankSum := 0.0
+	for i := 0; i < len(pairs); {
+		j := i
+		//lint:ignore floateq midrank tie runs are exact-equality by definition — a tolerance would merge distinct scores and shift ranks
+		for j < len(pairs) && pairs[j].s == pairs[i].s {
+			j++
+		}
+		mid := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			if pairs[k].y == 1 {
+				rankSum += mid
+			}
+		}
+		i = j
+	}
+	u := rankSum - float64(pos)*float64(pos+1)/2
+	return u / (float64(pos) * float64(neg))
+}
+
 // MeanStd returns the mean and population standard deviation of xs,
 // convenient for reporting "average F1 over 5-fold CV".
 func MeanStd(xs []float64) (mean, std float64) {

@@ -46,6 +46,21 @@ func (e *CostEntry) Record(rows int, d time.Duration) {
 	e.seconds.Add(d.Seconds())
 }
 
+// NsPerRow returns the entry's measured average scoring cost in
+// nanoseconds per row, or 0 when nothing has been recorded yet. The
+// ensemble budget scheduler reads this to rank fleet members by
+// measured (not assumed) cost before shedding.
+func (e *CostEntry) NsPerRow() float64 {
+	if e == nil {
+		return 0
+	}
+	rows := e.rows.Value()
+	if rows <= 0 {
+		return 0
+	}
+	return e.seconds.Value() * 1e9 / rows
+}
+
 // CostRow is one model's ledger totals, as reported by LedgerSnapshot.
 type CostRow struct {
 	Model    string  `json:"model"`

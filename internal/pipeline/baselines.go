@@ -1,0 +1,168 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"prodigy/internal/baselines/iforest"
+	"prodigy/internal/baselines/kmeans"
+	"prodigy/internal/baselines/lof"
+	"prodigy/internal/baselines/naive"
+	"prodigy/internal/mat"
+)
+
+// Model adapters for the classic baselines, promoting them from
+// eval-only detectors to first-class pipeline citizens: they train
+// through ModelTrainer/TrainAll, serialize into Artifacts, and — because
+// AnomalyDetector charges every Scores call to obs.CostFor(ModelKind) —
+// their measured ns/row lands in the cost ledger the ensemble budget
+// scheduler ranks fleet members by.
+//
+// All four satisfy the Model contract's concurrency clause: their Scores
+// methods read fitted state without mutating it.
+
+// IForestModel adapts iforest.Forest to the Model contract.
+type IForestModel struct{ *iforest.Forest }
+
+// NewIForestModel constructs an unfitted isolation-forest model.
+func NewIForestModel(cfg iforest.Config) (*IForestModel, error) {
+	f, err := iforest.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &IForestModel{Forest: f}, nil
+}
+
+// FitHealthy implements Model.
+func (m *IForestModel) FitHealthy(x *mat.Matrix) error { return m.Fit(x) }
+
+// Kind implements Model.
+func (m *IForestModel) Kind() string { return "iforest" }
+
+// LOFModel adapts lof.LOF to the Model contract.
+type LOFModel struct{ *lof.LOF }
+
+// NewLOFModel constructs an unfitted local-outlier-factor model.
+func NewLOFModel(cfg lof.Config) (*LOFModel, error) {
+	l, err := lof.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &LOFModel{LOF: l}, nil
+}
+
+// FitHealthy implements Model.
+func (m *LOFModel) FitHealthy(x *mat.Matrix) error { return m.Fit(x) }
+
+// Kind implements Model.
+func (m *LOFModel) Kind() string { return "lof" }
+
+// KMeansModel adapts kmeans.KMeans to the Model contract.
+type KMeansModel struct{ *kmeans.KMeans }
+
+// NewKMeansModel constructs an unfitted clustering model.
+func NewKMeansModel(cfg kmeans.Config) (*KMeansModel, error) {
+	km, err := kmeans.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &KMeansModel{KMeans: km}, nil
+}
+
+// FitHealthy implements Model.
+func (m *KMeansModel) FitHealthy(x *mat.Matrix) error { return m.Fit(x) }
+
+// Kind implements Model.
+func (m *KMeansModel) Kind() string { return "kmeans" }
+
+// NaiveModel adapts the naive.ZScore envelope scorer to the Model
+// contract — the µs-cost pre-filter candidate for the cascade ensemble.
+type NaiveModel struct{ *naive.ZScore }
+
+// NewNaiveModel constructs an unfitted z-score model.
+func NewNaiveModel() *NaiveModel { return &NaiveModel{ZScore: &naive.ZScore{}} }
+
+// FitHealthy implements Model.
+func (m *NaiveModel) FitHealthy(x *mat.Matrix) error { return m.Fit(x) }
+
+// Kind implements Model.
+func (m *NaiveModel) Kind() string { return "naive" }
+
+// modelKinds maps artifact ModelKind strings to decoders, so packages
+// outside pipeline (internal/ensemble) can plug new kinds into
+// rehydrate/LoadArtifact without an import cycle. Registration happens
+// in init functions; lookups are read-only afterwards.
+var modelKinds sync.Map // string -> func(json.RawMessage) (Model, error)
+
+// RegisterModelKind installs a decoder for a model kind beyond the
+// built-in set. Later registrations for the same kind win (tests only).
+func RegisterModelKind(kind string, decode func(json.RawMessage) (Model, error)) {
+	modelKinds.Store(kind, decode)
+}
+
+// decodeRegistered consults the registry for kinds rehydrate's built-in
+// switch doesn't know.
+func decodeRegistered(kind string, blob json.RawMessage) (Model, bool, error) {
+	fn, ok := modelKinds.Load(kind)
+	if !ok {
+		return nil, false, nil
+	}
+	m, err := fn.(func(json.RawMessage) (Model, error))(blob)
+	return m, true, err
+}
+
+func init() {
+	RegisterModelKind("iforest", func(blob json.RawMessage) (Model, error) {
+		f := &iforest.Forest{}
+		if err := json.Unmarshal(blob, f); err != nil {
+			return nil, err
+		}
+		return &IForestModel{Forest: f}, nil
+	})
+	RegisterModelKind("lof", func(blob json.RawMessage) (Model, error) {
+		l := &lof.LOF{}
+		if err := json.Unmarshal(blob, l); err != nil {
+			return nil, err
+		}
+		return &LOFModel{LOF: l}, nil
+	})
+	RegisterModelKind("kmeans", func(blob json.RawMessage) (Model, error) {
+		km := &kmeans.KMeans{}
+		if err := json.Unmarshal(blob, km); err != nil {
+			return nil, err
+		}
+		return &KMeansModel{KMeans: km}, nil
+	})
+	RegisterModelKind("naive", func(blob json.RawMessage) (Model, error) {
+		z := &naive.ZScore{}
+		if err := json.Unmarshal(blob, z); err != nil {
+			return nil, err
+		}
+		return &NaiveModel{ZScore: z}, nil
+	})
+}
+
+// NewModelOfKind constructs an unfitted model for the named kind with
+// package defaults — the constructor ensemble.Train uses to build fleet
+// members from kind strings. VAE/USAD need dimension- and budget-aware
+// configs, so they are not constructible here; callers supply those via
+// explicit TrainJobs.
+func NewModelOfKind(kind string, seed int64) (Model, error) {
+	switch kind {
+	case "iforest":
+		cfg := iforest.DefaultConfig()
+		cfg.Seed = seed
+		return NewIForestModel(cfg)
+	case "lof":
+		return NewLOFModel(lof.DefaultConfig())
+	case "kmeans":
+		cfg := kmeans.DefaultConfig()
+		cfg.Seed = seed
+		return NewKMeansModel(cfg)
+	case "naive":
+		return NewNaiveModel(), nil
+	default:
+		return nil, fmt.Errorf("pipeline: no default constructor for model kind %q", kind)
+	}
+}

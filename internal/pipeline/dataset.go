@@ -192,6 +192,11 @@ type DatasetBuilder struct {
 
 	mu    sync.Mutex
 	specs []jobSpec
+	// Feature-name cache: the name list depends only on (catalog, metric
+	// order) and dominated per-build allocations before it was cached.
+	namesCat   *features.Catalog
+	namesKey   string
+	namesCache []string
 }
 
 // NewDatasetBuilder wires a generator and pipeline over one store.
@@ -224,7 +229,14 @@ type task struct {
 // the result keeps the deterministic (job registration, component) order
 // of the serial loop: workers fill per-spec slots that are concatenated
 // in spec order afterwards.
-func (b *DatasetBuilder) collectTasks() ([]task, error) {
+//
+// Each worker carves its query/align storage out of one pooled arena
+// (DESIGN.md §15), so the per-column allocations that used to dominate
+// dataset builds disappear. The returned tables reference arena memory:
+// callers must hand the arenas back with timeseries.PutArena only after
+// they are done with every table — Build/BuildPartitioned release them
+// after feature extraction.
+func (b *DatasetBuilder) collectTasks() ([]task, []*timeseries.Arena, error) {
 	b.mu.Lock()
 	specs := make([]jobSpec, len(b.specs))
 	copy(specs, b.specs)
@@ -239,15 +251,17 @@ func (b *DatasetBuilder) collectTasks() ([]task, error) {
 	if workers < 1 {
 		workers = 1
 	}
+	arenas := make([]*timeseries.Arena, workers)
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
+		arenas[w] = timeseries.GetArena()
 		wg.Add(1)
-		go func() {
+		go func(arena *timeseries.Arena) {
 			defer wg.Done()
 			for i := range jobs {
 				spec := specs[i]
-				tables, err := b.Gen.JobTables(spec.jobID)
+				tables, err := b.Gen.JobTablesInto(arena, spec.jobID)
 				if err != nil {
 					errs[i] = fmt.Errorf("pipeline: job %d: %w", spec.jobID, err)
 					continue
@@ -267,7 +281,7 @@ func (b *DatasetBuilder) collectTasks() ([]task, error) {
 					perSpec[i] = append(perSpec[i], task{meta: meta, table: tb})
 				}
 			}
-		}()
+		}(arenas[w])
 	}
 	for i := range specs {
 		jobs <- i
@@ -278,14 +292,40 @@ func (b *DatasetBuilder) collectTasks() ([]task, error) {
 	var tasks []task
 	for i, ts := range perSpec {
 		if errs[i] != nil {
-			return nil, errs[i]
+			releaseArenas(arenas)
+			return nil, nil, errs[i]
 		}
 		tasks = append(tasks, ts...)
 	}
 	if len(tasks) == 0 {
-		return nil, fmt.Errorf("pipeline: no samples to build")
+		releaseArenas(arenas)
+		return nil, nil, fmt.Errorf("pipeline: no samples to build")
 	}
-	return tasks, nil
+	return tasks, arenas, nil
+}
+
+// releaseArenas recycles the build arenas once every table carved from
+// them is dead.
+func releaseArenas(arenas []*timeseries.Arena) {
+	for _, a := range arenas {
+		timeseries.PutArena(a)
+	}
+}
+
+// featureNames returns the qualified feature names for a metric order,
+// reusing the cached list when the catalog and schema are unchanged —
+// repeated builds (folds, benchmarks) otherwise re-allocate thousands
+// of identical strings.
+func (b *DatasetBuilder) featureNames(cat *features.Catalog, order []string) []string {
+	key := strings.Join(order, "\x1f")
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.namesCat == cat && b.namesKey == key {
+		return b.namesCache
+	}
+	names := cat.TableFeatureNames(order)
+	b.namesCat, b.namesKey, b.namesCache = cat, key, names
+	return names
 }
 
 // NodeClass identifies a node's metric-schema class for heterogeneous
@@ -303,10 +343,13 @@ func NodeClass(tb *timeseries.Table) string {
 // (job registration, component) order. All nodes must share one metric
 // schema; for mixed CPU/GPU campaigns use BuildPartitioned.
 func (b *DatasetBuilder) Build() (*Dataset, error) {
-	tasks, err := b.collectTasks()
+	tasks, arenas, err := b.collectTasks()
 	if err != nil {
 		return nil, err
 	}
+	// The dataset matrix is fully materialized by extract; the
+	// arena-backed tables are dead afterwards.
+	defer releaseArenas(arenas)
 	return b.extract(tasks)
 }
 
@@ -315,10 +358,11 @@ func (b *DatasetBuilder) Build() (*Dataset, error) {
 // calls for on heterogeneous systems, where GPU and CPU nodes produce
 // different metric sets.
 func (b *DatasetBuilder) BuildPartitioned() (map[string]*Dataset, error) {
-	tasks, err := b.collectTasks()
+	tasks, arenas, err := b.collectTasks()
 	if err != nil {
 		return nil, err
 	}
+	defer releaseArenas(arenas)
 	byClass := map[string][]task{}
 	for _, t := range tasks {
 		c := NodeClass(t.table)
@@ -350,7 +394,7 @@ func (b *DatasetBuilder) extract(tasks []task) (*Dataset, error) {
 			return nil, fmt.Errorf("pipeline: sample %d has %d features, expected %d (mismatched metric schemas across jobs)", i, n, width)
 		}
 	}
-	names := cat.TableFeatureNames(tasks[0].table.Order)
+	names := b.featureNames(cat, tasks[0].table.Order)
 	x := mat.New(len(tasks), width)
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(tasks) {

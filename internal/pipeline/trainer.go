@@ -50,6 +50,11 @@ func init() { instrumentationOn.Store(true) }
 // only). Returns the previous setting.
 func SetInstrumentation(on bool) bool { return instrumentationOn.Swap(on) }
 
+// InstrumentationEnabled reports whether per-batch scoring telemetry is
+// on, so composite models (the ensemble's per-member cost accounting)
+// honor the same benchmark-only kill switch.
+func InstrumentationEnabled() bool { return instrumentationOn.Load() }
+
 // ScoreQuantiles summarizes the process-wide reconstruction-error
 // distribution (p50/p95/p99) — the snapshot /api/health and /api/drift
 // report next to the threshold.
@@ -317,23 +322,96 @@ func (a *Artifact) rehydrate() error {
 		return err
 	}
 	a.scaler = scaler
-	switch a.ModelKind {
+	model, err := DecodeModel(a.ModelKind, a.Model)
+	if err != nil {
+		return err
+	}
+	a.model = model
+	return nil
+}
+
+// DecodeModel reconstructs a fitted model from its serialized form: the
+// built-in kinds directly, anything else through the RegisterModelKind
+// registry. The ensemble uses this to rehydrate fleet members nested
+// inside its own blob.
+func DecodeModel(kind string, blob json.RawMessage) (Model, error) {
+	switch kind {
 	case "vae":
 		v := &vae.VAE{}
-		if err := json.Unmarshal(a.Model, v); err != nil {
-			return err
+		if err := json.Unmarshal(blob, v); err != nil {
+			return nil, err
 		}
-		a.model = &VAEModel{VAE: v}
+		return &VAEModel{VAE: v}, nil
 	case "usad":
 		u := &usad.USAD{}
-		if err := json.Unmarshal(a.Model, u); err != nil {
-			return err
+		if err := json.Unmarshal(blob, u); err != nil {
+			return nil, err
 		}
-		a.model = &USADModel{USAD: u}
+		return &USADModel{USAD: u}, nil
 	default:
-		return fmt.Errorf("pipeline: cannot rehydrate model kind %q", a.ModelKind)
+		m, ok, err := decodeRegistered(kind, blob)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: rehydrate %q: %w", kind, err)
+		}
+		if !ok {
+			return nil, fmt.Errorf("pipeline: cannot rehydrate model kind %q", kind)
+		}
+		return m, nil
 	}
-	return nil
+}
+
+// LiveModel exposes the in-memory model behind the artifact, rehydrating
+// from the serialized blob on first use. The ensemble introspection path
+// (server health, budget scheduler wiring) uses this to reach through a
+// deployed artifact.
+func (a *Artifact) LiveModel() (Model, error) {
+	if a.model == nil {
+		if err := a.rehydrate(); err != nil {
+			return nil, err
+		}
+	}
+	return a.model, nil
+}
+
+// LiveScaler exposes the fitted scaler behind the artifact, rehydrating
+// on first use — ensemble training reuses a member artifact's scaler as
+// the composite's own.
+func (a *Artifact) LiveScaler() (scale.Scaler, error) {
+	if a.scaler == nil {
+		if err := a.rehydrate(); err != nil {
+			return nil, err
+		}
+	}
+	return a.scaler, nil
+}
+
+// AssembleArtifact bundles an already-fitted model into a deployable
+// Artifact — the path for composite models (the cascade ensemble) whose
+// training doesn't flow through a single ModelTrainer.Train call. The
+// scaler and selection must be the ones the model's fit saw; threshold
+// is the caller's calibrated decision boundary in the model's score
+// space.
+func AssembleArtifact(model Model, scaler scale.Scaler, selection *featsel.Selection,
+	threshold, thresholdPercentile float64, fullNames []string) (*Artifact, error) {
+	modelBlob, err := json.Marshal(model)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: model not serializable: %w", err)
+	}
+	scalerBlob, err := scale.Marshal(scaler)
+	if err != nil {
+		return nil, err
+	}
+	return &Artifact{
+		ModelKind:           model.Kind(),
+		Model:               modelBlob,
+		Scaler:              scalerBlob,
+		Selection:           selection,
+		Threshold:           threshold,
+		ThresholdPercentile: thresholdPercentile,
+		FullFeatureNames:    fullNames,
+		model:               model,
+		scaler:              scaler,
+	}, nil
 }
 
 // Save writes the artifact to a JSON file, creating parent directories.

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"prodigy/internal/core"
+	"prodigy/internal/ensemble"
 	"prodigy/internal/obs"
 	"prodigy/internal/pipeline"
 )
@@ -302,6 +303,39 @@ func (t *Tier) QueuedRows() int {
 		total += sh.queued.Load()
 	}
 	return int(total)
+}
+
+// QueueCapacity returns the total admission-queue capacity in rows
+// across all shards — the denominator for queue-pressure fractions
+// (the ensemble budget scheduler's load probe pairs it with
+// QueuedRows).
+func (t *Tier) QueueCapacity() int { return t.cfg.MaxQueue * len(t.shards) }
+
+// ConfigureEnsemble wires the tier's queue-depth signal and the given
+// ns/row budget into every deployed cascade ensemble it serves: the
+// budget scheduler then sheds fleet members when measured cost blows
+// the budget or the admission queue backs past its high-water mark.
+// Replicas stamped from one artifact share one live ensemble, so each
+// distinct ensemble is configured once. No-op for non-ensemble models;
+// returns how many ensembles were configured. Call again after Swap —
+// a retrained artifact carries a fresh ensemble.
+func (t *Tier) ConfigureEnsemble(budgetNs float64) int {
+	seen := make(map[*ensemble.Ensemble]bool)
+	for _, sh := range t.shards {
+		if !sh.replica.Trained() {
+			continue
+		}
+		ens, ok := ensemble.Of(sh.replica.Artifact())
+		if !ok || seen[ens] {
+			continue
+		}
+		seen[ens] = true
+		ens.SetBudgetNs(budgetNs)
+		ens.SetLoadProbe(func() (queued, capacity int) {
+			return t.QueuedRows(), t.QueueCapacity()
+		})
+	}
+	return len(seen)
 }
 
 // Stop drains the tier: new submissions are shed with ErrStopped, queued

@@ -28,6 +28,7 @@ import (
 	"prodigy/internal/diagnose"
 	"prodigy/internal/drift"
 	"prodigy/internal/dsos"
+	"prodigy/internal/ensemble"
 	"prodigy/internal/ldms"
 	"prodigy/internal/obs"
 	"prodigy/internal/obs/alert"
@@ -182,15 +183,26 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"score_p99":       p99,
 		"cost_ledger":     obs.LedgerSnapshot(),
 	}
+	if trained {
+		resp["model_kind"] = s.Prodigy.ModelKind()
+		// Cascade introspection: when the deployed artifact is the budgeted
+		// ensemble, expose the pre-filter margin, live pass fraction, fusion
+		// rule, and per-member active/cost status the budget scheduler acts
+		// on (ensemble_models_active's JSON twin).
+		if ens, ok := ensemble.Of(s.Prodigy.Artifact()); ok {
+			resp["ensemble"] = ens.Status()
+		}
+	}
 	if s.Tier != nil {
 		// Serving-tier convergence surface: during a Swap roll the
 		// generations diverge and converged goes false until every replica
 		// serves the new artifact.
 		resp["serve"] = map[string]interface{}{
-			"replicas":    s.Tier.Replicas(),
-			"generations": s.Tier.Generations(),
-			"converged":   s.Tier.Converged(),
-			"queued_rows": s.Tier.QueuedRows(),
+			"replicas":       s.Tier.Replicas(),
+			"generations":    s.Tier.Generations(),
+			"converged":      s.Tier.Converged(),
+			"queued_rows":    s.Tier.QueuedRows(),
+			"queue_capacity": s.Tier.QueueCapacity(),
 		}
 	}
 	writeJSON(w, resp)
